@@ -1,0 +1,72 @@
+// Command rqlbench regenerates the paper's evaluation (§5): every
+// figure and table, printed as aligned text tables in the paper's own
+// terms (ratio C, per-iteration cost breakdowns, result footprints).
+//
+// Usage:
+//
+//	rqlbench -list                 # show available experiments
+//	rqlbench -exp fig6             # run one experiment
+//	rqlbench -all                  # run everything (paper order)
+//	rqlbench -all -sf 0.02         # larger scale factor
+//	rqlbench -all -quick           # fast, shrunken sweeps
+//
+// Absolute numbers are not comparable to the paper's testbed (see
+// EXPERIMENTS.md); the shapes are.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rql/internal/bench"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "run a single experiment by name (e.g. fig6)")
+		all     = flag.Bool("all", false, "run every experiment")
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = 1.5M orders)")
+		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		latency = flag.Duration("latency", 0, "modeled per-Pagelog-read latency (default 100µs)")
+		seed    = flag.Int64("seed", 0, "data generation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{SF: *sf, Quick: *quick, ReadLatency: *latency, Seed: *seed}
+	r := bench.NewRunner(cfg, os.Stdout)
+	defer r.Close()
+
+	start := time.Now()
+	switch {
+	case *all:
+		if err := r.RunAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "rqlbench:", err)
+			os.Exit(1)
+		}
+	case *exp != "":
+		e := bench.FindExperiment(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "rqlbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := e.Run(r); err != nil {
+			fmt.Fprintln(os.Stderr, "rqlbench:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("\n[%s total]\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,189 @@
+// Command rqlshell is an interactive SQL shell over an RQL database:
+// the full SQL surface including the Retro extensions (COMMIT WITH
+// SNAPSHOT, SELECT AS OF) and the four RQL mechanism UDFs.
+//
+// Dot commands:
+//
+//	.help                 show help
+//	.tables               list tables and indexes
+//	.snapshots            list declared snapshots (SnapIds)
+//	.snapshot [label]     declare a snapshot of the current state
+//	.stats                show last-statement and snapshot-system stats
+//	.mech                 show the last RQL mechanism run's breakdown
+//	.quit                 exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"rql"
+)
+
+func main() {
+	db, err := rql.Open(rql.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rqlshell:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	conn := db.Conn()
+	if err := conn.EnsureSnapIds(); err != nil {
+		fmt.Fprintln(os.Stderr, "rqlshell:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("RQL shell — in-memory database with Retro snapshots.")
+	fmt.Println(`Type SQL terminated by ';', or ".help" for commands.`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("rql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	for prompt(); sc.Scan(); prompt() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
+			if !dotCommand(db, conn, trimmed) {
+				return
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if !strings.HasSuffix(trimmed, ";") {
+			continue
+		}
+		runSQL(conn, pending.String())
+		pending.Reset()
+	}
+}
+
+func runSQL(conn *rql.Conn, sqlText string) {
+	var cols []string
+	var rows [][]string
+	err := conn.Exec(sqlText, func(names []string, row []rql.Value) error {
+		if cols == nil {
+			cols = append([]string(nil), names...)
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		rows = append(rows, cells)
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printTable(cols, rows)
+	st := conn.LastStats()
+	if st.RowsReturned > 0 || st.PagelogReads > 0 {
+		fmt.Printf("(%d rows, %v)\n", st.RowsReturned, st.Duration.Round(10e3))
+	}
+}
+
+func printTable(cols []string, rows [][]string) {
+	if cols == nil {
+		return
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Println(strings.TrimRight(strings.Join(parts, " | "), " "))
+	}
+	line(cols)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func dotCommand(db *rql.DB, conn *rql.Conn, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		fmt.Println(`SQL statements end with ';'. Retro/RQL extensions:
+  BEGIN; ...; COMMIT WITH SNAPSHOT;            declare a snapshot
+  SELECT AS OF <id> ... ;                      query a snapshot
+  EXPLAIN SELECT ... ;                         show the query plan
+  SELECT CollateData(snap_id, 'Qq', 'T') FROM SnapIds;
+  SELECT AggregateDataInVariable(snap_id, 'Qq', 'T', 'min') FROM SnapIds;
+  SELECT AggregateDataInTable(snap_id, 'Qq', 'T', '(c,max)') FROM SnapIds;
+  SELECT CollateDataIntoIntervals(snap_id, 'Qq', 'T') FROM SnapIds;
+Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
+	case ".tables":
+		objs, err := conn.Objects()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		for _, o := range objs {
+			store := "main"
+			if o.Temp {
+				store = "side (non-snapshotable)"
+			}
+			if o.Kind == "index" {
+				fmt.Printf("  index %-24s on %-16s [%s]\n", o.Name, o.Table, store)
+			} else {
+				fmt.Printf("  table %-24s %19s [%s]\n", o.Name, "", store)
+			}
+		}
+	case ".snapshots":
+		runSQL(conn, `SELECT snap_id, snap_ts, label FROM SnapIds;`)
+	case ".snapshot":
+		label := ""
+		if len(fields) > 1 {
+			label = strings.Join(fields[1:], " ")
+		}
+		id, err := conn.DeclareSnapshot(label)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("declared snapshot %d\n", id)
+		}
+	case ".stats":
+		st := conn.LastStats()
+		fmt.Printf("last statement: duration=%v rows=%d pagelog_reads=%d cache_hits=%d db_reads=%d spt=%v auto_index=%v\n",
+			st.Duration, st.RowsReturned, st.PagelogReads, st.CacheHits, st.DBReads, st.SPTBuildTime, st.AutoIndex)
+		fmt.Printf("pagelog: %d archived pages\n", db.PagelogPages())
+	case ".mech":
+		run := db.LastRun()
+		if run == nil {
+			fmt.Println("no mechanism has run yet")
+			break
+		}
+		fmt.Printf("%s: %d iterations, result %d rows (%d data bytes, %d index bytes)\n",
+			run.Mechanism, len(run.Iterations), run.ResultRows, run.ResultDataBytes, run.ResultIndexBytes)
+		for _, it := range run.Iterations {
+			fmt.Printf("  snap %-4d io=%-10v spt=%-10v idx=%-10v eval=%-10v udf=%-10v rows=%d\n",
+				it.Snapshot, it.IOTime, it.SPTBuild, it.IndexCreation, it.QueryEval, it.UDF, it.QqRows)
+		}
+	default:
+		fmt.Println("unknown command; try .help")
+	}
+	return true
+}

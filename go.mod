@@ -1,0 +1,3 @@
+module rql
+
+go 1.22

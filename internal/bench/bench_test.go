@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickCfg is a tiny configuration that exercises every experiment in
+// seconds.
+func quickCfg() Config {
+	return Config{SF: 0.002, Quick: true, ReadLatency: 20 * time.Microsecond}
+}
+
+func TestQsRange(t *testing.T) {
+	got := QsRange(3, 9, 1)
+	if !strings.Contains(got, "snap_id >= 3") || !strings.Contains(got, "snap_id <= 9") {
+		t.Errorf("QsRange: %s", got)
+	}
+	stepped := QsRange(1, 100, 10)
+	if !strings.Contains(stepped, "% 10 = 0") {
+		t.Errorf("QsRange step: %s", stepped)
+	}
+}
+
+func TestEnvBuildAndSharing(t *testing.T) {
+	e, err := NewEnv(UW30, 20, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Last != 20 {
+		t.Errorf("Last = %d", e.Last)
+	}
+	// A consecutive run must beat the all-cold baseline on Pagelog
+	// reads: C < 1 (the sharing headline of §5.1).
+	c := readRatio(t, e, 1, 10, QqIO)
+	if c <= 0 || c >= 1 {
+		t.Errorf("ratio C = %.3f, want within (0, 1)", c)
+	}
+}
+
+// readRatio is ratio C computed on deterministic Pagelog-read counts
+// (immune to wall-clock noise at tiny test scales).
+func readRatio(t *testing.T, e *Env, lo, hi uint64, qq string) float64 {
+	t.Helper()
+	measured, err := e.ColdRun(mechAggVarAvg, QsRange(lo, hi, 1), qq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold int
+	for s := lo; s <= hi; s++ {
+		rs, err := e.ColdRun(mechAggVarAvg, QsRange(s, s, 1), qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold += rs.Total().PagelogReads
+	}
+	if cold == 0 {
+		t.Fatal("no pagelog reads in all-cold baseline")
+	}
+	return float64(measured.Total().PagelogReads) / float64(cold)
+}
+
+func TestRatioCOrdering(t *testing.T) {
+	// More sharing (finer workload) => lower C — for OLD snapshots,
+	// where the all-cold baseline fetches the full working set from the
+	// Pagelog while hot iterations fetch only the inter-snapshot diff
+	// (§5.1). Histories must exceed the overwrite cycle so snapshots
+	// 1..12 are fully archived.
+	cfg := quickCfg()
+	e30, err := NewEnv(UW30, UW30.Cycle+20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e30.Close()
+	e15, err := NewEnv(UW15, UW15.Cycle+20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e15.Close()
+
+	c30 := readRatio(t, e30, 1, 12, QqIO)
+	c15 := readRatio(t, e15, 1, 12, QqIO)
+	if c15 >= c30 {
+		t.Errorf("UW15 C (%.3f) should be below UW30 C (%.3f): more sharing", c15, c30)
+	}
+	if c30 >= 1 || c15 >= 1 {
+		t.Errorf("sharing should keep C below 1: UW30=%.3f UW15=%.3f", c30, c15)
+	}
+}
+
+func TestCollateDateForFraction(t *testing.T) {
+	e, err := NewEnv(UW30, 4, quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	lo, err := e.CollateDateForFraction(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := e.CollateDateForFraction(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < hi) {
+		t.Errorf("date quantiles out of order: %s vs %s", lo, hi)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Note:    "a note",
+		Headers: []string{"a", "bee"},
+	}
+	tab.Add(1, 2.5)
+	tab.Add("x", 1500*time.Microsecond)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a note", "bee", "2.500", "1.50ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// Every experiment runs end-to-end at quick scale and prints a table.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds")
+	}
+	var buf bytes.Buffer
+	r := NewRunner(quickCfg(), &buf)
+	defer r.Close()
+	if err := r.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, ex := range Experiments {
+		if FindExperiment(ex.Name) == nil {
+			t.Errorf("FindExperiment(%q) failed", ex.Name)
+		}
+	}
+	for _, marker := range []string{
+		"Table 1", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11", "Figure 12", "Figure 13", "§5.3",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("experiment output missing %q", marker)
+		}
+	}
+	if FindExperiment("nope") != nil {
+		t.Error("FindExperiment of unknown name should be nil")
+	}
+}

@@ -1,0 +1,164 @@
+package btree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rql/internal/storage"
+)
+
+func freshLeaf() node {
+	return node{id: 1, data: new(storage.PageData)}
+}
+
+func TestNodeHeaderAccessors(t *testing.T) {
+	n := freshLeaf()
+	initNode(n, nodeLeaf)
+	if !n.isLeaf() || n.numCells() != 0 || n.contentPtr() != storage.PageSize {
+		t.Fatalf("fresh leaf header: leaf=%v cells=%d content=%d", n.isLeaf(), n.numCells(), n.contentPtr())
+	}
+	n.setNext(7)
+	n.setPrev(9)
+	if n.next() != 7 || n.prev() != 9 {
+		t.Errorf("chain pointers: %d %d", n.next(), n.prev())
+	}
+	initNode(n, nodeInterior)
+	if n.isLeaf() || n.next() != 0 || n.prev() != 0 {
+		t.Error("initNode should reset type and chain pointers")
+	}
+}
+
+func TestLeafCellRoundTrip(t *testing.T) {
+	n := freshLeaf()
+	initNode(n, nodeLeaf)
+	if err := n.insertCellRaw(0, encodeLeafCell([]byte("key"), []byte("value"))); err != nil {
+		t.Fatal(err)
+	}
+	k, v, err := n.leafCell(0)
+	if err != nil || string(k) != "key" || string(v) != "value" {
+		t.Fatalf("leafCell: %q %q %v", k, v, err)
+	}
+	raw, err := n.rawCell(0)
+	if err != nil || !bytes.Equal(raw, encodeLeafCell([]byte("key"), []byte("value"))) {
+		t.Errorf("rawCell mismatch: %v", err)
+	}
+}
+
+func TestInteriorCellRoundTrip(t *testing.T) {
+	n := freshLeaf()
+	initNode(n, nodeInterior)
+	if err := n.insertCellRaw(0, encodeInteriorCell([]byte("sep"), 42)); err != nil {
+		t.Fatal(err)
+	}
+	k, child, err := n.interiorCell(0)
+	if err != nil || string(k) != "sep" || child != 42 {
+		t.Fatalf("interiorCell: %q %d %v", k, child, err)
+	}
+}
+
+func TestDefragmentReclaimsDeletedSpace(t *testing.T) {
+	n := freshLeaf()
+	initNode(n, nodeLeaf)
+	// Fill the page with cells, delete every other one, then verify a
+	// new insert still fits after defragmentation.
+	payload := bytes.Repeat([]byte{7}, 100)
+	i := 0
+	for {
+		key := []byte(strings.Repeat("k", 10) + string(rune('a'+i%26)) + string(rune('a'+i/26)))
+		raw := encodeLeafCell(key, payload)
+		if n.freeSpace() < len(raw)+2 {
+			break
+		}
+		if err := n.insertCellRaw(n.numCells(), raw); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	total := n.numCells()
+	if total < 10 {
+		t.Fatalf("expected a fuller page, got %d cells", total)
+	}
+	for k := total - 1; k >= 0; k -= 2 {
+		n.removeCell(k)
+	}
+	// Contiguous free space is still small, but total free space is ~half.
+	if err := n.defragment(); err != nil {
+		t.Fatal(err)
+	}
+	if n.freeSpace() < storage.PageSize/3 {
+		t.Errorf("defragment reclaimed too little: %d free", n.freeSpace())
+	}
+	// Cells survive defragmentation in order.
+	for k := 0; k < n.numCells(); k++ {
+		if _, _, err := n.leafCell(k); err != nil {
+			t.Fatalf("cell %d after defragment: %v", k, err)
+		}
+	}
+}
+
+func TestCorruptCellPointersDetected(t *testing.T) {
+	n := freshLeaf()
+	initNode(n, nodeLeaf)
+	n.setNumCells(1)
+	n.setCellPtr(0, storage.PageSize+10) // out of range
+	if _, _, err := n.leafCell(0); err == nil {
+		t.Error("bad leaf cell pointer not detected")
+	}
+	initNode(n, nodeInterior)
+	n.setNumCells(1)
+	n.setCellPtr(0, storage.PageSize-2) // too close to the end for a child
+	if _, _, err := n.interiorCell(0); err == nil {
+		t.Error("bad interior cell pointer not detected")
+	}
+}
+
+func TestSearchLeafBoundaries(t *testing.T) {
+	n := freshLeaf()
+	initNode(n, nodeLeaf)
+	for _, k := range []string{"b", "d", "f"} {
+		idx, found, err := n.searchLeaf([]byte(k))
+		if err != nil || found {
+			t.Fatalf("empty-ish search: %v %v", found, err)
+		}
+		if err := n.insertCellRaw(idx, encodeLeafCell([]byte(k), nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		key   string
+		idx   int
+		found bool
+	}{
+		{"a", 0, false}, {"b", 0, true}, {"c", 1, false},
+		{"d", 1, true}, {"e", 2, false}, {"f", 2, true}, {"g", 3, false},
+	}
+	for _, c := range cases {
+		idx, found, err := n.searchLeaf([]byte(c.key))
+		if err != nil || idx != c.idx || found != c.found {
+			t.Errorf("searchLeaf(%q) = (%d,%v,%v), want (%d,%v)", c.key, idx, found, err, c.idx, c.found)
+		}
+	}
+}
+
+func TestSearchInteriorRouting(t *testing.T) {
+	n := freshLeaf()
+	initNode(n, nodeInterior)
+	// Routing: (-inf -> child 1), ("m" -> child 2).
+	n.insertCellRaw(0, encodeInteriorCell(nil, 1))
+	n.insertCellRaw(1, encodeInteriorCell([]byte("m"), 2))
+	for key, want := range map[string]int{"a": 0, "l": 0, "m": 1, "z": 1} {
+		idx, err := n.searchInterior([]byte(key))
+		if err != nil || idx != want {
+			t.Errorf("searchInterior(%q) = %d,%v want %d", key, idx, err, want)
+		}
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	for v, want := range map[uint64]int{0: 1, 127: 1, 128: 2, 16383: 2, 16384: 3} {
+		if got := uvarintLen(v); got != want {
+			t.Errorf("uvarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

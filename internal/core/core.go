@@ -1,0 +1,237 @@
+// Package core implements RQL, the paper's contribution: a declarative
+// SQL extension for computations over sets of Retro snapshots. The four
+// mechanisms — Collate Data, Aggregate Data In Variable, Aggregate Data
+// In Table, and Collate Data Into Intervals (§2) — are implemented as
+// scalar UDFs interposed on the snapshot-set query Qs, exactly the
+// structure of the paper's Figure 5:
+//
+//	SELECT CollateData(snap_id, 'SELECT ...', 'Result') FROM SnapIds WHERE ...;
+//
+// The engine invokes the UDF once per Qs row ("loop index" snap_id);
+// the UDF body binds the snapshot query Qq to that snapshot (the
+// paper's "AS OF" rewrite — see Rewrite for the literal textual form
+// and its equivalence), executes it with a per-record callback, and
+// processes the records in a mechanism-specific way against the result
+// table T in the separate non-snapshotable store.
+//
+// Every mechanism records a per-iteration cost breakdown (I/O, SPT
+// build, index creation, query evaluation, UDF processing) matching the
+// bars of the paper's Figures 8–13.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rql/internal/record"
+	"rql/internal/sql"
+)
+
+// RQL binds the mechanism UDFs to a database and collects run
+// statistics.
+type RQL struct {
+	db *sql.DB
+
+	mu      sync.Mutex
+	lastRun *RunStats
+}
+
+// Attach registers the four RQL mechanism UDFs on db and returns the
+// handle used to run mechanisms and read their statistics.
+func Attach(db *sql.DB) *RQL {
+	r := &RQL{db: db}
+	db.RegisterFunc(sql.FuncDef{
+		Name: "CollateData", MinArgs: 3, MaxArgs: 3,
+		Fn: r.udf(mechCollate),
+	})
+	db.RegisterFunc(sql.FuncDef{
+		Name: "AggregateDataInVariable", MinArgs: 4, MaxArgs: 4,
+		Fn: r.udf(mechAggVar),
+	})
+	db.RegisterFunc(sql.FuncDef{
+		Name: "AggregateDataInTable", MinArgs: 4, MaxArgs: 4,
+		Fn: r.udf(mechAggTable),
+	})
+	db.RegisterFunc(sql.FuncDef{
+		Name: "CollateDataIntoIntervals", MinArgs: 3, MaxArgs: 3,
+		Fn: r.udf(mechIntervals),
+	})
+	return r
+}
+
+// LastRun returns the statistics of the most recently completed
+// mechanism run on this database.
+func (r *RQL) LastRun() *RunStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastRun
+}
+
+func (r *RQL) setLastRun(rs *RunStats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lastRun = rs
+}
+
+// readLatency is the modeled per-Pagelog-read cost configured on the
+// snapshot system.
+func (r *RQL) readLatency() time.Duration { return r.db.Retro().ReadLatency() }
+
+// udf adapts a mechanism kind into a scalar UDF body: per Qs row it
+// pulls the per-statement state from the auxdata slot and runs one
+// loop-body iteration.
+func (r *RQL) udf(kind mechKind) func(fc *sql.FuncContext, args []record.Value) (record.Value, error) {
+	return func(fc *sql.FuncContext, args []record.Value) (record.Value, error) {
+		st := fc.Aux(func() any { return &mechState{kind: kind, rql: r} }).(*mechState)
+		if !st.inited {
+			if err := st.init(fc.Conn(), args); err != nil {
+				return record.Value{}, err
+			}
+		}
+		if args[0].IsNull() {
+			return record.Value{}, fmt.Errorf("rql: %s: snap_id is NULL", kind)
+		}
+		if err := st.iterate(fc.Conn(), uint64(args[0].AsInt())); err != nil {
+			return record.Value{}, err
+		}
+		return record.Int(1), nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SnapIds (paper §3: maintained at application level, in a separate
+// non-snapshotable database, updated transactionally).
+// ---------------------------------------------------------------------------
+
+// EnsureSnapIds creates the SnapIds table in the non-snapshotable side
+// store if it does not exist yet.
+func EnsureSnapIds(conn *sql.Conn) error {
+	return conn.Exec(`CREATE TEMP TABLE IF NOT EXISTS SnapIds (
+		snap_id INTEGER PRIMARY KEY,
+		snap_ts TEXT,
+		label   TEXT
+	)`, nil)
+}
+
+// RecordSnapshot registers a declared snapshot in SnapIds with a
+// timestamp and an optional application-meaningful label.
+func RecordSnapshot(conn *sql.Conn, snapID uint64, ts time.Time, label string) error {
+	return conn.Exec(`INSERT INTO SnapIds (snap_id, snap_ts, label) VALUES (?, ?, ?)`, nil,
+		record.Int(int64(snapID)),
+		record.Text(ts.UTC().Format("2006-01-02 15:04:05")),
+		record.Text(label),
+	)
+}
+
+// DeclareSnapshot declares a snapshot of the current state (an empty
+// BEGIN; COMMIT WITH SNAPSHOT transaction) and records it in SnapIds.
+func DeclareSnapshot(conn *sql.Conn, ts time.Time, label string) (uint64, error) {
+	if err := EnsureSnapIds(conn); err != nil {
+		return 0, err
+	}
+	id, err := conn.DeclareSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	return id, RecordSnapshot(conn, id, ts, label)
+}
+
+// ---------------------------------------------------------------------------
+// Go-level mechanism API (the paper's function-call notation). Each
+// call executes Qs and drives one loop-body iteration per returned
+// snapshot id — the same path the SQL UDF form takes.
+// ---------------------------------------------------------------------------
+
+// CollateData collects the records Qq returns on every snapshot in the
+// Qs set into table T (paper §2.1).
+func (r *RQL) CollateData(conn *sql.Conn, qs, qq, table string) (*RunStats, error) {
+	return r.run(conn, mechCollate, qs, []record.Value{
+		record.Null(), record.Text(qq), record.Text(table),
+	})
+}
+
+// AggregateDataInVariable applies aggFunc to the single value Qq
+// returns per snapshot, storing the final value in T (paper §2.2).
+func (r *RQL) AggregateDataInVariable(conn *sql.Conn, qs, qq, table, aggFunc string) (*RunStats, error) {
+	return r.run(conn, mechAggVar, qs, []record.Value{
+		record.Null(), record.Text(qq), record.Text(table), record.Text(aggFunc),
+	})
+}
+
+// AggregateDataInTable aggregates Qq's records across snapshots in
+// table T: rows matching on the non-aggregated columns are combined
+// with the per-column functions of pairs, e.g. "(cn,MAX):(av,MAX)"
+// (paper §2.3).
+func (r *RQL) AggregateDataInTable(conn *sql.Conn, qs, qq, table, pairs string) (*RunStats, error) {
+	return r.run(conn, mechAggTable, qs, []record.Value{
+		record.Null(), record.Text(qq), record.Text(table), record.Text(pairs),
+	})
+}
+
+// CollateDataIntoIntervals collects Qq's records into lifetime
+// intervals [start_snapshot, end_snapshot] in table T (paper §2.4).
+func (r *RQL) CollateDataIntoIntervals(conn *sql.Conn, qs, qq, table string) (*RunStats, error) {
+	return r.run(conn, mechIntervals, qs, []record.Value{
+		record.Null(), record.Text(qq), record.Text(table),
+	})
+}
+
+// run drives a mechanism from Go: execute Qs, iterate the loop body.
+func (r *RQL) run(conn *sql.Conn, kind mechKind, qs string, args []record.Value) (*RunStats, error) {
+	st := &mechState{kind: kind, rql: r}
+	if err := st.init(conn, args); err != nil {
+		return nil, err
+	}
+	err := conn.Exec(qs, func(cols []string, row []record.Value) error {
+		if len(row) != 1 {
+			return fmt.Errorf("rql: Qs must return a single snapshot-id column, got %d columns", len(row))
+		}
+		if row[0].IsNull() {
+			return fmt.Errorf("rql: Qs returned a NULL snapshot id")
+		}
+		return st.iterate(conn, uint64(row[0].AsInt()))
+	})
+	if ferr := st.FinalizeStmt(err == nil); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return st.run, nil
+}
+
+// parsePairs parses the ListOfColFuncPairs notation. The paper writes
+// both "(l_time,min)" and "(MAX,cn)", so either element of a pair may
+// be the aggregate function; pairs are separated by ':'.
+func parsePairs(s string) ([]colFunc, error) {
+	var out []colFunc
+	for _, part := range strings.Split(s, ":") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "(")
+		part = strings.TrimSuffix(part, ")")
+		bits := strings.Split(part, ",")
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("rql: bad column/function pair %q", part)
+		}
+		a, b := strings.TrimSpace(bits[0]), strings.TrimSpace(bits[1])
+		switch {
+		case monoidByName(b) != nil:
+			out = append(out, colFunc{col: a, agg: monoidByName(b)})
+		case monoidByName(a) != nil:
+			out = append(out, colFunc{col: b, agg: monoidByName(a)})
+		default:
+			return nil, fmt.Errorf("rql: no aggregate function in pair %q", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rql: empty ListOfColFuncPairs")
+	}
+	return out, nil
+}
+
+type colFunc struct {
+	col string
+	agg *Monoid
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rql/internal/record"
+	"rql/internal/sql"
+)
+
+// mechKind identifies one of the four RQL mechanisms.
+type mechKind int
+
+const (
+	mechCollate mechKind = iota
+	mechAggVar
+	mechAggTable
+	mechIntervals
+)
+
+func (k mechKind) String() string {
+	switch k {
+	case mechCollate:
+		return "CollateData"
+	case mechAggVar:
+		return "AggregateDataInVariable"
+	case mechAggTable:
+		return "AggregateDataInTable"
+	case mechIntervals:
+		return "CollateDataIntoIntervals"
+	}
+	return "unknown"
+}
+
+// mechState is the per-statement loop-body state of one mechanism
+// invocation (the paper implements it through SQLite UDF auxdata; we
+// carry it through FuncContext.Aux). It lives across the Qs iterations
+// of one statement and is finalized when the statement ends.
+type mechState struct {
+	kind mechKind
+	rql  *RQL
+
+	inited bool
+	qq     string
+	table  string
+
+	// AggregateDataInVariable.
+	monoid *Monoid
+	avgAcc avgAccumulator
+	curVal record.Value
+	valCol string
+
+	// AggregateDataInTable / CollateDataIntoIntervals.
+	pairs     []colFunc
+	qqCols    []string
+	groupIdx  []int
+	aggIdx    []int
+	avgCounts map[int64]int64
+	indexName string
+
+	created      bool
+	indexCreated bool
+	writer       *sql.TableWriter
+	prevSnap     uint64
+	iterations   int
+
+	run       *RunStats
+	iterUDF   time.Duration // UDF time accumulated in the current iteration
+	finalized bool
+	finalConn *sql.Conn // connection for finalization work
+}
+
+// init parses and validates the mechanism arguments (args[0] is the
+// snap_id slot, unused here).
+func (st *mechState) init(conn *sql.Conn, args []record.Value) error {
+	qq := args[1]
+	table := args[2]
+	if qq.Type() != record.TypeText || table.Type() != record.TypeText {
+		return fmt.Errorf("rql: %s: Qq and T must be text", st.kind)
+	}
+	st.qq = qq.Text()
+	st.table = table.Text()
+	st.run = &RunStats{Mechanism: st.kind.String()}
+
+	switch st.kind {
+	case mechAggVar:
+		name := args[3]
+		if name.Type() != record.TypeText {
+			return fmt.Errorf("rql: %s: AggFunc must be text", st.kind)
+		}
+		m := monoidByName(name.Text())
+		if m == nil {
+			return fmt.Errorf("rql: unknown aggregate function %q (want min, max, sum, count or avg)", name.Text())
+		}
+		st.monoid = m
+		st.curVal = record.Null()
+	case mechAggTable:
+		spec := args[3]
+		if spec.Type() != record.TypeText {
+			return fmt.Errorf("rql: %s: ListOfColFuncPairs must be text", st.kind)
+		}
+		pairs, err := parsePairs(spec.Text())
+		if err != nil {
+			return err
+		}
+		st.pairs = pairs
+	}
+	st.inited = true
+	return nil
+}
+
+// iterate runs one loop-body iteration: bind Qq to snap, execute it
+// with the mechanism's record callback, and record the cost breakdown.
+func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
+	if st.finalized {
+		return fmt.Errorf("rql: %s: iteration after finalize", st.kind)
+	}
+	st.finalConn = conn
+	cost := IterationCost{Snapshot: snap}
+
+	if !st.created {
+		if err := st.createResultTable(conn, snap); err != nil {
+			return err
+		}
+	}
+	if st.kind != mechAggVar && st.writer == nil {
+		w, err := conn.OpenTableWriter(st.table)
+		if err != nil {
+			return err
+		}
+		st.writer = w
+	}
+
+	st.iterUDF = 0
+	cb := func(cols []string, row []record.Value) error {
+		cost.QqRows++
+		t0 := time.Now()
+		err := st.processRecord(snap, row, &cost)
+		st.iterUDF += time.Since(t0)
+		return err
+	}
+	if err := conn.ExecAsOf(st.qq, snap, cb); err != nil {
+		return err
+	}
+	qs := conn.LastStats()
+
+	// First iteration of the table mechanisms: create the result-table
+	// index (paper §3: "at the end of the first loop-body iteration we
+	// also create an index on Result"). Attributed to UDF cost, which
+	// is what makes Figure 12's cold AggregateDataInTable iteration
+	// more expensive than CollateData's.
+	if st.iterations == 0 && (st.kind == mechAggTable || st.kind == mechIntervals) {
+		t0 := time.Now()
+		if err := st.createResultIndex(conn); err != nil {
+			return err
+		}
+		st.iterUDF += time.Since(t0)
+	}
+
+	cost.SPTBuild = qs.SPTBuildTime
+	cost.IndexCreation = qs.AutoIndex
+	cost.UDF = st.iterUDF
+	cost.QueryEval = qs.Duration - qs.SPTBuildTime - qs.AutoIndex - st.iterUDF
+	if cost.QueryEval < 0 {
+		cost.QueryEval = 0
+	}
+	cost.IOTime = qs.ModeledIO(st.rql.readLatency())
+	cost.PagelogReads = qs.PagelogReads
+	cost.CacheHits = qs.CacheHits
+	cost.DBReads = qs.DBReads
+	cost.MapScanned = qs.MapScanned
+
+	st.run.Iterations = append(st.run.Iterations, cost)
+	st.prevSnap = snap
+	st.iterations++
+	return nil
+}
+
+// createResultTable creates T shaped like Qq's output (plus the
+// interval columns for CollateDataIntoIntervals). Result tables are
+// temporary and live in the non-snapshotable side store (§3).
+func (st *mechState) createResultTable(conn *sql.Conn, snap uint64) error {
+	cols, err := conn.Columns(st.qq, snap)
+	if err != nil {
+		return err
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("rql: %s: Qq returns no columns", st.kind)
+	}
+	st.qqCols = make([]string, len(cols))
+	for i, c := range cols {
+		st.qqCols[i] = strings.ToLower(c)
+	}
+
+	switch st.kind {
+	case mechAggVar:
+		if len(cols) != 1 {
+			return fmt.Errorf("rql: %s expects Qq to return a single column, got %d", st.kind, len(cols))
+		}
+		st.valCol = cols[0]
+	case mechAggTable:
+		// Resolve pair columns; the rest are grouping columns.
+		st.aggIdx = nil
+		isAgg := make([]bool, len(cols))
+		for _, p := range st.pairs {
+			k := -1
+			for i, c := range st.qqCols {
+				if c == strings.ToLower(p.col) {
+					k = i
+					break
+				}
+			}
+			if k < 0 {
+				return fmt.Errorf("rql: %s: Qq has no column %q", st.kind, p.col)
+			}
+			if isAgg[k] {
+				return fmt.Errorf("rql: %s: column %q appears twice in ListOfColFuncPairs", st.kind, p.col)
+			}
+			isAgg[k] = true
+			st.aggIdx = append(st.aggIdx, k)
+		}
+		st.groupIdx = nil
+		for i := range cols {
+			if !isAgg[i] {
+				st.groupIdx = append(st.groupIdx, i)
+			}
+		}
+		if len(st.groupIdx) == 0 {
+			return fmt.Errorf("rql: %s: every Qq column is aggregated; use AggregateDataInVariable", st.kind)
+		}
+		st.avgCounts = make(map[int64]int64)
+	case mechIntervals:
+		st.groupIdx = make([]int, len(cols))
+		for i := range cols {
+			st.groupIdx[i] = i
+		}
+	}
+
+	var ddl strings.Builder
+	ddl.WriteString("CREATE TEMP TABLE ")
+	ddl.WriteString(sql.QuoteIdent(st.table))
+	ddl.WriteString(" (")
+	for i, c := range cols {
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		ddl.WriteString(sql.QuoteIdent(c))
+	}
+	if st.kind == mechIntervals {
+		ddl.WriteString(", start_snapshot INTEGER, end_snapshot INTEGER")
+	}
+	ddl.WriteString(")")
+	if err := conn.Exec(ddl.String(), nil); err != nil {
+		return err
+	}
+	st.created = true
+	return nil
+}
+
+// createResultIndex builds the search index on T: the grouping columns
+// for AggregateDataInTable; the Qq columns plus end_snapshot for
+// CollateDataIntoIntervals (so the "record alive through the previous
+// snapshot" lookup is a single exact probe).
+func (st *mechState) createResultIndex(conn *sql.Conn) error {
+	if st.writer != nil {
+		if err := st.writer.Commit(); err != nil {
+			return err
+		}
+		st.writer = nil
+	}
+	if err := conn.Exec(st.resultIndexDDL(), nil); err != nil {
+		return err
+	}
+	st.indexCreated = true
+	w, err := conn.OpenTableWriter(st.table)
+	if err != nil {
+		return err
+	}
+	st.writer = w
+	return nil
+}
+
+// resultIndexDDL builds the CREATE INDEX statement for the result
+// table's search index and records the index name on the state.
+func (st *mechState) resultIndexDDL() string {
+	st.indexName = "rql_idx_" + st.table
+	var ddl strings.Builder
+	ddl.WriteString("CREATE INDEX ")
+	ddl.WriteString(sql.QuoteIdent(st.indexName))
+	ddl.WriteString(" ON ")
+	ddl.WriteString(sql.QuoteIdent(st.table))
+	ddl.WriteString(" (")
+	for i, gi := range st.groupIdx {
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		ddl.WriteString(sql.QuoteIdent(st.qqCols[gi]))
+	}
+	if st.kind == mechIntervals {
+		ddl.WriteString(", end_snapshot")
+	}
+	ddl.WriteString(")")
+	return ddl.String()
+}
+
+// processRecord handles one Qq output record in the mechanism-specific
+// way (§2's operational descriptions).
+func (st *mechState) processRecord(snap uint64, row []record.Value, cost *IterationCost) error {
+	switch st.kind {
+	case mechCollate:
+		if _, err := st.writer.Insert(row); err != nil {
+			return err
+		}
+		cost.ResultInserts++
+		return nil
+
+	case mechAggVar:
+		if len(row) != 1 {
+			return fmt.Errorf("rql: %s: Qq returned %d columns", st.kind, len(row))
+		}
+		if cost.QqRows > 1 {
+			return fmt.Errorf("rql: %s: Qq returned more than one row for snapshot %d", st.kind, snap)
+		}
+		if st.monoid.Name == avgName {
+			st.avgAcc.add(row[0])
+		} else {
+			st.curVal = st.monoid.Combine(st.curVal, row[0])
+		}
+		return nil
+
+	case mechAggTable:
+		if len(row) != len(st.qqCols) {
+			return fmt.Errorf("rql: %s: Qq returned %d columns, expected %d", st.kind, len(row), len(st.qqCols))
+		}
+		if st.iterations == 0 {
+			// First iteration: wholesale insert of the Qq output.
+			rowid, err := st.writer.Insert(row)
+			if err != nil {
+				return err
+			}
+			cost.ResultInserts++
+			st.avgCounts[rowid] = 1
+			return nil
+		}
+		group := make([]record.Value, len(st.groupIdx))
+		for i, gi := range st.groupIdx {
+			group[i] = row[gi]
+		}
+		cost.ResultSearch++
+		rowid, existing, found, err := st.writer.LookupByIndex(st.indexName, group)
+		if err != nil {
+			return err
+		}
+		if !found {
+			rowid, err := st.writer.Insert(row)
+			if err != nil {
+				return err
+			}
+			cost.ResultInserts++
+			st.avgCounts[rowid] = 1
+			return nil
+		}
+		newVals := append([]record.Value(nil), existing...)
+		changed := false
+		for pi, p := range st.pairs {
+			k := st.aggIdx[pi]
+			var nv record.Value
+			if p.agg.Name == avgName {
+				var n int64
+				nv, n = avgMerge(existing[k], st.avgCounts[rowid], row[k])
+				st.avgCounts[rowid] = n
+			} else {
+				nv = p.agg.Combine(existing[k], row[k])
+			}
+			if record.Compare(nv, newVals[k]) != 0 || nv.Type() != newVals[k].Type() {
+				newVals[k] = nv
+				changed = true
+			}
+		}
+		if changed {
+			if err := st.writer.Update(rowid, existing, newVals); err != nil {
+				return err
+			}
+			cost.ResultUpdates++
+		}
+		return nil
+
+	case mechIntervals:
+		if len(row) != len(st.qqCols) {
+			return fmt.Errorf("rql: %s: Qq returned %d columns, expected %d", st.kind, len(row), len(st.qqCols))
+		}
+		full := make([]record.Value, 0, len(row)+2)
+		full = append(full, row...)
+		if st.iterations == 0 {
+			full = append(full, record.Int(int64(snap)), record.Int(int64(snap)))
+			if _, err := st.writer.Insert(full); err != nil {
+				return err
+			}
+			cost.ResultInserts++
+			return nil
+		}
+		// Probe for a record whose lifetime extends through the
+		// previous iteration's snapshot.
+		probe := make([]record.Value, 0, len(row)+1)
+		probe = append(probe, row...)
+		probe = append(probe, record.Int(int64(st.prevSnap)))
+		cost.ResultSearch++
+		rowid, existing, found, err := st.writer.LookupByIndex(st.indexName, probe)
+		if err != nil {
+			return err
+		}
+		if found {
+			newVals := append([]record.Value(nil), existing...)
+			newVals[len(newVals)-1] = record.Int(int64(snap)) // end_snapshot
+			if err := st.writer.Update(rowid, existing, newVals); err != nil {
+				return err
+			}
+			cost.ResultUpdates++
+			return nil
+		}
+		full = append(full, record.Int(int64(snap)), record.Int(int64(snap)))
+		if _, err := st.writer.Insert(full); err != nil {
+			return err
+		}
+		cost.ResultInserts++
+		return nil
+	}
+	return fmt.Errorf("rql: unknown mechanism %d", st.kind)
+}
+
+// FinalizeStmt implements sql.StmtFinalizer: commit (or abandon) the
+// result writer, store the AggregateDataInVariable result, measure the
+// result-table footprint, and publish the run statistics.
+func (st *mechState) FinalizeStmt(commit bool) error {
+	if st.finalized {
+		return nil
+	}
+	st.finalized = true
+	// The UDF aux state is created before init validates arguments; a
+	// validation failure leaves nothing to finalize.
+	if !st.inited {
+		return nil
+	}
+	conn := st.finalConn
+	if st.writer != nil {
+		if commit {
+			if err := st.writer.Commit(); err != nil {
+				return err
+			}
+		} else {
+			st.writer.Rollback()
+		}
+		st.writer = nil
+	}
+	if !commit {
+		st.rql.setLastRun(st.run)
+		return nil
+	}
+	if st.kind == mechAggVar && st.created && conn != nil {
+		val := st.curVal
+		if st.monoid.Name == avgName {
+			val = st.avgAcc.value()
+		}
+		if err := conn.Exec(
+			"INSERT INTO "+sql.QuoteIdent(st.table)+" VALUES (?)", nil, val); err != nil {
+			return err
+		}
+	}
+	if st.created && conn != nil {
+		ts, err := conn.TableStats(st.table)
+		if err != nil {
+			return err
+		}
+		st.run.ResultRows = ts.Rows
+		st.run.ResultDataBytes = ts.DataBytes
+		st.run.ResultIndexBytes = ts.IndexBytes
+	}
+	st.rql.setLastRun(st.run)
+	return nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"rql/internal/record"
+	"rql/internal/sql"
+)
+
+// randomHistory builds a database with a randomized membership table
+// and many snapshots, for sequential-vs-parallel equivalence checks.
+func randomHistory(t *testing.T, seed int64, snapshots int) (*RQL, *sql.Conn) {
+	t.Helper()
+	db, err := sql.Open(sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	r := Attach(db)
+	c := db.Conn()
+	mustExec(t, c, `CREATE TABLE m (k INTEGER, grp TEXT, v INTEGER)`)
+	if err := EnsureSnapIds(c); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	present := map[int]bool{}
+	for s := 0; s < snapshots; s++ {
+		mustExec(t, c, `BEGIN`)
+		for n := rng.Intn(6); n >= 0; n-- {
+			k := rng.Intn(12)
+			if present[k] && rng.Intn(3) == 0 {
+				mustExec(t, c, fmt.Sprintf(`DELETE FROM m WHERE k = %d`, k))
+				present[k] = false
+			} else if !present[k] {
+				mustExec(t, c, fmt.Sprintf(`INSERT INTO m VALUES (%d, 'g%d', %d)`,
+					k, k%3, rng.Intn(100)))
+				present[k] = true
+			} else {
+				mustExec(t, c, fmt.Sprintf(`UPDATE m SET v = %d WHERE k = %d`, rng.Intn(100), k))
+			}
+		}
+		id, err := c.CommitWithSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RecordSnapshot(c, id, time.Unix(int64(s), 0), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, c
+}
+
+func sortedRows(t *testing.T, c *sql.Conn, sqlText string) []string {
+	t.Helper()
+	rows := queryRows(t, c, sqlText)
+	sort.Strings(rows)
+	return rows
+}
+
+func TestParallelCollateDataEquivalence(t *testing.T) {
+	r, c := randomHistory(t, 5, 30)
+	if _, err := r.CollateData(c,
+		`SELECT snap_id FROM SnapIds`,
+		`SELECT k, grp, current_snapshot() AS sid FROM m`, "Seq"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.ParallelCollateData(
+		`SELECT snap_id FROM SnapIds`,
+		`SELECT k, grp, current_snapshot() AS sid FROM m`, "Par", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sortedRows(t, c, `SELECT k, grp, sid FROM Seq`)
+	b := sortedRows(t, c, `SELECT k, grp, sid FROM Par`)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Fatalf("parallel CollateData differs:\nseq %d rows\npar %d rows", len(a), len(b))
+	}
+	if len(stats.Iterations) != 30 {
+		t.Errorf("iterations = %d", len(stats.Iterations))
+	}
+	for i, it := range stats.Iterations {
+		if it.Snapshot != uint64(i+1) {
+			t.Fatalf("iteration %d out of Qs order: snapshot %d", i, it.Snapshot)
+		}
+	}
+	if !strings.Contains(stats.Mechanism, "parallel") {
+		t.Errorf("mechanism label: %s", stats.Mechanism)
+	}
+}
+
+func TestParallelAggVarEquivalence(t *testing.T) {
+	r, c := randomHistory(t, 6, 25)
+	for _, agg := range []string{"min", "max", "sum", "count", "avg"} {
+		seqT, parT := "SeqV_"+agg, "ParV_"+agg
+		if _, err := r.AggregateDataInVariable(c,
+			`SELECT snap_id FROM SnapIds`,
+			`SELECT COUNT(*) FROM m`, seqT, agg); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ParallelAggregateDataInVariable(
+			`SELECT snap_id FROM SnapIds`,
+			`SELECT COUNT(*) FROM m`, parT, agg, 3); err != nil {
+			t.Fatal(err)
+		}
+		a := queryRows(t, c, `SELECT * FROM `+seqT)
+		b := queryRows(t, c, `SELECT * FROM `+parT)
+		if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+			t.Errorf("%s: seq %v != par %v", agg, a, b)
+		}
+	}
+}
+
+func TestParallelAggTableEquivalence(t *testing.T) {
+	r, c := randomHistory(t, 7, 30)
+	qq := `SELECT grp, COUNT(*) AS c, AVG(v) AS av FROM m GROUP BY grp`
+	if _, err := r.AggregateDataInTable(c,
+		`SELECT snap_id FROM SnapIds`, qq, "SeqT", "(c,max):(av,avg)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ParallelAggregateDataInTable(
+		`SELECT snap_id FROM SnapIds`, qq, "ParT", "(c,max):(av,avg)", 4); err != nil {
+		t.Fatal(err)
+	}
+	a := sortedRows(t, c, `SELECT grp, c, round(av, 6) FROM SeqT`)
+	b := sortedRows(t, c, `SELECT grp, c, round(av, 6) FROM ParT`)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Fatalf("parallel AggT differs:\nseq %v\npar %v", a, b)
+	}
+	// The parallel result table carries the same search index.
+	objs, err := c.Objects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range objs {
+		if o.Kind == "index" && strings.EqualFold(o.Table, "ParT") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parallel AggT result has no index")
+	}
+}
+
+func TestParallelIntervalsEquivalence(t *testing.T) {
+	for seed := int64(8); seed < 13; seed++ {
+		r, c := randomHistory(t, seed, 40)
+		if _, err := r.CollateDataIntoIntervals(c,
+			`SELECT snap_id FROM SnapIds`, `SELECT k FROM m`, "SeqI"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ParallelCollateDataIntoIntervals(
+			`SELECT snap_id FROM SnapIds`, `SELECT k FROM m`, "ParI", 4); err != nil {
+			t.Fatal(err)
+		}
+		a := sortedRows(t, c, `SELECT k, start_snapshot, end_snapshot FROM SeqI`)
+		b := sortedRows(t, c, `SELECT k, start_snapshot, end_snapshot FROM ParI`)
+		if strings.Join(a, ";") != strings.Join(b, ";") {
+			t.Fatalf("seed %d: parallel intervals differ\nseq: %v\npar: %v", seed, a, b)
+		}
+	}
+}
+
+func TestParallelWorkerEdgeCases(t *testing.T) {
+	r, c := randomHistory(t, 14, 5)
+	// More workers than snapshots.
+	if _, err := r.ParallelCollateData(
+		`SELECT snap_id FROM SnapIds`, `SELECT k FROM m`, "P1", 16); err != nil {
+		t.Fatal(err)
+	}
+	// Zero/negative workers clamp to 1.
+	if _, err := r.ParallelCollateData(
+		`SELECT snap_id FROM SnapIds`, `SELECT k FROM m`, "P2", 0); err != nil {
+		t.Fatal(err)
+	}
+	a := sortedRows(t, c, `SELECT k FROM P1`)
+	b := sortedRows(t, c, `SELECT k FROM P2`)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Error("worker counts changed the result")
+	}
+	// Empty snapshot set.
+	stats, err := r.ParallelCollateData(
+		`SELECT snap_id FROM SnapIds WHERE snap_id > 1000`, `SELECT k FROM m`, "P3", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Iterations) != 0 || stats.ResultRows != 0 {
+		t.Errorf("empty Qs: %+v", stats)
+	}
+	// Bad Qq propagates.
+	if _, err := r.ParallelCollateData(
+		`SELECT snap_id FROM SnapIds`, `SELECT nope FROM m`, "P4", 4); err == nil {
+		t.Error("bad Qq should fail")
+	}
+}
+
+func TestParallelAggVarMultiRowRejected(t *testing.T) {
+	r, _ := randomHistory(t, 15, 8)
+	// SnapIds always has 8 rows (it is non-snapshotable), so this Qq
+	// returns multiple rows on every snapshot.
+	if _, err := r.ParallelAggregateDataInVariable(
+		`SELECT snap_id FROM SnapIds`, `SELECT snap_id FROM SnapIds`, "PX", "max", 3); err == nil {
+		t.Error("multi-row Qq should fail in parallel AggV")
+	}
+}
+
+func TestParallelAvgWeightedMerge(t *testing.T) {
+	// AVG across chunks must be the global average, not an average of
+	// chunk averages: build a history where per-snapshot counts differ.
+	db, err := sql.Open(sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	r := Attach(db)
+	c := db.Conn()
+	mustExec(t, c, `CREATE TABLE t (v INTEGER)`)
+	if err := EnsureSnapIds(c); err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{1, 1, 1, 9, 9} // chunk boundaries will split these unevenly
+	for s, n := range counts {
+		mustExec(t, c, `BEGIN`)
+		mustExec(t, c, `DELETE FROM t`)
+		for i := 0; i < n; i++ {
+			mustExec(t, c, `INSERT INTO t VALUES (1)`)
+		}
+		id, err := c.CommitWithSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RecordSnapshot(c, id, time.Unix(int64(s), 0), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.ParallelAggregateDataInVariable(
+		`SELECT snap_id FROM SnapIds`, `SELECT COUNT(*) FROM t`, "Avg", "avg", 2); err != nil {
+		t.Fatal(err)
+	}
+	rows := queryRows(t, c, `SELECT * FROM Avg`)
+	want := record.Float((1 + 1 + 1 + 9 + 9) / 5.0).String()
+	if len(rows) != 1 || rows[0] != want {
+		t.Errorf("parallel avg = %v, want %s", rows, want)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import "time"
+
+// IterationCost is the cost breakdown of one RQL loop-body iteration —
+// one snapshot of the Qs set — matching the stacked bars of the paper's
+// Figures 8–13: I/O, SPT build, index creation, query evaluation, and
+// RQL UDF processing.
+type IterationCost struct {
+	Snapshot uint64
+
+	// SPTBuild is the time to construct the snapshot page table.
+	SPTBuild time.Duration
+	// IndexCreation is the time spent building transient covering
+	// indexes while evaluating Qq (Figure 9's dominant cost for
+	// un-indexed joins). Result-table index creation is part of UDF
+	// (the paper attributes it to the cold iteration's UDF cost).
+	IndexCreation time.Duration
+	// QueryEval is Qq's evaluation time excluding SPT build, index
+	// creation and UDF processing.
+	QueryEval time.Duration
+	// UDF is the mechanism's own processing: result-table inserts,
+	// searches, aggregate updates, and (in the cold iteration of the
+	// table mechanisms) the result-table index build.
+	UDF time.Duration
+	// IOTime is the modeled Pagelog read cost (PagelogReads × the
+	// configured per-read latency).
+	IOTime time.Duration
+
+	// Raw counters, device-independent.
+	PagelogReads int
+	CacheHits    int
+	DBReads      int
+	MapScanned   int
+
+	QqRows        int
+	ResultInserts int
+	ResultUpdates int
+	ResultSearch  int
+}
+
+// Total is the modeled total cost of the iteration.
+func (c IterationCost) Total() time.Duration {
+	return c.SPTBuild + c.IndexCreation + c.QueryEval + c.UDF + c.IOTime
+}
+
+// RunStats aggregates a whole mechanism run.
+type RunStats struct {
+	Mechanism  string
+	Iterations []IterationCost
+
+	// Result-table footprint after the run (§5.3 memory experiments).
+	ResultRows       int
+	ResultDataBytes  int64
+	ResultIndexBytes int64
+}
+
+// Total sums the per-iteration costs.
+func (r *RunStats) Total() IterationCost {
+	var t IterationCost
+	for _, c := range r.Iterations {
+		t.SPTBuild += c.SPTBuild
+		t.IndexCreation += c.IndexCreation
+		t.QueryEval += c.QueryEval
+		t.UDF += c.UDF
+		t.IOTime += c.IOTime
+		t.PagelogReads += c.PagelogReads
+		t.CacheHits += c.CacheHits
+		t.DBReads += c.DBReads
+		t.MapScanned += c.MapScanned
+		t.QqRows += c.QqRows
+		t.ResultInserts += c.ResultInserts
+		t.ResultUpdates += c.ResultUpdates
+		t.ResultSearch += c.ResultSearch
+	}
+	return t
+}
+
+// Cold returns the first (cold) iteration's cost, and Hot the average
+// of the remaining (hot) iterations — the paper's cold/hot bars.
+func (r *RunStats) Cold() IterationCost {
+	if len(r.Iterations) == 0 {
+		return IterationCost{}
+	}
+	return r.Iterations[0]
+}
+
+// Hot averages the hot iterations (all but the first).
+func (r *RunStats) Hot() IterationCost {
+	if len(r.Iterations) < 2 {
+		return IterationCost{}
+	}
+	var t IterationCost
+	n := len(r.Iterations) - 1
+	for _, c := range r.Iterations[1:] {
+		t.SPTBuild += c.SPTBuild
+		t.IndexCreation += c.IndexCreation
+		t.QueryEval += c.QueryEval
+		t.UDF += c.UDF
+		t.IOTime += c.IOTime
+		t.PagelogReads += c.PagelogReads
+		t.CacheHits += c.CacheHits
+		t.DBReads += c.DBReads
+		t.MapScanned += c.MapScanned
+		t.QqRows += c.QqRows
+		t.ResultInserts += c.ResultInserts
+		t.ResultUpdates += c.ResultUpdates
+		t.ResultSearch += c.ResultSearch
+	}
+	d := time.Duration(n)
+	t.SPTBuild /= d
+	t.IndexCreation /= d
+	t.QueryEval /= d
+	t.UDF /= d
+	t.IOTime /= d
+	t.PagelogReads /= n
+	t.CacheHits /= n
+	t.DBReads /= n
+	t.MapScanned /= n
+	t.QqRows /= n
+	t.ResultInserts /= n
+	t.ResultUpdates /= n
+	t.ResultSearch /= n
+	return t
+}

@@ -1,0 +1,294 @@
+package record
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is returned when an encoded record or key cannot be decoded.
+var ErrCorrupt = errors.New("record: corrupt encoding")
+
+// ---------------------------------------------------------------------------
+// Record encoding (table rows)
+//
+// Layout: a header of N type bytes terminated by 0xFF, followed by the
+// payloads in order. Integers are zigzag varints, floats are 8 bytes,
+// text/blob are length-prefixed. Compact and self-describing, in the
+// spirit of the SQLite record format.
+// ---------------------------------------------------------------------------
+
+const recordEnd = 0xFF
+
+// EncodeRow appends the record encoding of vals to dst and returns the
+// extended slice.
+func EncodeRow(dst []byte, vals []Value) []byte {
+	for _, v := range vals {
+		dst = append(dst, byte(v.typ))
+	}
+	dst = append(dst, recordEnd)
+	for _, v := range vals {
+		switch v.typ {
+		case TypeNull:
+		case TypeInt:
+			dst = binary.AppendVarint(dst, v.i)
+		case TypeFloat:
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+		case TypeText:
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		case TypeBlob:
+			dst = binary.AppendUvarint(dst, uint64(len(v.b)))
+			dst = append(dst, v.b...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes a record previously produced by EncodeRow.
+func DecodeRow(data []byte) ([]Value, error) {
+	var types []Type
+	i := 0
+	for {
+		if i >= len(data) {
+			return nil, ErrCorrupt
+		}
+		t := data[i]
+		i++
+		if t == recordEnd {
+			break
+		}
+		if t > byte(TypeBlob) {
+			return nil, fmt.Errorf("%w: bad type byte %d", ErrCorrupt, t)
+		}
+		types = append(types, Type(t))
+	}
+	vals := make([]Value, len(types))
+	for k, t := range types {
+		switch t {
+		case TypeNull:
+			vals[k] = Null()
+		case TypeInt:
+			n, sz := binary.Varint(data[i:])
+			if sz <= 0 {
+				return nil, ErrCorrupt
+			}
+			i += sz
+			vals[k] = Int(n)
+		case TypeFloat:
+			if i+8 > len(data) {
+				return nil, ErrCorrupt
+			}
+			vals[k] = Float(math.Float64frombits(binary.BigEndian.Uint64(data[i:])))
+			i += 8
+		case TypeText:
+			n, sz := binary.Uvarint(data[i:])
+			if sz <= 0 || i+sz+int(n) > len(data) {
+				return nil, ErrCorrupt
+			}
+			i += sz
+			vals[k] = Text(string(data[i : i+int(n)]))
+			i += int(n)
+		case TypeBlob:
+			n, sz := binary.Uvarint(data[i:])
+			if sz <= 0 || i+sz+int(n) > len(data) {
+				return nil, ErrCorrupt
+			}
+			i += sz
+			b := make([]byte, n)
+			copy(b, data[i:])
+			i += int(n)
+			vals[k] = Blob(b)
+		}
+	}
+	if i != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-i)
+	}
+	return vals, nil
+}
+
+// ---------------------------------------------------------------------------
+// Key encoding (memcomparable)
+//
+// Each value is encoded as a tag byte followed by an order-preserving
+// payload; bytes.Compare on the concatenation of encoded values sorts
+// identically to lexicographic Compare on the value tuples. Tag bytes
+// follow the cross-type sort order. Text and blob payloads use 0x00
+// escaping (0x00 -> 0x00 0xFF) terminated by 0x00 0x01 so that prefixes
+// sort before extensions and later tuple fields cannot bleed in.
+// ---------------------------------------------------------------------------
+
+const (
+	tagNull  = 0x05
+	tagNum   = 0x10 // ints and floats share a tag: numeric cross-compare
+	tagText  = 0x20
+	tagBlob  = 0x30
+	escByte  = 0x00
+	escPad   = 0xFF
+	termByte = 0x01
+
+	// Fraction-sign bytes for the numeric key tiebreak.
+	fracNegative = 0x00
+	fracEqual    = 0x01
+	fracPositive = 0x02
+)
+
+// pow53 is 2^53, the magnitude beyond which float64 no longer
+// represents every integer exactly (numeric keys switch to their long
+// form there).
+const pow53 = 9007199254740992.0
+
+// floatTie computes the exact-integer tiebreak and fraction byte for a
+// REAL key. Values outside int64 range clamp to the extreme int64 with
+// a fraction byte that keeps them strictly beyond every integer.
+func floatTie(f float64) (int64, byte) {
+	if f >= maxInt64AsFloat {
+		return math.MaxInt64, fracPositive
+	}
+	if f < minInt64AsFloat {
+		return math.MinInt64, fracNegative
+	}
+	t := int64(f)
+	frac := f - math.Trunc(f)
+	switch {
+	case frac > 0:
+		return t, fracPositive
+	case frac < 0:
+		return t, fracNegative
+	}
+	return t, fracEqual
+}
+
+// EncodeKey appends the memcomparable encoding of vals to dst.
+func EncodeKey(dst []byte, vals []Value) []byte {
+	for _, v := range vals {
+		switch v.typ {
+		case TypeNull:
+			dst = append(dst, tagNull)
+		case TypeInt:
+			// Numeric keys carry the value as a norm-mapped float64 (so
+			// INTEGER and REAL interleave) plus a fraction-sign byte.
+			// Below 2^53 the float is exact and that is all; at or
+			// beyond 2^53 a second, exact 8-byte integer field breaks
+			// ties the float cannot (the "long form"). Equal primaries
+			// always put both sides in the same form, so comparisons
+			// stay well-defined and match Compare's exact semantics.
+			f := float64(v.i)
+			dst = append(dst, tagNum)
+			dst = binary.BigEndian.AppendUint64(dst, normFloat(f))
+			dst = append(dst, fracEqual)
+			if f >= pow53 || f <= -pow53 {
+				dst = binary.BigEndian.AppendUint64(dst, uint64(v.i)^(1<<63))
+			}
+		case TypeFloat:
+			dst = append(dst, tagNum)
+			dst = binary.BigEndian.AppendUint64(dst, normFloat(v.f))
+			if v.f >= pow53 || v.f <= -pow53 {
+				tie, frac := floatTie(v.f)
+				dst = append(dst, frac)
+				dst = binary.BigEndian.AppendUint64(dst, uint64(tie)^(1<<63))
+			} else {
+				_, frac := floatTie(v.f)
+				dst = append(dst, frac)
+			}
+		case TypeText:
+			dst = append(dst, tagText)
+			dst = appendEscaped(dst, []byte(v.s))
+		case TypeBlob:
+			dst = append(dst, tagBlob)
+			dst = appendEscaped(dst, v.b)
+		}
+	}
+	return dst
+}
+
+func appendEscaped(dst, payload []byte) []byte {
+	for _, c := range payload {
+		if c == escByte {
+			dst = append(dst, escByte, escPad)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, escByte, termByte)
+}
+
+// DecodeKey decodes a key produced by EncodeKey. Integer values encoded
+// through the numeric path decode as INTEGER when the exact tiebreak
+// round-trips, REAL otherwise.
+func DecodeKey(data []byte) ([]Value, error) {
+	var vals []Value
+	i := 0
+	for i < len(data) {
+		tag := data[i]
+		i++
+		switch tag {
+		case tagNull:
+			vals = append(vals, Null())
+		case tagNum:
+			if i+9 > len(data) {
+				return nil, ErrCorrupt
+			}
+			f := denormFloat(binary.BigEndian.Uint64(data[i:]))
+			frac := data[i+8]
+			i += 9
+			if f >= pow53 || f <= -pow53 {
+				// Long form: the exact integer tiebreak follows.
+				if i+8 > len(data) {
+					return nil, ErrCorrupt
+				}
+				exact := int64(binary.BigEndian.Uint64(data[i:]) ^ (1 << 63))
+				i += 8
+				if frac == fracEqual && float64(exact) == f {
+					vals = append(vals, Int(exact))
+				} else {
+					vals = append(vals, Float(f))
+				}
+				continue
+			}
+			if frac == fracEqual && f == math.Trunc(f) {
+				vals = append(vals, Int(int64(f)))
+			} else {
+				vals = append(vals, Float(f))
+			}
+		case tagText, tagBlob:
+			payload, n, err := decodeEscaped(data[i:])
+			if err != nil {
+				return nil, err
+			}
+			i += n
+			if tag == tagText {
+				vals = append(vals, Text(string(payload)))
+			} else {
+				vals = append(vals, Blob(payload))
+			}
+		default:
+			return nil, fmt.Errorf("%w: bad key tag %#x", ErrCorrupt, tag)
+		}
+	}
+	return vals, nil
+}
+
+func decodeEscaped(data []byte) (payload []byte, n int, err error) {
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		if c != escByte {
+			payload = append(payload, c)
+			continue
+		}
+		if i+1 >= len(data) {
+			return nil, 0, ErrCorrupt
+		}
+		switch data[i+1] {
+		case escPad:
+			payload = append(payload, escByte)
+			i++
+		case termByte:
+			return payload, i + 2, nil
+		default:
+			return nil, 0, ErrCorrupt
+		}
+	}
+	return nil, 0, ErrCorrupt
+}

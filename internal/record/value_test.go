@@ -1,0 +1,258 @@
+package record
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeNull:  "NULL",
+		TypeInt:   "INTEGER",
+		TypeFloat: "REAL",
+		TypeText:  "TEXT",
+		TypeBlob:  "BLOB",
+		Type(42):  "Type(42)",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() is not null")
+	}
+	if v := Int(42); v.Type() != TypeInt || v.Int() != 42 {
+		t.Errorf("Int(42) = %v", v)
+	}
+	if v := Float(2.5); v.Type() != TypeFloat || v.Float() != 2.5 {
+		t.Errorf("Float(2.5) = %v", v)
+	}
+	if v := Text("hi"); v.Type() != TypeText || v.Text() != "hi" {
+		t.Errorf("Text(hi) = %v", v)
+	}
+	if v := Blob([]byte{1, 2}); v.Type() != TypeBlob || len(v.Blob()) != 2 {
+		t.Errorf("Blob = %v", v)
+	}
+	if Bool(true).Int() != 1 || Bool(false).Int() != 0 {
+		t.Error("Bool mapping wrong")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value is not NULL")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Int":   func() { Text("x").Int() },
+		"Float": func() { Int(1).Float() },
+		"Text":  func() { Int(1).Text() },
+		"Blob":  func() { Int(1).Blob() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accessor on wrong type did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int AsFloat")
+	}
+	if Float(3.7).AsInt() != 3 {
+		t.Error("Float AsInt should truncate")
+	}
+	if Text(" 42 ").AsInt() != 42 {
+		t.Error("Text AsInt")
+	}
+	if Text("2.5").AsFloat() != 2.5 {
+		t.Error("Text AsFloat")
+	}
+	if Text("abc").AsFloat() != 0 {
+		t.Error("non-numeric Text AsFloat should be 0")
+	}
+	if Null().AsInt() != 0 || Null().AsFloat() != 0 {
+		t.Error("NULL conversions should be 0")
+	}
+	if Blob([]byte{1}).AsInt() != 0 {
+		t.Error("BLOB AsInt should be 0")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null(), false},
+		{Int(0), false},
+		{Int(1), true},
+		{Int(-1), true},
+		{Float(0), false},
+		{Float(0.1), true},
+		{Text(""), false},
+		{Text("1"), true},
+		{Text("yes"), false}, // SQLite numeric-prefix coercion
+	}
+	for _, c := range cases {
+		if got := c.v.Truthy(); got != c.want {
+			t.Errorf("Truthy(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestStringAndSQL(t *testing.T) {
+	if Null().String() != "NULL" {
+		t.Error("NULL String")
+	}
+	if Int(-7).String() != "-7" {
+		t.Error("Int String")
+	}
+	if Text("a'b").SQL() != "'a''b'" {
+		t.Errorf("SQL quoting: %s", Text("a'b").SQL())
+	}
+	if Blob([]byte{0xAB}).String() != "x'ab'" {
+		t.Errorf("Blob String: %s", Blob([]byte{0xAB}).String())
+	}
+}
+
+func TestCompareWithinTypes(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), Null(), 0},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Text("a"), Text("b"), -1},
+		{Text("abc"), Text("ab"), 1},
+		{Blob([]byte{1}), Blob([]byte{1, 0}), -1},
+		{Blob([]byte{2}), Blob([]byte{1, 9}), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestCompareCrossTypes(t *testing.T) {
+	// NULL < numbers < text < blob.
+	ordered := []Value{Null(), Int(math.MinInt64), Float(-1.5), Int(0), Float(2.5), Int(3), Text(""), Text("z"), Blob(nil), Blob([]byte{0})}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareIntFloatExact(t *testing.T) {
+	big := int64(1) << 53 // 9007199254740992: float64 granularity becomes 2
+	cases := []struct {
+		i    int64
+		f    float64
+		want int
+	}{
+		{2, 2.0, 0},
+		{2, 2.5, -1},
+		{3, 2.5, 1},
+		{big + 1, float64(big), 1},          // would collide via AsFloat
+		{big, float64(big) + 2, -1},         // next representable float
+		{math.MaxInt64, maxInt64AsFloat, -1}, // 2^63 exceeds MaxInt64
+		{math.MinInt64, minInt64AsFloat, 0},  // -2^63 is exactly MinInt64
+		{0, math.SmallestNonzeroFloat64, -1},
+		{0, -math.SmallestNonzeroFloat64, 1},
+		{-5, -5.25, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(Int(c.i), Float(c.f)); got != c.want {
+			t.Errorf("Compare(Int(%d), Float(%g)) = %d, want %d", c.i, c.f, got, c.want)
+		}
+		if got := Compare(Float(c.f), Int(c.i)); got != -c.want {
+			t.Errorf("Compare(Float(%g), Int(%d)) = %d, want %d", c.f, c.i, got, -c.want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Int(2), Float(2.0)) {
+		t.Error("Int(2) should equal Float(2.0)")
+	}
+	if Equal(Int(2), Text("2")) {
+		t.Error("Int(2) should not equal Text(2)")
+	}
+	if !Equal(Null(), Null()) {
+		t.Error("NULL should compare equal to NULL at this layer")
+	}
+}
+
+// Property: Compare is antisymmetric and transitive over random numeric pairs.
+func TestCompareNumericProperties(t *testing.T) {
+	anti := func(i int64, f float64) bool {
+		if math.IsNaN(f) {
+			return true
+		}
+		return Compare(Int(i), Float(f)) == -Compare(Float(f), Int(i))
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+	consistent := func(i int64, j int64) bool {
+		got := Compare(Int(i), Int(j))
+		switch {
+		case i < j:
+			return got == -1
+		case i > j:
+			return got == 1
+		}
+		return got == 0
+	}
+	if err := quick.Check(consistent, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericPredicate(t *testing.T) {
+	if !Int(1).Numeric() || !Float(1.5).Numeric() {
+		t.Error("numbers should be Numeric")
+	}
+	if Null().Numeric() || Text("1").Numeric() || Blob(nil).Numeric() {
+		t.Error("non-numbers should not be Numeric")
+	}
+}
+
+func TestFloatStringRendering(t *testing.T) {
+	cases := map[string]Value{
+		"2.5":    Float(2.5),
+		"1e+300": Float(1e300),
+		"3":      Float(3.0),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Float String: got %q want %q", got, want)
+		}
+	}
+}

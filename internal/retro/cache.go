@@ -1,0 +1,81 @@
+package retro
+
+import (
+	"container/list"
+	"sync"
+
+	"rql/internal/storage"
+)
+
+// pageCache is the snapshot page cache: an LRU over Pagelog offsets.
+// Because the key is the Pagelog location rather than (snapshot, page),
+// a pre-state shared by consecutive snapshots — or by an RQL query
+// iterating over them — occupies a single entry and is read from the
+// Pagelog once. This is the page-sharing behaviour the paper's §5.1
+// experiments measure.
+type pageCache struct {
+	mu       sync.Mutex
+	capacity int // max pages; <= 0 disables caching
+	lru      *list.List
+	items    map[int64]*list.Element
+}
+
+type cacheItem struct {
+	off  int64
+	data *storage.PageData
+}
+
+func newPageCache(capacity int) *pageCache {
+	return &pageCache{
+		capacity: capacity,
+		lru:      list.New(),
+		items:    make(map[int64]*list.Element),
+	}
+}
+
+// get returns the cached page for a Pagelog offset, or nil on a miss.
+func (c *pageCache) get(off int64) *storage.PageData {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[off]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheItem).data
+}
+
+// put inserts a page, evicting the least recently used entry if full.
+func (c *pageCache) put(off int64, data *storage.PageData) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[off]; ok {
+		el.Value.(*cacheItem).data = data
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		delete(c.items, back.Value.(*cacheItem).off)
+		c.lru.Remove(back)
+	}
+	c.items[off] = c.lru.PushFront(&cacheItem{off: off, data: data})
+}
+
+// reset empties the cache (used to produce the paper's "cold" runs).
+func (c *pageCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.items = make(map[int64]*list.Element)
+}
+
+// len reports the number of cached pages.
+func (c *pageCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

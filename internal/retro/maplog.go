@@ -1,0 +1,190 @@
+package retro
+
+import (
+	"fmt"
+
+	"rql/internal/storage"
+)
+
+// SnapshotID identifies a declared snapshot. IDs are dense and 1-based,
+// assigned in declaration order, like Retro's internal sequence numbers.
+type SnapshotID uint64
+
+// mapEntry is one Maplog record: "the pre-state of page as-of snapshot
+// snap lives at pagelog offset off". Entries are appended in commit
+// order, so snap tags are non-decreasing.
+type mapEntry struct {
+	snap SnapshotID
+	page storage.PageID
+	off  int64
+}
+
+// maplog is the Maplog plus its Skippy skip-merge hierarchy.
+//
+// Level 0 is the raw entry log, partitioned into per-snapshot segments
+// by segStart. Level k (k >= 1) holds segments that each cover
+// factor^k consecutive snapshots and contain only the first mapping per
+// page within that range, in chronological order (a "skip-merge" of the
+// level below, per the Skippy paper). SPT construction covers the tag
+// range [S, lastSnap] greedily with the largest aligned completed
+// segments, so the number of entries scanned is close to the number of
+// distinct pages instead of the raw history length.
+type maplog struct {
+	factor   int
+	entries  []mapEntry
+	segStart []int        // segStart[s] = first entry index with tag >= s; len = lastSnap+1
+	levels   [][]levelSeg // levels[k-1][j] covers snapshots [j*factor^k+1, (j+1)*factor^k]
+	minSnap  SnapshotID   // retention floor: snapshots below are truncated
+}
+
+type levelSeg struct {
+	entries []mapEntry
+}
+
+func newMaplog(factor int) *maplog {
+	if factor < 2 {
+		factor = 4
+	}
+	return &maplog{factor: factor, segStart: []int{0}, minSnap: 1} // index 0 unused
+}
+
+// lastSnap returns the most recently declared snapshot id (0 if none).
+func (m *maplog) lastSnap() SnapshotID { return SnapshotID(len(m.segStart) - 1) }
+
+// append records one capture mapping. The tag must be the latest
+// declared snapshot.
+func (m *maplog) append(snap SnapshotID, page storage.PageID, off int64) {
+	m.entries = append(m.entries, mapEntry{snap: snap, page: page, off: off})
+}
+
+// declare registers a new snapshot: subsequent entries get the new tag.
+// It also completes the previous snapshot's segment and skip-merges any
+// level segments that became complete.
+func (m *maplog) declare() SnapshotID {
+	m.segStart = append(m.segStart, len(m.entries))
+	completed := int(m.lastSnap()) - 1 // snapshot whose segment just closed
+	if completed < 1 {
+		return m.lastSnap()
+	}
+	// Build level k when the completed snapshot count reaches a
+	// multiple of factor^k.
+	span := m.factor
+	for level := 1; completed%span == 0; level++ {
+		j := completed/span - 1
+		var seg levelSeg
+		if SnapshotID(j*span+1) >= m.minSnap {
+			seg = m.merge(level, j)
+		}
+		// (A blank segment keeps level indexing aligned when its range
+		// starts below the retention floor; it can never be selected,
+		// because SPT builds only start at snapshots >= minSnap.)
+		for len(m.levels) < level {
+			m.levels = append(m.levels, nil)
+		}
+		// j is always exactly len(levels[level-1]): segments complete in order.
+		m.levels[level-1] = append(m.levels[level-1], seg)
+		span *= m.factor
+	}
+	return m.lastSnap()
+}
+
+// merge skip-merges the factor children below (level, j) into one
+// segment keeping the chronologically-first mapping per page.
+func (m *maplog) merge(level, j int) levelSeg {
+	var out []mapEntry
+	seen := make(map[storage.PageID]bool)
+	add := func(es []mapEntry) {
+		for _, e := range es {
+			if !seen[e.page] {
+				seen[e.page] = true
+				out = append(out, e)
+			}
+		}
+	}
+	if level == 1 {
+		for s := j*m.factor + 1; s <= (j+1)*m.factor; s++ {
+			add(m.entries[m.segStart[s]:m.segStart[s+1]])
+		}
+	} else {
+		for c := j * m.factor; c < (j+1)*m.factor; c++ {
+			add(m.levels[level-2][c].entries)
+		}
+	}
+	return levelSeg{entries: out}
+}
+
+// SPT is a snapshot page table: for every page captured after snapshot
+// S, the Pagelog offset of its as-of-S pre-state. Pages absent from the
+// table are shared with the current database.
+type SPT struct {
+	Snap    SnapshotID
+	loc     map[storage.PageID]int64
+	Scanned int // Maplog entries examined during construction (build cost)
+}
+
+// Lookup returns the Pagelog offset holding the page's as-of-S state.
+func (t *SPT) Lookup(id storage.PageID) (int64, bool) {
+	off, ok := t.loc[id]
+	return off, ok
+}
+
+// Len returns the number of pages resolved to the Pagelog.
+func (t *SPT) Len() int { return len(t.loc) }
+
+// buildSPT constructs SPT(S) by scanning the Maplog from S forward,
+// first-mapping-wins, using the Skippy hierarchy to skip over long
+// histories. upto bounds the raw tail scan (entries appended later
+// belong to commits the caller's MVCC read transaction does not see;
+// including them would also be correct, but bounding keeps the build
+// deterministic for a given open point).
+func (m *maplog) buildSPT(s SnapshotID, upto int) (*SPT, error) {
+	last := m.lastSnap()
+	if s < 1 || s > last {
+		return nil, ErrNoSnapshot
+	}
+	if s < m.minSnap {
+		return nil, fmt.Errorf("%w: snapshot %d was truncated (retention floor %d)", ErrNoSnapshot, s, m.minSnap)
+	}
+	t := &SPT{Snap: s, loc: make(map[storage.PageID]int64)}
+	take := func(es []mapEntry) {
+		for _, e := range es {
+			t.Scanned++
+			if _, ok := t.loc[e.page]; !ok {
+				t.loc[e.page] = e.off
+			}
+		}
+	}
+	pos := int(s)
+	for pos <= int(last) {
+		if pos == int(last) {
+			// The open segment of the latest snapshot: raw scan.
+			start := m.segStart[pos]
+			if start > upto {
+				start = upto
+			}
+			take(m.entries[start:upto])
+			break
+		}
+		// Largest aligned, completed level segment starting at pos.
+		level, span := 0, 1
+		for f := m.factor; (pos-1)%f == 0 && pos-1+f <= int(last)-1 && level < len(m.levels); f *= m.factor {
+			if (pos-1)/f < len(m.levels[level]) {
+				level++
+				span = f
+			} else {
+				break
+			}
+		}
+		if level == 0 {
+			take(m.entries[m.segStart[pos]:m.segStart[pos+1]])
+			pos++
+			continue
+		}
+		take(m.levels[level-1][(pos-1)/span].entries)
+		pos += span
+	}
+	return t, nil
+}
+
+// len0 returns the raw Maplog length (level-0 entries).
+func (m *maplog) len0() int { return len(m.entries) }

@@ -1,0 +1,119 @@
+// Package retro implements the paper's Retro snapshot system (§4): an
+// incremental page-level copy-on-write snapshot store layered on the
+// storage package.
+//
+// At transaction commit, the first modification of a page P after a
+// snapshot declaration S captures P's pre-state into the Pagelog, an
+// on-disk log-structured archive, and appends the mapping (S, P, off)
+// to the Maplog. Building the snapshot page table SPT(S) scans the
+// Maplog forward from S taking the first mapping per page; pages with
+// no mapping are shared with the current database and are read through
+// an MVCC read transaction. A Skippy-style hierarchy of skip-merged
+// Maplog segments keeps the scan length near n·log(n) in the number of
+// snapshot pages rather than proportional to history length.
+//
+// Snapshot pages are cached in an LRU cache keyed by Pagelog offset, so
+// a pre-state shared by several snapshots occupies one cache entry and
+// is fetched from the Pagelog at most once per cold run — the page
+// sharing the paper's §5.1 performance analysis is built on.
+package retro
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"rql/internal/storage"
+)
+
+// Errors returned by the retro package.
+var (
+	ErrNoSnapshot    = errors.New("retro: snapshot does not exist")
+	ErrClosed        = errors.New("retro: system is closed")
+	ErrBadOffset     = errors.New("retro: pagelog offset out of range")
+	ErrReaderClosed  = errors.New("retro: snapshot reader is closed")
+)
+
+// pagelog is the append-only archive of captured page pre-states.
+// Offsets are page indexes. It is backed by a real file when a path is
+// given, or by memory otherwise (tests, examples).
+type pagelog struct {
+	mu   sync.RWMutex
+	file *os.File
+	path string // the file's actual path ("" for memory backing)
+	base string // the configured path compaction generations derive from
+	gen  int
+	mem  []*storage.PageData
+	n    int64
+
+	injectReadErr error // test hook: fail the next read
+}
+
+func newPagelog(path string) (*pagelog, error) {
+	if path == "" {
+		return &pagelog{}, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("retro: open pagelog: %w", err)
+	}
+	return &pagelog{file: f, path: path, base: path}, nil
+}
+
+// append stores a copy of data and returns its offset.
+func (pl *pagelog) append(data *storage.PageData) (int64, error) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	off := pl.n
+	if pl.file != nil {
+		if _, err := pl.file.WriteAt(data[:], off*storage.PageSize); err != nil {
+			return 0, fmt.Errorf("retro: pagelog write: %w", err)
+		}
+	} else {
+		cp := new(storage.PageData)
+		*cp = *data
+		pl.mem = append(pl.mem, cp)
+	}
+	pl.n++
+	return off, nil
+}
+
+// read fills dst with the page at off.
+func (pl *pagelog) read(off int64, dst *storage.PageData) error {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	if err := pl.injectReadErr; err != nil {
+		pl.injectReadErr = nil
+		return err
+	}
+	if off < 0 || off >= pl.n {
+		return ErrBadOffset
+	}
+	if pl.file != nil {
+		if _, err := pl.file.ReadAt(dst[:], off*storage.PageSize); err != nil {
+			return fmt.Errorf("retro: pagelog read: %w", err)
+		}
+		return nil
+	}
+	*dst = *pl.mem[off]
+	return nil
+}
+
+func (pl *pagelog) size() int64 {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.n
+}
+
+func (pl *pagelog) close() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.file != nil {
+		err := pl.file.Close()
+		pl.file = nil
+		return err
+	}
+	pl.mem = nil
+	return nil
+}

@@ -1,0 +1,179 @@
+package retro
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"rql/internal/storage"
+)
+
+// buildHistory declares n snapshots, mutating a small set of pages
+// between declarations, and returns the pages and their first bytes at
+// every snapshot.
+func buildHistory(t *testing.T, e *env, n int) ([]storage.PageID, [][]byte) {
+	t.Helper()
+	_, ids := e.writePages(t, []storage.PageID{0, 0, 0}, []byte{1, 2, 3}, false)
+	var states [][]byte
+	for s := 0; s < n; s++ {
+		vals := []byte{byte(10 + s), byte(20 + s), byte(30 + s)}
+		snap, _ := e.writePages(t, ids, vals, true)
+		if snap != SnapshotID(s+1) {
+			t.Fatalf("snapshot id %d, want %d", snap, s+1)
+		}
+		states = append(states, vals)
+	}
+	// One more round of modifications so the last snapshot is archived.
+	e.writePages(t, ids, []byte{99, 98, 97}, false)
+	return ids, states
+}
+
+func verifySnapshot(t *testing.T, e *env, snap SnapshotID, ids []storage.PageID, want []byte) {
+	t.Helper()
+	r, err := e.sys.OpenSnapshot(snap)
+	if err != nil {
+		t.Fatalf("OpenSnapshot(%d): %v", snap, err)
+	}
+	defer r.Close()
+	for i, id := range ids {
+		p, err := r.Get(id)
+		if err != nil {
+			t.Fatalf("snap %d page %d: %v", snap, id, err)
+		}
+		if p[0] != want[i] {
+			t.Fatalf("snap %d page %d: got %d want %d", snap, id, p[0], want[i])
+		}
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	e := newEnv(t, Options{SkipFactor: 3})
+	ids, states := buildHistory(t, e, 20)
+
+	if e.sys.RetentionFloor() != 1 {
+		t.Errorf("initial floor %d", e.sys.RetentionFloor())
+	}
+	if err := e.sys.TruncateBefore(8); err != nil {
+		t.Fatal(err)
+	}
+	if e.sys.RetentionFloor() != 8 {
+		t.Errorf("floor %d, want 8", e.sys.RetentionFloor())
+	}
+	// Truncated snapshots are gone.
+	for snap := SnapshotID(1); snap < 8; snap++ {
+		if _, err := e.sys.OpenSnapshot(snap); !errors.Is(err, ErrNoSnapshot) {
+			t.Errorf("snapshot %d should be truncated: %v", snap, err)
+		}
+	}
+	// Retained snapshots are intact, cold and warm.
+	e.sys.ResetCache()
+	for snap := SnapshotID(8); snap <= 20; snap++ {
+		verifySnapshot(t, e, snap, ids, states[snap-1])
+	}
+	// Truncation is monotonic; going backwards is a no-op.
+	if err := e.sys.TruncateBefore(3); err != nil {
+		t.Fatal(err)
+	}
+	if e.sys.RetentionFloor() != 8 {
+		t.Errorf("floor moved backwards: %d", e.sys.RetentionFloor())
+	}
+	// Beyond the declared history is rejected.
+	if err := e.sys.TruncateBefore(100); !errors.Is(err, ErrNoSnapshot) {
+		t.Errorf("truncate past history: %v", err)
+	}
+}
+
+func TestCompactReclaimsPages(t *testing.T) {
+	e := newEnv(t, Options{SkipFactor: 3})
+	ids, states := buildHistory(t, e, 20)
+
+	before := e.sys.PagelogPages()
+	if err := e.sys.TruncateBefore(15); err != nil {
+		t.Fatal(err)
+	}
+	reclaimed, err := e.sys.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed <= 0 {
+		t.Fatalf("Compact reclaimed %d pages (pagelog had %d)", reclaimed, before)
+	}
+	if e.sys.PagelogPages() >= before {
+		t.Errorf("pagelog did not shrink: %d -> %d", before, e.sys.PagelogPages())
+	}
+	// Every retained snapshot still reads correctly from the rewritten
+	// Pagelog (offsets were remapped).
+	e.sys.ResetCache()
+	for snap := SnapshotID(15); snap <= 20; snap++ {
+		verifySnapshot(t, e, snap, ids, states[snap-1])
+	}
+	// New snapshots keep working after compaction.
+	snap, _ := e.writePages(t, ids, []byte{61, 62, 63}, true)
+	e.writePages(t, ids, []byte{71, 72, 73}, false)
+	verifySnapshot(t, e, snap, ids, []byte{61, 62, 63})
+}
+
+func TestCompactFileBacked(t *testing.T) {
+	dir := t.TempDir()
+	e := newEnv(t, Options{PagelogPath: filepath.Join(dir, "pagelog"), SkipFactor: 3})
+	ids, states := buildHistory(t, e, 12)
+	if err := e.sys.TruncateBefore(9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	e.sys.ResetCache()
+	for snap := SnapshotID(9); snap <= 12; snap++ {
+		verifySnapshot(t, e, snap, ids, states[snap-1])
+	}
+	// Compacting twice exercises the generation naming.
+	if err := e.sys.TruncateBefore(11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.sys.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	e.sys.ResetCache()
+	verifySnapshot(t, e, 12, ids, states[11])
+}
+
+func TestCompactRefusesWithOpenReaders(t *testing.T) {
+	e := newEnv(t, Options{})
+	ids, _ := buildHistory(t, e, 4)
+	r, err := e.sys.OpenSnapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.sys.Compact(); !errors.Is(err, ErrReadersActive) {
+		t.Errorf("Compact with open reader: %v", err)
+	}
+	r.Close()
+	if _, err := e.sys.Compact(); err != nil {
+		t.Errorf("Compact after close: %v", err)
+	}
+	_ = ids
+}
+
+func TestSkippyLevelsSurviveTruncation(t *testing.T) {
+	// Declare enough snapshots that multi-level segments exist, then
+	// truncate into the middle of a level range and keep declaring:
+	// level building must skip ranges below the floor without
+	// misaligning indexes.
+	e := newEnv(t, Options{SkipFactor: 2})
+	ids, states := buildHistory(t, e, 10)
+	if err := e.sys.TruncateBefore(6); err != nil {
+		t.Fatal(err)
+	}
+	// More history after the truncation.
+	for s := 10; s < 20; s++ {
+		vals := []byte{byte(10 + s), byte(20 + s), byte(30 + s)}
+		e.writePages(t, ids, vals, true)
+		states = append(states, vals)
+	}
+	e.writePages(t, ids, []byte{99, 98, 97}, false)
+	e.sys.ResetCache()
+	for snap := SnapshotID(6); snap <= 20; snap++ {
+		verifySnapshot(t, e, snap, ids, states[snap-1])
+	}
+}

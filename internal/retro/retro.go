@@ -1,0 +1,305 @@
+package retro
+
+import (
+	"sync"
+	"time"
+
+	"rql/internal/storage"
+)
+
+// Options configures the snapshot system.
+type Options struct {
+	// PagelogPath backs the Pagelog with a file; empty keeps it in
+	// memory (tests and examples).
+	PagelogPath string
+	// CachePages is the snapshot page cache capacity in pages.
+	// Defaults to 16384 (64 MB of 4 KiB pages); 0 uses the default,
+	// negative disables caching.
+	CachePages int
+	// SkipFactor is the Skippy skip-merge fanout. Defaults to 4.
+	SkipFactor int
+	// SimulatedReadLatency models the cost of one Pagelog read that
+	// misses the snapshot cache (the paper's SSD). It is accounted, not
+	// slept, unless SleepOnRead is set; see Counters.ModeledIOTime.
+	SimulatedReadLatency time.Duration
+	// SleepOnRead makes cache-missing Pagelog reads actually sleep for
+	// SimulatedReadLatency, turning modeled I/O time into wall time.
+	SleepOnRead bool
+}
+
+// DefaultReadLatency approximates one 4 KiB random read from the SATA
+// SSD of the paper's testbed (~100µs). With it, the I/O-intensive
+// queries of §5.1 are I/O-dominated exactly as in the paper's Figure 8.
+const DefaultReadLatency = 100 * time.Microsecond
+
+// System is the Retro snapshot system. It installs itself as the
+// store's commit hook; thereafter COMMIT WITH SNAPSHOT declares
+// snapshots and every commit captures the pre-states the declared
+// snapshots need (page-level copy-on-write).
+type System struct {
+	store *storage.Store
+
+	mu          sync.Mutex
+	pl          *pagelog
+	ml          *maplog
+	lastCapture map[storage.PageID]SnapshotID
+	snapLSN     []uint64 // snapLSN[s-1] = commit LSN of snapshot s
+	openReaders int      // live SnapshotReaders (Compact requires zero)
+	closed      bool
+
+	cache      *pageCache
+	simLatency time.Duration
+	sleepOnRd  bool
+
+	stats Stats
+}
+
+// New creates a snapshot system over store and registers it as the
+// store's commit hook.
+func New(store *storage.Store, opts Options) (*System, error) {
+	pl, err := newPagelog(opts.PagelogPath)
+	if err != nil {
+		return nil, err
+	}
+	capacity := opts.CachePages
+	if capacity == 0 {
+		capacity = 16384
+	}
+	sys := &System{
+		store:       store,
+		pl:          pl,
+		ml:          newMaplog(opts.SkipFactor),
+		lastCapture: make(map[storage.PageID]SnapshotID),
+		cache:       newPageCache(capacity),
+		simLatency:  opts.SimulatedReadLatency,
+		sleepOnRd:   opts.SleepOnRead,
+	}
+	store.SetCommitHook(sys)
+	return sys, nil
+}
+
+// Close releases the Pagelog. The system must not be used afterwards.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return s.pl.close()
+}
+
+// Committing implements storage.CommitHook: capture pre-states for the
+// latest declared snapshot (first-modification-wins) and, when declare
+// is set, assign the next snapshot id.
+func (s *System) Committing(dirty []storage.DirtyPage, declare bool, newLSN uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	last := s.ml.lastSnap()
+	if last >= 1 {
+		for _, d := range dirty {
+			if d.Pre == nil {
+				continue // page did not exist as of any snapshot
+			}
+			if s.lastCapture[d.ID] >= last {
+				continue // already captured since the latest declaration
+			}
+			off, err := s.pl.append(d.Pre)
+			if err != nil {
+				return 0, err
+			}
+			s.ml.append(last, d.ID, off)
+			s.lastCapture[d.ID] = last
+			s.stats.PagelogWrites.Add(1)
+		}
+	}
+	if !declare {
+		return 0, nil
+	}
+	id := s.ml.declare()
+	s.snapLSN = append(s.snapLSN, newLSN)
+	s.stats.Snapshots.Add(1)
+	return uint64(id), nil
+}
+
+// LastSnapshot returns the most recently declared snapshot id (0 if none).
+func (s *System) LastSnapshot() SnapshotID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ml.lastSnap()
+}
+
+// PagelogPages returns the number of page pre-states archived.
+func (s *System) PagelogPages() int64 { return s.pl.size() }
+
+// MaplogEntries returns the raw (level 0) Maplog length.
+func (s *System) MaplogEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ml.len0()
+}
+
+// ReadLatency returns the configured per-Pagelog-read latency used for
+// modeled I/O time.
+func (s *System) ReadLatency() time.Duration { return s.simLatency }
+
+// ResetCache empties the snapshot page cache, producing the paper's
+// "all-cold" starting condition.
+func (s *System) ResetCache() { s.cache.reset() }
+
+// CachedPages reports the number of pages currently cached.
+func (s *System) CachedPages() int { return s.cache.len() }
+
+// Stats returns a snapshot of the system's counters.
+func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// OpenSnapshot builds SPT(id) and pins an MVCC read transaction,
+// returning a reader that serves any page as of the snapshot. The
+// reader must be closed.
+//
+// The pin-then-scan order matters: commits that land after the read
+// transaction is pinned may capture further pre-states, but the pinned
+// transaction still observes the pre-commit versions of those pages
+// directly, so the SPT built from the earlier Maplog prefix remains
+// complete for this reader.
+func (s *System) OpenSnapshot(id SnapshotID) (*SnapshotReader, error) {
+	rt, err := s.store.BeginRead()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		rt.Close()
+		return nil, ErrClosed
+	}
+	start := time.Now()
+	spt, err := s.ml.buildSPT(id, s.ml.len0())
+	buildTime := time.Since(start)
+	if err == nil {
+		s.openReaders++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	s.stats.SPTBuilds.Add(1)
+	r := &SnapshotReader{sys: s, spt: spt, rt: rt}
+	r.Counters.SPTBuildTime = buildTime
+	r.Counters.MapScanned = spt.Scanned
+	return r, nil
+}
+
+// SnapshotLSN returns the commit LSN at which the snapshot was declared.
+func (s *System) SnapshotLSN(id SnapshotID) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 1 || int(id) > len(s.snapLSN) {
+		return 0, ErrNoSnapshot
+	}
+	return s.snapLSN[id-1], nil
+}
+
+// InjectPagelogReadError makes the next Pagelog read fail (tests).
+func (s *System) InjectPagelogReadError(err error) {
+	s.pl.mu.Lock()
+	s.pl.injectReadErr = err
+	s.pl.mu.Unlock()
+}
+
+// Counters accumulates the per-reader costs the paper's §5 figures
+// break down.
+type Counters struct {
+	PagelogReads int           // cache-missing reads from the Pagelog
+	CacheHits    int           // snapshot pages served from the cache
+	DBReads      int           // pages shared with (and read from) the current DB
+	MapScanned   int           // Maplog entries examined building the SPT
+	SPTBuildTime time.Duration // wall time of the SPT build
+}
+
+// ModeledIOTime converts Pagelog misses into modeled I/O time at the
+// given per-read latency.
+func (c Counters) ModeledIOTime(perRead time.Duration) time.Duration {
+	return time.Duration(c.PagelogReads) * perRead
+}
+
+// SnapshotReader serves page reads as of one snapshot. It implements
+// storage.Pager (read-only) so the B+tree and the SQL engine run over a
+// snapshot exactly as they run over the current database — the paper's
+// retrospection property.
+type SnapshotReader struct {
+	sys *System
+	spt *SPT
+	rt  *storage.ReadTx
+
+	// Counters accumulates this reader's costs; not safe for
+	// concurrent readers sharing one SnapshotReader.
+	Counters Counters
+
+	closed bool
+}
+
+// Snapshot returns the snapshot id the reader serves.
+func (r *SnapshotReader) Snapshot() SnapshotID { return r.spt.Snap }
+
+// SPTLen returns the number of pages the SPT resolves to the Pagelog.
+func (r *SnapshotReader) SPTLen() int { return r.spt.Len() }
+
+// Get returns the page content as of the snapshot.
+func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
+	if r.closed {
+		return nil, ErrReaderClosed
+	}
+	off, ok := r.spt.Lookup(id)
+	if !ok {
+		// Shared with the current database: MVCC-pinned current read.
+		data, err := r.rt.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		r.Counters.DBReads++
+		return data, nil
+	}
+	if data := r.sys.cache.get(off); data != nil {
+		r.Counters.CacheHits++
+		r.sys.stats.CacheHits.Add(1)
+		return data, nil
+	}
+	data := new(storage.PageData)
+	if err := r.sys.pl.read(off, data); err != nil {
+		return nil, err
+	}
+	if r.sys.sleepOnRd && r.sys.simLatency > 0 {
+		time.Sleep(r.sys.simLatency)
+	}
+	r.Counters.PagelogReads++
+	r.sys.stats.PagelogReads.Add(1)
+	r.sys.cache.put(off, data)
+	return data, nil
+}
+
+// GetMut always fails: snapshots are immutable.
+func (r *SnapshotReader) GetMut(storage.PageID) (*storage.PageData, error) {
+	return nil, storage.ErrReadOnly
+}
+
+// Allocate always fails: snapshots are immutable.
+func (r *SnapshotReader) Allocate() (storage.PageID, error) {
+	return 0, storage.ErrReadOnly
+}
+
+// Free always fails: snapshots are immutable.
+func (r *SnapshotReader) Free(storage.PageID) error { return storage.ErrReadOnly }
+
+// Close unpins the underlying MVCC read transaction.
+func (r *SnapshotReader) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.rt.Close()
+	r.sys.mu.Lock()
+	r.sys.openReaders--
+	r.sys.mu.Unlock()
+}

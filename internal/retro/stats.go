@@ -1,0 +1,31 @@
+package retro
+
+import "sync/atomic"
+
+// Stats holds the snapshot system's global counters.
+type Stats struct {
+	Snapshots    atomic.Uint64 // snapshots declared
+	PagelogWrites atomic.Uint64 // pre-states captured (COW)
+	PagelogReads atomic.Uint64 // cache-missing Pagelog reads
+	CacheHits    atomic.Uint64 // snapshot cache hits
+	SPTBuilds    atomic.Uint64 // snapshot page tables constructed
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Snapshots     uint64
+	PagelogWrites uint64
+	PagelogReads  uint64
+	CacheHits     uint64
+	SPTBuilds     uint64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Snapshots:     s.Snapshots.Load(),
+		PagelogWrites: s.PagelogWrites.Load(),
+		PagelogReads:  s.PagelogReads.Load(),
+		CacheHits:     s.CacheHits.Load(),
+		SPTBuilds:     s.SPTBuilds.Load(),
+	}
+}

@@ -1,0 +1,756 @@
+package sql
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"rql/internal/btree"
+	"rql/internal/record"
+	"rql/internal/storage"
+)
+
+// writeEnv is the execution environment of a write statement: an
+// execCtx whose pager for the target store is a writer transaction.
+type writeEnv struct {
+	ec     *execCtx
+	tx     *storage.Tx
+	own    bool // autocommit: we opened tx and must commit/rollback it
+	toSide bool
+}
+
+func (w *writeEnv) finish(err error) error {
+	if ferr := w.ec.finalize(err == nil); err == nil {
+		err = ferr
+	}
+	w.ec.close()
+	if !w.own {
+		return err
+	}
+	if err != nil {
+		w.tx.Rollback()
+		return err
+	}
+	return w.tx.Commit()
+}
+
+// targetStore decides which store a write statement addresses.
+func (c *Conn) targetStore(stmt Statement) (toSide bool, err error) {
+	name := ""
+	switch s := stmt.(type) {
+	case *InsertStmt:
+		name = s.Table
+	case *UpdateStmt:
+		name = s.Table
+	case *DeleteStmt:
+		name = s.Table
+	case *CreateTableStmt:
+		return s.Temp, nil
+	case *CreateIndexStmt:
+		name = s.Table
+	case *DropStmt:
+		name = s.Name
+	default:
+		return false, fmt.Errorf("sql: unsupported write statement %T", stmt)
+	}
+	// A cheap side-store catalog probe: temp objects shadow main ones.
+	rt, err := c.db.side.BeginRead()
+	if err != nil {
+		return false, err
+	}
+	defer rt.Close()
+	sch, err := c.db.currentSchema(c.db.side, rt, rt.LSN(), true)
+	if err != nil {
+		return false, err
+	}
+	if d, ok := stmt.(*DropStmt); ok && d.Index {
+		return sch.index(name) != nil, nil
+	}
+	return sch.table(name) != nil, nil
+}
+
+// newWriteEnv builds the environment: a writer transaction on the
+// target store, read access to the other store.
+func (c *Conn) newWriteEnv(toSide bool, params []record.Value, stats *ExecStats) (*writeEnv, error) {
+	w := &writeEnv{toSide: toSide}
+	ec := &execCtx{conn: c, params: params, stats: stats}
+	w.ec = ec
+
+	if toSide {
+		tx, err := c.db.side.Begin()
+		if err != nil {
+			return nil, err
+		}
+		w.tx, w.own = tx, true
+		ec.sidePager = tx
+		// Main store is read-only here.
+		if c.mainTx != nil {
+			ec.mainPager = c.mainTx
+		} else {
+			mrt, err := c.db.main.BeginRead()
+			if err != nil {
+				tx.Rollback()
+				return nil, err
+			}
+			ec.closers = append(ec.closers, mrt.Close)
+			ec.mainPager = mrt
+		}
+	} else {
+		if c.mainTx != nil {
+			w.tx, w.own = c.mainTx, false
+		} else {
+			tx, err := c.db.main.Begin()
+			if err != nil {
+				return nil, err
+			}
+			w.tx, w.own = tx, true
+		}
+		ec.mainPager = w.tx
+		srt, err := c.db.side.BeginRead()
+		if err != nil {
+			if w.own {
+				w.tx.Rollback()
+			}
+			return nil, err
+		}
+		ec.closers = append(ec.closers, srt.Close)
+		ec.sidePager = srt
+	}
+
+	var err error
+	ec.mainSchema, err = loadSchema(ec.mainPager, false)
+	if err == nil {
+		ec.sideSchema, err = loadSchema(ec.sidePager, true)
+	}
+	if err != nil {
+		if w.own {
+			w.tx.Rollback()
+		}
+		ec.close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// execWrite executes a non-SELECT, non-transaction-control statement.
+func (c *Conn) execWrite(stmt Statement, params []record.Value, stats *ExecStats) error {
+	toSide, err := c.targetStore(stmt)
+	if err != nil {
+		return err
+	}
+	w, err := c.newWriteEnv(toSide, params, stats)
+	if err != nil {
+		return err
+	}
+	switch s := stmt.(type) {
+	case *InsertStmt:
+		err = w.execInsert(s)
+	case *UpdateStmt:
+		err = w.execUpdate(s)
+	case *DeleteStmt:
+		err = w.execDelete(s)
+	case *CreateTableStmt:
+		err = w.execCreateTable(s)
+	case *CreateIndexStmt:
+		err = w.execCreateIndex(s)
+	case *DropStmt:
+		err = w.execDrop(s)
+	default:
+		err = fmt.Errorf("sql: unsupported write statement %T", stmt)
+	}
+	return w.finish(err)
+}
+
+// writeTable resolves the target table; it must live in the store the
+// write transaction is on.
+func (w *writeEnv) writeTable(name string) (*Table, *schema, error) {
+	t, sch, _, err := w.ec.resolveTable(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if t.Temp != w.toSide {
+		return nil, nil, fmt.Errorf("sql: internal: table %s resolved to the wrong store", name)
+	}
+	return t, sch, nil
+}
+
+func (w *writeEnv) execInsert(s *InsertStmt) error {
+	t, sch, err := w.writeTable(s.Table)
+	if err != nil {
+		return err
+	}
+	// Column mapping.
+	colIdx := make([]int, 0, len(s.Cols))
+	for _, cn := range s.Cols {
+		k := t.ColIndex(cn)
+		if k < 0 {
+			return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, cn)
+		}
+		colIdx = append(colIdx, k)
+	}
+	buildRow := func(given []record.Value) ([]record.Value, error) {
+		if len(s.Cols) == 0 {
+			if len(given) != len(t.Cols) {
+				return nil, fmt.Errorf("sql: table %s has %d columns but %d values were supplied", t.Name, len(t.Cols), len(given))
+			}
+			out := make([]record.Value, len(given))
+			copy(out, given)
+			return out, nil
+		}
+		if len(given) != len(colIdx) {
+			return nil, fmt.Errorf("sql: %d columns but %d values", len(colIdx), len(given))
+		}
+		out := make([]record.Value, len(t.Cols))
+		for i := range out {
+			out[i] = record.Null()
+		}
+		for i, k := range colIdx {
+			out[k] = given[i]
+		}
+		return out, nil
+	}
+
+	var sourceRows [][]record.Value
+	switch {
+	case s.Select != nil:
+		it, _, err := planSelect(s.Select, w.ec)
+		if err != nil {
+			return err
+		}
+		sourceRows, err = drain(it)
+		if err != nil {
+			return err
+		}
+	default:
+		env := &compileEnv{ec: w.ec}
+		for _, exprRow := range s.Rows {
+			vals := make([]record.Value, len(exprRow))
+			for i, e := range exprRow {
+				ce, err := compileExpr(e, env)
+				if err != nil {
+					return err
+				}
+				v, err := ce(&rowCtx{ec: w.ec})
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+			sourceRows = append(sourceRows, vals)
+		}
+	}
+	for _, given := range sourceRows {
+		vals, err := buildRow(given)
+		if err != nil {
+			return err
+		}
+		if _, err := insertRow(w.tx, t, sch, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertRow applies affinity and constraints, assigns the rowid, and
+// writes the row plus its index entries. It is the single write path
+// shared by SQL INSERT, UPDATE (re-insert), bulk loading, and the RQL
+// mechanisms' result-table updates.
+func insertRow(p storage.Pager, t *Table, sch *schema, vals []record.Value) (int64, error) {
+	if len(vals) != len(t.Cols) {
+		return 0, fmt.Errorf("sql: table %s has %d columns but %d values", t.Name, len(t.Cols), len(vals))
+	}
+	aliasIdx := -1
+	for i, col := range t.Cols {
+		vals[i] = applyAffinity(vals[i], typeAffinity(col.Type))
+		if col.NotNull && vals[i].IsNull() {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNotNull, t.Name, col.Name)
+		}
+		if col.RowidAlias {
+			aliasIdx = i
+		}
+	}
+	tbl := btree.Open(p, t.Root)
+
+	var rowid int64
+	switch {
+	case aliasIdx >= 0 && !vals[aliasIdx].IsNull():
+		if vals[aliasIdx].Type() != record.TypeInt {
+			return 0, fmt.Errorf("sql: %s.%s must be an integer", t.Name, t.Cols[aliasIdx].Name)
+		}
+		rowid = vals[aliasIdx].Int()
+		if _, exists, err := tbl.Get(rowidKey(rowid)); err != nil {
+			return 0, err
+		} else if exists {
+			return 0, fmt.Errorf("%w: %s.%s", ErrUniqueIndex, t.Name, t.Cols[aliasIdx].Name)
+		}
+	default:
+		mk, err := tbl.MaxKey()
+		if err != nil {
+			return 0, err
+		}
+		if mk == nil {
+			rowid = 1
+		} else {
+			rowid = decodeRowidKey(mk) + 1
+		}
+		if aliasIdx >= 0 {
+			vals[aliasIdx] = record.Int(rowid)
+		}
+	}
+
+	// Index entries (with unique checks) before the row itself, so a
+	// constraint failure leaves nothing half-written within this
+	// statement's view (the enclosing transaction provides atomicity
+	// anyway; this just keeps error paths tidy).
+	for _, ix := range sch.tableIndexes(t.Name) {
+		key, err := indexKey(ix, t, vals, rowid)
+		if err != nil {
+			return 0, err
+		}
+		if ix.Unique {
+			prefix := key[:len(key)-rowidKeySuffixLen] // strip the rowid component
+			if dup, err := indexPrefixExists(p, ix, prefix); err != nil {
+				return 0, err
+			} else if dup {
+				return 0, fmt.Errorf("%w: index %s", ErrUniqueIndex, ix.Name)
+			}
+		}
+		if err := btree.Open(p, ix.Root).Insert(key, nil); err != nil {
+			return 0, err
+		}
+	}
+	if err := tbl.Insert(rowidKey(rowid), record.EncodeRow(nil, vals)); err != nil {
+		return 0, err
+	}
+	return rowid, nil
+}
+
+// indexKey builds the memcomparable key of one index entry.
+func indexKey(ix *Index, t *Table, vals []record.Value, rowid int64) ([]byte, error) {
+	kv := make([]record.Value, 0, len(ix.Cols)+1)
+	for _, cn := range ix.Cols {
+		k := t.ColIndex(cn)
+		if k < 0 {
+			return nil, fmt.Errorf("%w: index %s references %s", ErrNoColumn, ix.Name, cn)
+		}
+		kv = append(kv, vals[k])
+	}
+	kv = append(kv, record.Int(rowid))
+	return record.EncodeKey(nil, kv), nil
+}
+
+// indexPrefixExists reports whether any index entry starts with prefix.
+func indexPrefixExists(p storage.Pager, ix *Index, prefix []byte) (bool, error) {
+	cur := btree.Open(p, ix.Root).Cursor()
+	ok, err := cur.Seek(prefix)
+	if err != nil || !ok {
+		return false, err
+	}
+	return bytes.HasPrefix(cur.Key(), prefix), nil
+}
+
+// rowidKeySuffixLen is the encoded size of the trailing rowid component
+// every index key carries (a record.Int has a fixed-width encoding);
+// unique checks strip it to compare on the value columns alone.
+var rowidKeySuffixLen = len(record.EncodeKey(nil, []record.Value{record.Int(0)}))
+
+// deleteRowByID removes one row and its index entries.
+func deleteRowByID(p storage.Pager, t *Table, sch *schema, rowid int64, vals []record.Value) error {
+	tbl := btree.Open(p, t.Root)
+	if _, err := tbl.Delete(rowidKey(rowid)); err != nil {
+		return err
+	}
+	for _, ix := range sch.tableIndexes(t.Name) {
+		key, err := indexKey(ix, t, vals, rowid)
+		if err != nil {
+			return err
+		}
+		if _, err := btree.Open(p, ix.Root).Delete(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matchRows materializes the rows of t matching the conjuncts of where
+// (each returned row carries the hidden rowid as its last value).
+func (w *writeEnv) matchRows(t *Table, sch *schema, where Expr) ([][]record.Value, error) {
+	pager := w.pagerFor(t)
+	cols := make([]colInfo, 0, len(t.Cols)+1)
+	for _, c := range t.Cols {
+		cols = append(cols, colInfo{table: strings.ToLower(t.Name), name: strings.ToLower(c.Name)})
+	}
+	cols = append(cols, colInfo{table: strings.ToLower(t.Name), name: "#rowid"})
+
+	conds := splitAnd(where)
+	var it iterator = pickAccessPath(t, sch, pager, conds, w.ec)
+	for _, cond := range conds {
+		c, err := compileExpr(cond, &compileEnv{cols: cols, ec: w.ec})
+		if err != nil {
+			return nil, err
+		}
+		it = &filterIter{src: it, cond: c, ec: w.ec}
+	}
+	return drain(it)
+}
+
+func (w *writeEnv) pagerFor(t *Table) storage.Pager {
+	if t.Temp {
+		return w.ec.sidePager
+	}
+	return w.ec.mainPager
+}
+
+func (w *writeEnv) execDelete(s *DeleteStmt) error {
+	t, sch, err := w.writeTable(s.Table)
+	if err != nil {
+		return err
+	}
+	rows, err := w.matchRows(t, sch, s.Where)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		rowid := row[len(row)-1].Int()
+		if err := deleteRowByID(w.tx, t, sch, rowid, row[:len(row)-1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *writeEnv) execUpdate(s *UpdateStmt) error {
+	t, sch, err := w.writeTable(s.Table)
+	if err != nil {
+		return err
+	}
+	cols := make([]colInfo, 0, len(t.Cols)+1)
+	for _, c := range t.Cols {
+		cols = append(cols, colInfo{table: strings.ToLower(t.Name), name: strings.ToLower(c.Name)})
+	}
+	cols = append(cols, colInfo{table: strings.ToLower(t.Name), name: "#rowid"})
+	env := &compileEnv{cols: cols, ec: w.ec}
+
+	setIdx := make([]int, len(s.Cols))
+	setExprs := make([]compiledExpr, len(s.Cols))
+	for i, cn := range s.Cols {
+		k := t.ColIndex(cn)
+		if k < 0 {
+			return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, cn)
+		}
+		setIdx[i] = k
+		ce, err := compileExpr(s.Exprs[i], env)
+		if err != nil {
+			return err
+		}
+		setExprs[i] = ce
+	}
+
+	rows, err := w.matchRows(t, sch, s.Where)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		rowid := row[len(row)-1].Int()
+		newVals := append([]record.Value(nil), row[:len(row)-1]...)
+		rc := &rowCtx{row: row, ec: w.ec}
+		for i, ce := range setExprs {
+			v, err := ce(rc)
+			if err != nil {
+				return err
+			}
+			newVals[setIdx[i]] = v
+		}
+		if err := deleteRowByID(w.tx, t, sch, rowid, row[:len(row)-1]); err != nil {
+			return err
+		}
+		// Keep the rowid stable unless the rowid alias column changed.
+		alias := -1
+		for i, col := range t.Cols {
+			if col.RowidAlias {
+				alias = i
+			}
+		}
+		if alias < 0 {
+			// Re-insert under the same rowid: temporarily pin it by
+			// using the alias-free direct path.
+			if err := insertRowWithID(w.tx, t, sch, newVals, rowid); err != nil {
+				return err
+			}
+		} else {
+			if _, err := insertRow(w.tx, t, sch, newVals); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// insertRowWithID inserts a row under a caller-chosen rowid (UPDATE
+// keeps rowids stable; bulk loaders preserve generated keys).
+func insertRowWithID(p storage.Pager, t *Table, sch *schema, vals []record.Value, rowid int64) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("sql: table %s has %d columns but %d values", t.Name, len(t.Cols), len(vals))
+	}
+	for i, col := range t.Cols {
+		vals[i] = applyAffinity(vals[i], typeAffinity(col.Type))
+		if col.NotNull && vals[i].IsNull() {
+			return fmt.Errorf("%w: %s.%s", ErrNotNull, t.Name, col.Name)
+		}
+	}
+	for _, ix := range sch.tableIndexes(t.Name) {
+		key, err := indexKey(ix, t, vals, rowid)
+		if err != nil {
+			return err
+		}
+		if ix.Unique {
+			prefix := key[:len(key)-rowidKeySuffixLen]
+			if dup, err := indexPrefixExists(p, ix, prefix); err != nil {
+				return err
+			} else if dup {
+				return fmt.Errorf("%w: index %s", ErrUniqueIndex, ix.Name)
+			}
+		}
+		if err := btree.Open(p, ix.Root).Insert(key, nil); err != nil {
+			return err
+		}
+	}
+	return btree.Open(p, t.Root).Insert(rowidKey(rowid), record.EncodeRow(nil, vals))
+}
+
+func (w *writeEnv) execCreateTable(s *CreateTableStmt) error {
+	sch := w.ec.mainSchema
+	if w.toSide {
+		sch = w.ec.sideSchema
+	}
+	if sch.table(s.Name) != nil {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: table %s", ErrExists, s.Name)
+	}
+
+	var cols []Column
+	var rows [][]record.Value
+	if s.AsSelect != nil {
+		it, outCols, err := planSelect(s.AsSelect, w.ec)
+		if err != nil {
+			return err
+		}
+		rows, err = drain(it)
+		if err != nil {
+			return err
+		}
+		for _, c := range outCols {
+			cols = append(cols, Column{Name: c.name})
+		}
+	} else {
+		intPKs := 0
+		for _, cd := range s.Cols {
+			cols = append(cols, Column{
+				Name:    cd.Name,
+				Type:    cd.Type,
+				NotNull: cd.NotNull,
+			})
+		}
+		for i, cd := range s.Cols {
+			if cd.PrimaryKey && typeAffinity(cd.Type) == affInteger {
+				cols[i].RowidAlias = true
+				intPKs++
+			}
+		}
+		if intPKs > 1 {
+			return fmt.Errorf("sql: table %s has more than one INTEGER PRIMARY KEY", s.Name)
+		}
+	}
+
+	root, err := btree.Create(w.tx)
+	if err != nil {
+		return err
+	}
+	t := &Table{Name: s.Name, Root: root, Cols: cols, Temp: w.toSide}
+	if err := putTable(w.tx, t); err != nil {
+		return err
+	}
+	sch.tables[strings.ToLower(t.Name)] = t
+
+	// Non-integer PRIMARY KEY columns get an automatic unique index.
+	if s.AsSelect == nil {
+		for _, cd := range s.Cols {
+			if cd.PrimaryKey && typeAffinity(cd.Type) != affInteger {
+				ixRoot, err := btree.Create(w.tx)
+				if err != nil {
+					return err
+				}
+				ix := &Index{
+					Name:   fmt.Sprintf("pk_%s_%s", s.Name, cd.Name),
+					Table:  s.Name,
+					Root:   ixRoot,
+					Cols:   []string{cd.Name},
+					Unique: true,
+					Temp:   w.toSide,
+				}
+				if err := putIndex(w.tx, ix); err != nil {
+					return err
+				}
+				sch.indexes[strings.ToLower(ix.Name)] = ix
+			}
+		}
+	}
+
+	for _, row := range rows {
+		if len(row) > len(cols) {
+			row = row[:len(cols)]
+		}
+		if _, err := insertRow(w.tx, t, sch, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *writeEnv) execCreateIndex(s *CreateIndexStmt) error {
+	t, sch, err := w.writeTable(s.Table)
+	if err != nil {
+		return err
+	}
+	if sch.index(s.Name) != nil {
+		if s.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("%w: index %s", ErrExists, s.Name)
+	}
+	for _, cn := range s.Cols {
+		if t.ColIndex(cn) < 0 {
+			return fmt.Errorf("%w: %s.%s", ErrNoColumn, s.Table, cn)
+		}
+	}
+	root, err := btree.Create(w.tx)
+	if err != nil {
+		return err
+	}
+	ix := &Index{Name: s.Name, Table: t.Name, Root: root, Cols: s.Cols, Unique: s.Unique, Temp: w.toSide}
+	if err := putIndex(w.tx, ix); err != nil {
+		return err
+	}
+
+	// Populate from the table.
+	tree := btree.Open(w.tx, ix.Root)
+	scan := newTableScan(w.tx, t)
+	for {
+		row, err := scan.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		rowid := row[len(row)-1].Int()
+		key, err := indexKey(ix, t, row[:len(row)-1], rowid)
+		if err != nil {
+			return err
+		}
+		if ix.Unique {
+			prefix := key[:len(key)-rowidKeySuffixLen]
+			if dup, err := indexPrefixExists(w.tx, ix, prefix); err != nil {
+				return err
+			} else if dup {
+				return fmt.Errorf("%w: index %s", ErrUniqueIndex, ix.Name)
+			}
+		}
+		if err := tree.Insert(key, nil); err != nil {
+			return err
+		}
+	}
+	sch.indexes[strings.ToLower(ix.Name)] = ix
+	return nil
+}
+
+func (w *writeEnv) execDrop(s *DropStmt) error {
+	sch := w.ec.mainSchema
+	if w.toSide {
+		sch = w.ec.sideSchema
+	}
+	if s.Index {
+		ix := sch.index(s.Name)
+		if ix == nil {
+			if s.IfExists {
+				return nil
+			}
+			return fmt.Errorf("%w: %s", ErrNoIndex, s.Name)
+		}
+		if err := btree.Open(w.tx, ix.Root).Drop(); err != nil {
+			return err
+		}
+		if err := deleteCatalogEntry(w.tx, "index", ix.Name); err != nil {
+			return err
+		}
+		delete(sch.indexes, strings.ToLower(ix.Name))
+		return nil
+	}
+	t := sch.table(s.Name)
+	if t == nil {
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("%w: %s", ErrNoTable, s.Name)
+	}
+	for _, ix := range sch.tableIndexes(t.Name) {
+		if err := btree.Open(w.tx, ix.Root).Drop(); err != nil {
+			return err
+		}
+		if err := deleteCatalogEntry(w.tx, "index", ix.Name); err != nil {
+			return err
+		}
+		delete(sch.indexes, strings.ToLower(ix.Name))
+	}
+	if err := btree.Open(w.tx, t.Root).Drop(); err != nil {
+		return err
+	}
+	if err := deleteCatalogEntry(w.tx, "table", t.Name); err != nil {
+		return err
+	}
+	delete(sch.tables, strings.ToLower(t.Name))
+	return nil
+}
+
+// BulkInsert inserts rows into a table through a single transaction
+// (or the open explicit transaction), bypassing SQL parsing. It is the
+// fast path for data loading (the TPC-H generator uses it).
+func (c *Conn) BulkInsert(table string, rows [][]record.Value) error {
+	toSide, err := c.tableIsTemp(table)
+	if err != nil {
+		return err
+	}
+	w, err := c.newWriteEnv(toSide, nil, &ExecStats{})
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		t, sch, err := w.writeTable(table)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			vals := append([]record.Value(nil), row...)
+			if _, err := insertRow(w.tx, t, sch, vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	return w.finish(err)
+}
+
+func (c *Conn) tableIsTemp(name string) (bool, error) {
+	rt, err := c.db.side.BeginRead()
+	if err != nil {
+		return false, err
+	}
+	defer rt.Close()
+	sch, err := c.db.currentSchema(c.db.side, rt, rt.LSN(), true)
+	if err != nil {
+		return false, err
+	}
+	return sch.table(name) != nil, nil
+}

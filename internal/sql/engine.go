@@ -1,0 +1,506 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"rql/internal/record"
+	"rql/internal/retro"
+	"rql/internal/storage"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoTx     = errors.New("sql: no transaction is active")
+	ErrTxOpen   = errors.New("sql: a transaction is already active")
+	ErrReadOnly = errors.New("sql: cannot write to a snapshot")
+)
+
+// Options configures Open.
+type Options struct {
+	// Retro configures the snapshot system attached to the main store.
+	Retro retro.Options
+}
+
+// DB is a database instance: a snapshotable main store managed by the
+// Retro snapshot system, plus a separate non-snapshotable side store
+// holding temporary tables and, by convention, the SnapIds table —
+// exactly the paper's two-database layout (§3).
+type DB struct {
+	main *storage.Store
+	side *storage.Store
+	rsys *retro.System
+
+	mu    sync.Mutex
+	funcs map[string]*FuncDef
+
+	// Current-state schema caches, valid while the store LSN matches.
+	mainSchemaLSN uint64
+	mainSchema    *schema
+	sideSchemaLSN uint64
+	sideSchema    *schema
+}
+
+// Open creates a new database.
+func Open(opts Options) (*DB, error) {
+	db := &DB{
+		main:  storage.NewStore(),
+		side:  storage.NewStore(),
+		funcs: builtinFuncs(),
+	}
+	rsys, err := retro.New(db.main, opts.Retro)
+	if err != nil {
+		return nil, err
+	}
+	db.rsys = rsys
+	// Format both stores with an empty catalog. The side store has no
+	// commit hook, so its catalog commit declares nothing.
+	for _, st := range []*storage.Store{db.main, db.side} {
+		tx, err := st.Begin()
+		if err != nil {
+			return nil, err
+		}
+		if err := initCatalog(tx); err != nil {
+			tx.Rollback()
+			return nil, err
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Close releases the database.
+func (db *DB) Close() error {
+	db.main.Close()
+	db.side.Close()
+	return db.rsys.Close()
+}
+
+// Retro exposes the snapshot system (cache control, statistics).
+func (db *DB) Retro() *retro.System { return db.rsys }
+
+// MainStore exposes the snapshotable store (statistics, page counts).
+func (db *DB) MainStore() *storage.Store { return db.main }
+
+// SideStore exposes the non-snapshotable store.
+func (db *DB) SideStore() *storage.Store { return db.side }
+
+// Conn creates a new connection. Connections are not safe for
+// concurrent use; open one per goroutine.
+func (db *DB) Conn() *Conn { return &Conn{db: db} }
+
+// currentSchema returns the (possibly cached) schema of a store's
+// current state as seen through the given pager.
+func (db *DB) currentSchema(st *storage.Store, p storage.Pager, lsn uint64, temp bool) (*schema, error) {
+	db.mu.Lock()
+	if st == db.main && db.mainSchema != nil && db.mainSchemaLSN == lsn {
+		s := db.mainSchema
+		db.mu.Unlock()
+		return s, nil
+	}
+	if st == db.side && db.sideSchema != nil && db.sideSchemaLSN == lsn {
+		s := db.sideSchema
+		db.mu.Unlock()
+		return s, nil
+	}
+	db.mu.Unlock()
+	s, err := loadSchema(p, temp)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if st == db.main {
+		db.mainSchema, db.mainSchemaLSN = s, lsn
+	} else {
+		db.sideSchema, db.sideSchemaLSN = s, lsn
+	}
+	db.mu.Unlock()
+	return s, nil
+}
+
+// ExecStats reports the measured costs of the last statement executed
+// on a connection, broken down the way the paper's §5 figures are:
+// snapshot-page I/O, SPT construction, transient index creation, and
+// the remainder (query evaluation, which for RQL statements includes
+// the UDF work — the core package splits that part further).
+type ExecStats struct {
+	Duration     time.Duration // wall time of the statement
+	SPTBuildTime time.Duration // snapshot page table construction
+	AutoIndex    time.Duration // transient covering indexes for joins
+	MapScanned   int           // Maplog entries scanned for the SPT
+	PagelogReads int           // snapshot pages fetched from the Pagelog
+	CacheHits    int           // snapshot pages served from the cache
+	DBReads      int           // snapshot pages shared with the current DB
+	RowsReturned int
+}
+
+// ModeledIO converts Pagelog misses into modeled I/O time.
+func (s ExecStats) ModeledIO(perRead time.Duration) time.Duration {
+	return time.Duration(s.PagelogReads) * perRead
+}
+
+// RowCallback receives result rows, sqlite3_exec style. Returning a
+// non-nil error aborts the statement with that error.
+type RowCallback func(cols []string, row []record.Value) error
+
+// Conn is a database connection: it carries the explicit-transaction
+// state and the per-statement statistics.
+type Conn struct {
+	db           *DB
+	mainTx       *storage.Tx
+	lastStats    ExecStats
+	lastSnapshot uint64
+}
+
+// LastStats returns the statistics of the most recent statement.
+func (c *Conn) LastStats() ExecStats { return c.lastStats }
+
+// LastSnapshot returns the snapshot id declared by the most recent
+// COMMIT WITH SNAPSHOT on this connection.
+func (c *Conn) LastSnapshot() uint64 { return c.lastSnapshot }
+
+// InTx reports whether an explicit transaction is open.
+func (c *Conn) InTx() bool { return c.mainTx != nil }
+
+// Exec parses and executes one or more semicolon-separated statements
+// against the current state, invoking cb for every result row.
+func (c *Conn) Exec(sqlText string, cb RowCallback, params ...record.Value) error {
+	return c.execAsOf(sqlText, 0, cb, params)
+}
+
+// ExecAsOf executes statements with SELECTs bound to the given snapshot
+// (equivalent to rewriting each query with "AS OF snap", the paper's §3
+// Qq rewrite). Write statements are rejected under a snapshot binding.
+func (c *Conn) ExecAsOf(sqlText string, snap uint64, cb RowCallback, params ...record.Value) error {
+	return c.execAsOf(sqlText, retro.SnapshotID(snap), cb, params)
+}
+
+func (c *Conn) execAsOf(sqlText string, asOf retro.SnapshotID, cb RowCallback, params []record.Value) error {
+	stmts, err := ParseAll(sqlText)
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		if err := c.execStmt(stmt, asOf, cb, params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query executes a single SELECT and returns the fully materialized
+// result (column names and rows).
+func (c *Conn) Query(sqlText string, params ...record.Value) (*Rows, error) {
+	rows := &Rows{}
+	err := c.Exec(sqlText, func(cols []string, row []record.Value) error {
+		if rows.Cols == nil {
+			rows.Cols = cols
+		}
+		cp := make([]record.Value, len(row))
+		copy(cp, row)
+		rows.Rows = append(rows.Rows, cp)
+		return nil
+	}, params...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	Cols []string
+	Rows [][]record.Value
+}
+
+// Begin opens an explicit transaction (the paper's BEGIN).
+func (c *Conn) Begin() error {
+	if c.mainTx != nil {
+		return ErrTxOpen
+	}
+	tx, err := c.db.main.Begin()
+	if err != nil {
+		return err
+	}
+	c.mainTx = tx
+	return nil
+}
+
+// Commit commits the explicit transaction.
+func (c *Conn) Commit() error {
+	if c.mainTx == nil {
+		return ErrNoTx
+	}
+	err := c.mainTx.Commit()
+	c.mainTx = nil
+	return err
+}
+
+// CommitWithSnapshot commits the explicit transaction and declares a
+// snapshot that includes it (the paper's COMMIT WITH SNAPSHOT),
+// returning the new snapshot id.
+func (c *Conn) CommitWithSnapshot() (uint64, error) {
+	if c.mainTx == nil {
+		return 0, ErrNoTx
+	}
+	id, err := c.mainTx.CommitWithSnapshot()
+	c.mainTx = nil
+	if err != nil {
+		return 0, err
+	}
+	c.lastSnapshot = id
+	return id, nil
+}
+
+// Rollback aborts the explicit transaction.
+func (c *Conn) Rollback() error {
+	if c.mainTx == nil {
+		return ErrNoTx
+	}
+	c.mainTx.Rollback()
+	c.mainTx = nil
+	return nil
+}
+
+// execCtx is the per-statement execution context: the pagers and
+// schemas for both stores, the snapshot binding, parameters, UDF
+// auxiliary state, and the statistics being accumulated.
+type execCtx struct {
+	conn *Conn
+
+	mainPager  storage.Pager
+	sidePager  storage.Pager
+	mainSchema *schema
+	sideSchema *schema
+
+	asOf       retro.SnapshotID
+	snapReader *retro.SnapshotReader
+
+	params []record.Value
+	aux    map[*FuncCall]any
+	stats  *ExecStats
+
+	closers []func()
+}
+
+// StmtFinalizer is implemented by UDF auxiliary state (FuncContext.Aux)
+// that needs an end-of-statement signal — the RQL mechanism states use
+// it to commit their result-table writer and publish run statistics.
+// commit is false when the statement failed or was aborted.
+type StmtFinalizer interface {
+	FinalizeStmt(commit bool) error
+}
+
+// finalize notifies every finalizable aux state; the first error wins.
+func (ec *execCtx) finalize(commit bool) error {
+	var first error
+	for _, v := range ec.aux {
+		if f, ok := v.(StmtFinalizer); ok {
+			if err := f.FinalizeStmt(commit); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	ec.aux = nil
+	return first
+}
+
+func (ec *execCtx) close() {
+	for i := len(ec.closers) - 1; i >= 0; i-- {
+		ec.closers[i]()
+	}
+	ec.closers = nil
+	if ec.snapReader != nil {
+		ec.stats.SPTBuildTime += ec.snapReader.Counters.SPTBuildTime
+		ec.stats.MapScanned += ec.snapReader.Counters.MapScanned
+		ec.stats.PagelogReads += ec.snapReader.Counters.PagelogReads
+		ec.stats.CacheHits += ec.snapReader.Counters.CacheHits
+		ec.stats.DBReads += ec.snapReader.Counters.DBReads
+	}
+}
+
+// resolveTable finds a table by name, looking in the side store first
+// (temp shadows main, as in SQLite) and then the main store.
+func (ec *execCtx) resolveTable(name string) (*Table, *schema, storage.Pager, error) {
+	if t := ec.sideSchema.table(name); t != nil {
+		return t, ec.sideSchema, ec.sidePager, nil
+	}
+	if t := ec.mainSchema.table(name); t != nil {
+		return t, ec.mainSchema, ec.mainPager, nil
+	}
+	return nil, nil, nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+}
+
+// newReadCtx builds an execution context for a read-only statement.
+func (c *Conn) newReadCtx(asOf retro.SnapshotID, params []record.Value, stats *ExecStats) (*execCtx, error) {
+	ec := &execCtx{conn: c, asOf: asOf, params: params, stats: stats}
+
+	// Side store: always the current state.
+	srt, err := c.db.side.BeginRead()
+	if err != nil {
+		return nil, err
+	}
+	ec.closers = append(ec.closers, srt.Close)
+	ec.sidePager = srt
+	ec.sideSchema, err = c.db.currentSchema(c.db.side, srt, srt.LSN(), true)
+	if err != nil {
+		ec.close()
+		return nil, err
+	}
+
+	// Main store: snapshot, explicit transaction, or current state.
+	switch {
+	case asOf != 0:
+		r, err := c.db.rsys.OpenSnapshot(asOf)
+		if err != nil {
+			ec.close()
+			return nil, err
+		}
+		ec.snapReader = r
+		ec.closers = append(ec.closers, r.Close)
+		ec.mainPager = r
+		// The snapshot's own catalog: schema as of the snapshot.
+		ec.mainSchema, err = loadSchema(r, false)
+		if err != nil {
+			ec.close()
+			return nil, err
+		}
+	case c.mainTx != nil:
+		ec.mainPager = c.mainTx
+		ec.mainSchema, err = loadSchema(c.mainTx, false)
+		if err != nil {
+			ec.close()
+			return nil, err
+		}
+	default:
+		mrt, err := c.db.main.BeginRead()
+		if err != nil {
+			ec.close()
+			return nil, err
+		}
+		ec.closers = append(ec.closers, mrt.Close)
+		ec.mainPager = mrt
+		ec.mainSchema, err = c.db.currentSchema(c.db.main, mrt, mrt.LSN(), false)
+		if err != nil {
+			ec.close()
+			return nil, err
+		}
+	}
+	return ec, nil
+}
+
+// execStmt dispatches one parsed statement.
+func (c *Conn) execStmt(stmt Statement, asOf retro.SnapshotID, cb RowCallback, params []record.Value) error {
+	start := time.Now()
+	stats := ExecStats{}
+	var err error
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		err = c.execSelect(s, asOf, cb, params, &stats)
+	case *ExplainStmt:
+		err = c.execExplain(s, cb, params, &stats)
+	case *BeginStmt:
+		err = c.Begin()
+	case *CommitStmt:
+		if s.WithSnapshot {
+			_, err = c.CommitWithSnapshot()
+		} else {
+			err = c.Commit()
+		}
+	case *RollbackStmt:
+		err = c.Rollback()
+	default:
+		if asOf != 0 {
+			return ErrReadOnly
+		}
+		err = c.execWrite(stmt, params, &stats)
+	}
+	stats.Duration = time.Since(start)
+	c.lastStats = stats
+	return err
+}
+
+// execSelect runs a SELECT, streaming rows to cb.
+func (c *Conn) execSelect(s *SelectStmt, asOf retro.SnapshotID, cb RowCallback, params []record.Value, stats *ExecStats) error {
+	// The statement-level AS OF clause overrides the binding.
+	if s.AsOf != nil {
+		v, err := c.constEval(s.AsOf, params)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return fmt.Errorf("sql: AS OF requires a snapshot id")
+		}
+		asOf = retro.SnapshotID(v.AsInt())
+	}
+	ec, err := c.newReadCtx(asOf, params, stats)
+	if err != nil {
+		return err
+	}
+	defer ec.close()
+
+	err = func() error {
+		it, cols, err := planSelect(s, ec)
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+
+		names := make([]string, len(cols))
+		for i, ci := range cols {
+			names[i] = ci.name
+		}
+		for {
+			row, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return nil
+			}
+			stats.RowsReturned++
+			if cb != nil {
+				if err := cb(names, row); err != nil {
+					return err
+				}
+			}
+		}
+	}()
+	if ferr := ec.finalize(err == nil); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// constEval evaluates an expression with no row context (literals,
+// parameters, arithmetic).
+func (c *Conn) constEval(e Expr, params []record.Value) (record.Value, error) {
+	ec := &execCtx{conn: c, params: params, stats: &ExecStats{}}
+	ce, err := compileExpr(e, &compileEnv{ec: ec})
+	if err != nil {
+		return record.Value{}, err
+	}
+	return ce(&rowCtx{ec: ec})
+}
+
+// DeclareSnapshot runs an empty BEGIN; COMMIT WITH SNAPSHOT cycle,
+// declaring a snapshot of the current state, and returns its id.
+func (c *Conn) DeclareSnapshot() (uint64, error) {
+	if c.mainTx != nil {
+		return 0, ErrTxOpen
+	}
+	if err := c.Begin(); err != nil {
+		return 0, err
+	}
+	return c.CommitWithSnapshot()
+}
+
+// quoteIdent quotes an identifier for inclusion in generated SQL.
+func quoteIdent(name string) string {
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}

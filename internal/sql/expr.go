@@ -1,0 +1,603 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rql/internal/record"
+)
+
+// colInfo describes one column of an iterator's output row.
+type colInfo struct {
+	table string // lower-cased table alias ("" for computed columns)
+	name  string // lower-cased column name; "#rowid" marks hidden rowids
+}
+
+// compileEnv is the name-resolution environment for compiling
+// expressions: the input row's columns, optional select-list aliases
+// (for GROUP BY / ORDER BY / HAVING), and optional pre-computed
+// aggregate slots.
+type compileEnv struct {
+	cols    []colInfo
+	aliases map[string]Expr   // select-list aliases (lower-cased)
+	aggIdx  map[*FuncCall]int // aggregate call -> row position
+	ec      *execCtx
+}
+
+// rowCtx carries the current row during evaluation.
+type rowCtx struct {
+	row []record.Value
+	ec  *execCtx
+}
+
+// compiledExpr evaluates an expression against the current row.
+type compiledExpr func(rc *rowCtx) (record.Value, error)
+
+// resolveColumn finds the row position of a column reference.
+func (env *compileEnv) resolveColumn(ref *ColumnRef) (int, error) {
+	name := strings.ToLower(ref.Name)
+	table := strings.ToLower(ref.Table)
+	if name == "rowid" || name == "oid" || name == "_rowid_" {
+		name = "#rowid"
+	}
+	found := -1
+	for i, c := range env.cols {
+		if c.name != name {
+			continue
+		}
+		if table != "" && c.table != table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", ref.Name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, fmt.Errorf("%w: %s.%s", ErrNoColumn, ref.Table, ref.Name)
+		}
+		return 0, fmt.Errorf("%w: %s", ErrNoColumn, ref.Name)
+	}
+	return found, nil
+}
+
+// compileExpr compiles an expression for evaluation against rows shaped
+// like env.cols.
+func compileExpr(e Expr, env *compileEnv) (compiledExpr, error) {
+	switch x := e.(type) {
+	case *Literal:
+		v := x.Val
+		return func(*rowCtx) (record.Value, error) { return v, nil }, nil
+
+	case *ParamRef:
+		idx := x.Index
+		return func(rc *rowCtx) (record.Value, error) {
+			if idx >= len(rc.ec.params) {
+				return record.Value{}, fmt.Errorf("sql: missing value for parameter %d", idx+1)
+			}
+			return rc.ec.params[idx], nil
+		}, nil
+
+	case *ColumnRef:
+		if pos, err := env.resolveColumn(x); err == nil {
+			return func(rc *rowCtx) (record.Value, error) { return rc.row[pos], nil }, nil
+		} else if x.Table == "" && env.aliases != nil {
+			if ae, ok := env.aliases[strings.ToLower(x.Name)]; ok {
+				// Select-list alias: compile the aliased expression.
+				return compileExpr(ae, env)
+			}
+			return nil, err
+		} else {
+			return nil, err
+		}
+
+	case *UnaryExpr:
+		sub, err := compileExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			return func(rc *rowCtx) (record.Value, error) {
+				v, err := sub(rc)
+				if err != nil || v.IsNull() {
+					return record.Null(), err
+				}
+				if v.Type() == record.TypeInt {
+					return record.Int(-v.Int()), nil
+				}
+				return record.Float(-v.AsFloat()), nil
+			}, nil
+		case "NOT":
+			return func(rc *rowCtx) (record.Value, error) {
+				v, err := sub(rc)
+				if err != nil || v.IsNull() {
+					return record.Null(), err
+				}
+				return record.Bool(!v.Truthy()), nil
+			}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+
+	case *BinaryExpr:
+		return compileBinary(x, env)
+
+	case *IsNullExpr:
+		sub, err := compileExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(rc *rowCtx) (record.Value, error) {
+			v, err := sub(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			return record.Bool(v.IsNull() != not), nil
+		}, nil
+
+	case *BetweenExpr:
+		// x BETWEEN lo AND hi  ==  x >= lo AND x <= hi
+		rewritten := &BinaryExpr{
+			Op: "AND",
+			L:  &BinaryExpr{Op: ">=", L: x.X, R: x.Lo},
+			R:  &BinaryExpr{Op: "<=", L: x.X, R: x.Hi},
+		}
+		c, err := compileExpr(rewritten, env)
+		if err != nil {
+			return nil, err
+		}
+		if !x.Not {
+			return c, nil
+		}
+		return func(rc *rowCtx) (record.Value, error) {
+			v, err := c(rc)
+			if err != nil || v.IsNull() {
+				return record.Null(), err
+			}
+			return record.Bool(!v.Truthy()), nil
+		}, nil
+
+	case *InExpr:
+		sub, err := compileExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]compiledExpr, len(x.List))
+		for i, it := range x.List {
+			c, err := compileExpr(it, env)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = c
+		}
+		not := x.Not
+		return func(rc *rowCtx) (record.Value, error) {
+			v, err := sub(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if v.IsNull() {
+				return record.Null(), nil
+			}
+			sawNull := false
+			for _, it := range items {
+				iv, err := it(rc)
+				if err != nil {
+					return record.Value{}, err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if record.Compare(v, iv) == 0 {
+					return record.Bool(!not), nil
+				}
+			}
+			if sawNull {
+				return record.Null(), nil
+			}
+			return record.Bool(not), nil
+		}, nil
+
+	case *LikeExpr:
+		sub, err := compileExpr(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := compileExpr(x.Pattern, env)
+		if err != nil {
+			return nil, err
+		}
+		not := x.Not
+		return func(rc *rowCtx) (record.Value, error) {
+			v, err := sub(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			pv, err := pat(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if v.IsNull() || pv.IsNull() {
+				return record.Null(), nil
+			}
+			m := likeMatch(pv.String(), v.String())
+			return record.Bool(m != not), nil
+		}, nil
+
+	case *CaseExpr:
+		return compileCase(x, env)
+
+	case *FuncCall:
+		return compileFuncCall(x, env)
+	}
+	return nil, fmt.Errorf("sql: cannot compile expression %T", e)
+}
+
+func compileBinary(x *BinaryExpr, env *compileEnv) (compiledExpr, error) {
+	l, err := compileExpr(x.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(x.R, env)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "AND":
+		return func(rc *rowCtx) (record.Value, error) {
+			lv, err := l(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if !lv.IsNull() && !lv.Truthy() {
+				return record.Bool(false), nil
+			}
+			rv, err := r(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if !rv.IsNull() && !rv.Truthy() {
+				return record.Bool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return record.Null(), nil
+			}
+			return record.Bool(true), nil
+		}, nil
+	case "OR":
+		return func(rc *rowCtx) (record.Value, error) {
+			lv, err := l(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if !lv.IsNull() && lv.Truthy() {
+				return record.Bool(true), nil
+			}
+			rv, err := r(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if !rv.IsNull() && rv.Truthy() {
+				return record.Bool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return record.Null(), nil
+			}
+			return record.Bool(false), nil
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		op := x.Op
+		return func(rc *rowCtx) (record.Value, error) {
+			lv, err := l(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			rv, err := r(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return record.Null(), nil
+			}
+			c := record.Compare(lv, rv)
+			var res bool
+			switch op {
+			case "=":
+				res = c == 0
+			case "!=":
+				res = c != 0
+			case "<":
+				res = c < 0
+			case "<=":
+				res = c <= 0
+			case ">":
+				res = c > 0
+			case ">=":
+				res = c >= 0
+			}
+			return record.Bool(res), nil
+		}, nil
+	case "||":
+		return func(rc *rowCtx) (record.Value, error) {
+			lv, err := l(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			rv, err := r(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return record.Null(), nil
+			}
+			return record.Text(lv.String() + rv.String()), nil
+		}, nil
+	case "+", "-", "*", "/", "%":
+		op := x.Op
+		return func(rc *rowCtx) (record.Value, error) {
+			lv, err := l(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			rv, err := r(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			return arith(op, lv, rv)
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown binary operator %q", x.Op)
+}
+
+// arith implements SQL arithmetic with SQLite semantics: NULL
+// propagates, integer op integer stays integer (except /0 -> NULL),
+// anything else computes in float.
+func arith(op string, a, b record.Value) (record.Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return record.Null(), nil
+	}
+	if a.Type() == record.TypeInt && b.Type() == record.TypeInt {
+		x, y := a.Int(), b.Int()
+		switch op {
+		case "+":
+			return record.Int(x + y), nil
+		case "-":
+			return record.Int(x - y), nil
+		case "*":
+			return record.Int(x * y), nil
+		case "/":
+			if y == 0 {
+				return record.Null(), nil
+			}
+			return record.Int(x / y), nil
+		case "%":
+			if y == 0 {
+				return record.Null(), nil
+			}
+			return record.Int(x % y), nil
+		}
+	}
+	x, y := a.AsFloat(), b.AsFloat()
+	switch op {
+	case "+":
+		return record.Float(x + y), nil
+	case "-":
+		return record.Float(x - y), nil
+	case "*":
+		return record.Float(x * y), nil
+	case "/":
+		if y == 0 {
+			return record.Null(), nil
+		}
+		return record.Float(x / y), nil
+	case "%":
+		if y == 0 {
+			return record.Null(), nil
+		}
+		return record.Float(float64(int64(x) % int64(y))), nil
+	}
+	return record.Value{}, fmt.Errorf("sql: unknown arithmetic operator %q", op)
+}
+
+func compileCase(x *CaseExpr, env *compileEnv) (compiledExpr, error) {
+	var operand compiledExpr
+	if x.Operand != nil {
+		c, err := compileExpr(x.Operand, env)
+		if err != nil {
+			return nil, err
+		}
+		operand = c
+	}
+	type when struct{ cond, result compiledExpr }
+	whens := make([]when, len(x.Whens))
+	for i, w := range x.Whens {
+		c, err := compileExpr(w.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(w.Result, env)
+		if err != nil {
+			return nil, err
+		}
+		whens[i] = when{cond: c, result: r}
+	}
+	var elseC compiledExpr
+	if x.Else != nil {
+		c, err := compileExpr(x.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		elseC = c
+	}
+	return func(rc *rowCtx) (record.Value, error) {
+		var opv record.Value
+		if operand != nil {
+			v, err := operand(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			opv = v
+		}
+		for _, w := range whens {
+			cv, err := w.cond(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			matched := false
+			if operand != nil {
+				matched = !cv.IsNull() && !opv.IsNull() && record.Compare(opv, cv) == 0
+			} else {
+				matched = !cv.IsNull() && cv.Truthy()
+			}
+			if matched {
+				return w.result(rc)
+			}
+		}
+		if elseC != nil {
+			return elseC(rc)
+		}
+		return record.Null(), nil
+	}, nil
+}
+
+func compileFuncCall(x *FuncCall, env *compileEnv) (compiledExpr, error) {
+	// Pre-computed aggregate slot (inside an aggregating SELECT).
+	if env.aggIdx != nil {
+		if pos, ok := env.aggIdx[x]; ok {
+			return func(rc *rowCtx) (record.Value, error) { return rc.row[pos], nil }, nil
+		}
+	}
+	if isAggregateCall(x) {
+		return nil, fmt.Errorf("sql: misuse of aggregate function %s()", x.Name)
+	}
+	def := env.ec.conn.db.function(x.Name)
+	if def == nil {
+		return nil, fmt.Errorf("sql: no such function: %s", x.Name)
+	}
+	if x.Star {
+		return nil, fmt.Errorf("sql: %s(*) is only valid for count", x.Name)
+	}
+	if len(x.Args) < def.MinArgs || (def.MaxArgs >= 0 && len(x.Args) > def.MaxArgs) {
+		return nil, fmt.Errorf("sql: wrong number of arguments to function %s()", x.Name)
+	}
+	args := make([]compiledExpr, len(x.Args))
+	for i, a := range x.Args {
+		c, err := compileExpr(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	callSite := x
+	return func(rc *rowCtx) (record.Value, error) {
+		vals := make([]record.Value, len(args))
+		for i, a := range args {
+			v, err := a(rc)
+			if err != nil {
+				return record.Value{}, err
+			}
+			vals[i] = v
+		}
+		fc := &FuncContext{ec: rc.ec, callSite: callSite}
+		return def.Fn(fc, vals)
+	}, nil
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards,
+// case-insensitively for ASCII (SQLite's default).
+func likeMatch(pattern, s string) bool {
+	return likeRec(strings.ToLower(pattern), strings.ToLower(s))
+}
+
+func likeRec(p, s string) bool {
+	for {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '%':
+			for p != "" && p[0] == '%' {
+				p = p[1:]
+			}
+			if p == "" {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(p, s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if s == "" {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		default:
+			if s == "" || p[0] != s[0] {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		}
+	}
+}
+
+func parseInt(s string) (int64, error)   { return strconv.ParseInt(s, 10, 64) }
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+// exprColumnName derives the display name of a result column, following
+// SQLite: an explicit alias wins, a plain column reference uses the
+// column name, anything else uses the expression's source-ish text.
+func exprColumnName(col ResultCol) string {
+	if col.Alias != "" {
+		return col.Alias
+	}
+	if ref, ok := col.Expr.(*ColumnRef); ok {
+		return ref.Name
+	}
+	return exprText(col.Expr)
+}
+
+// exprText renders an expression roughly back to SQL for display names
+// and error messages.
+func exprText(e Expr) string {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val.SQL()
+	case *ColumnRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Name
+		}
+		return x.Name
+	case *ParamRef:
+		return "?"
+	case *UnaryExpr:
+		return x.Op + " " + exprText(x.X)
+	case *BinaryExpr:
+		return exprText(x.L) + " " + x.Op + " " + exprText(x.R)
+	case *FuncCall:
+		var args []string
+		if x.Star {
+			args = []string{"*"}
+		}
+		for _, a := range x.Args {
+			args = append(args, exprText(a))
+		}
+		inner := strings.Join(args, ", ")
+		if x.Distinct {
+			inner = "DISTINCT " + inner
+		}
+		return x.Name + "(" + inner + ")"
+	case *IsNullExpr:
+		if x.Not {
+			return exprText(x.X) + " IS NOT NULL"
+		}
+		return exprText(x.X) + " IS NULL"
+	default:
+		return fmt.Sprintf("<expr %T>", e)
+	}
+}

@@ -1,0 +1,193 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotShadowEquivalence drives a random SQL workload (inserts,
+// updates, deletes, index DDL) declaring snapshots along the way, and
+// records a shadow copy of several query results at each declaration.
+// Every snapshot's AS OF results must reproduce the shadow exactly —
+// the retrospection property, end to end through parser, planner,
+// executor, btree, MVCC, COW capture, Maplog/Skippy and Pagelog.
+func TestSnapshotShadowEquivalence(t *testing.T) {
+	c := testConn(t)
+	mustExec(t, c, `CREATE TABLE acct (id INTEGER PRIMARY KEY, owner TEXT, amount INTEGER)`)
+
+	probes := []string{
+		`SELECT id, owner, amount FROM acct ORDER BY id`,
+		`SELECT owner, COUNT(*), SUM(amount) FROM acct GROUP BY owner ORDER BY owner`,
+		`SELECT COUNT(*) FROM acct WHERE amount > 500`,
+	}
+	snapshot := func(sql string) []string {
+		rows := q(t, c, sql)
+		return rows
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	owners := []string{"ann", "ben", "cal", "dee"}
+	nextID := 1
+	live := map[int]bool{}
+
+	type shadow struct {
+		snap    uint64
+		results [][]string
+	}
+	var shadows []shadow
+
+	for step := 0; step < 120; step++ {
+		mustExec(t, c, `BEGIN`)
+		for n := rng.Intn(5); n >= 0; n-- {
+			switch rng.Intn(5) {
+			case 0, 1: // insert
+				mustExec(t, c, fmt.Sprintf(
+					`INSERT INTO acct (id, owner, amount) VALUES (%d, '%s', %d)`,
+					nextID, owners[rng.Intn(len(owners))], rng.Intn(1000)))
+				live[nextID] = true
+				nextID++
+			case 2: // update a random live row
+				if id := pickLive(rng, live); id != 0 {
+					mustExec(t, c, fmt.Sprintf(
+						`UPDATE acct SET amount = %d WHERE id = %d`, rng.Intn(1000), id))
+				}
+			case 3: // delete
+				if id := pickLive(rng, live); id != 0 {
+					mustExec(t, c, fmt.Sprintf(`DELETE FROM acct WHERE id = %d`, id))
+					delete(live, id)
+				}
+			case 4: // occasional schema churn inside the history
+				if step == 40 {
+					mustExec(t, c, `CREATE INDEX acct_owner ON acct (owner)`)
+				}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			id, err := c.CommitWithSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := shadow{snap: id}
+			for _, p := range probes {
+				sh.results = append(sh.results, snapshot(p))
+			}
+			shadows = append(shadows, sh)
+		} else {
+			mustExec(t, c, `COMMIT`)
+		}
+	}
+	if len(shadows) < 10 {
+		t.Fatalf("only %d snapshots declared", len(shadows))
+	}
+
+	// Validate every snapshot, cold and then warm.
+	for pass := 0; pass < 2; pass++ {
+		if pass == 0 {
+			c.db.Retro().ResetCache()
+		}
+		for _, sh := range shadows {
+			for pi, p := range probes {
+				asOf := strings.Replace(p, "SELECT ", fmt.Sprintf("SELECT AS OF %d ", sh.snap), 1)
+				got := q(t, c, asOf)
+				if strings.Join(got, ";") != strings.Join(sh.results[pi], ";") {
+					t.Fatalf("pass %d snap %d probe %d:\ngot  %v\nwant %v",
+						pass, sh.snap, pi, got, sh.results[pi])
+				}
+			}
+		}
+	}
+}
+
+func pickLive(rng *rand.Rand, live map[int]bool) int {
+	if len(live) == 0 {
+		return 0
+	}
+	ids := make([]int, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids[rng.Intn(len(ids))]
+}
+
+// TestSnapshotQueriesUseHistoricalIndexes checks that an index created
+// mid-history is used (and usable) only in snapshots that contain it.
+func TestSnapshotQueriesUseHistoricalIndexes(t *testing.T) {
+	c := testConn(t)
+	mustExec(t, c, `CREATE TABLE t (a INTEGER, b TEXT)`)
+	for i := 0; i < 200; i++ {
+		mustExec(t, c, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v%d')`, i, i))
+	}
+	mustExec(t, c, `BEGIN; COMMIT WITH SNAPSHOT`) // S1: no index
+	mustExec(t, c, `CREATE INDEX t_a ON t (a)`)
+	mustExec(t, c, `BEGIN; COMMIT WITH SNAPSHOT`) // S2: index exists
+	mustExec(t, c, `DELETE FROM t WHERE a >= 100`)
+
+	// Both snapshots answer point queries correctly regardless of the
+	// access path available to them.
+	expectRows(t, q(t, c, `SELECT AS OF 1 b FROM t WHERE a = 150`), "v150")
+	expectRows(t, q(t, c, `SELECT AS OF 2 b FROM t WHERE a = 150`), "v150")
+	expectRows(t, q(t, c, `SELECT b FROM t WHERE a = 150`))
+
+	// And the index in snapshot 2 reflects snapshot-2 contents, not the
+	// current (post-delete) state.
+	expectRows(t, q(t, c, `SELECT AS OF 2 COUNT(*) FROM t WHERE a >= 100`), "100")
+}
+
+// TestConcurrentSnapshotQueriesAndWriter runs AS OF readers against a
+// committing writer; every reader must observe exactly its snapshot.
+func TestConcurrentSnapshotQueriesAndWriter(t *testing.T) {
+	c := testConn(t)
+	mustExec(t, c, `CREATE TABLE t (v INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (0)`)
+
+	var snaps []uint64
+	for i := 1; i <= 20; i++ {
+		mustExec(t, c, `BEGIN`)
+		mustExec(t, c, fmt.Sprintf(`UPDATE t SET v = %d`, i))
+		id, err := c.CommitWithSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, id)
+	}
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			conn := c.db.Conn()
+			for i := 0; i < 50; i++ {
+				snap := snaps[(g+i)%len(snaps)]
+				rows, err := conn.Query(fmt.Sprintf(`SELECT AS OF %d v FROM t`, snap))
+				if err != nil {
+					done <- err
+					return
+				}
+				if len(rows.Rows) != 1 || rows.Rows[0][0].Int() != int64(snap) {
+					done <- fmt.Errorf("snapshot %d read %v", snap, rows.Rows)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	// A concurrent writer keeps committing while readers run.
+	go func() {
+		conn := c.db.Conn()
+		for i := 0; i < 50; i++ {
+			if err := conn.Exec(fmt.Sprintf(`UPDATE t SET v = %d`, 100+i), nil); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 9; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

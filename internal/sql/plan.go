@@ -1,0 +1,642 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"rql/internal/btree"
+	"rql/internal/record"
+	"rql/internal/storage"
+)
+
+// planSelect compiles a SELECT into an iterator tree plus the output
+// column descriptions.
+func planSelect(s *SelectStmt, ec *execCtx) (iterator, []colInfo, error) {
+	// ---- FROM sources -----------------------------------------------------
+	type fromItem struct {
+		cols     []colInfo
+		table    *Table
+		schema   *schema
+		pager    storage.Pager
+		subRows  [][]record.Value
+		joinCond Expr
+		leftJoin bool
+	}
+	var items []fromItem
+	for _, ref := range s.From {
+		var item fromItem
+		item.joinCond = ref.JoinCond
+		item.leftJoin = ref.LeftJoin
+		if ref.Subquery != nil {
+			subIt, subCols, err := planSelect(ref.Subquery, ec)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows, err := drain(subIt)
+			if err != nil {
+				return nil, nil, err
+			}
+			alias := strings.ToLower(ref.Alias)
+			cols := make([]colInfo, len(subCols))
+			for i, c := range subCols {
+				cols[i] = colInfo{table: alias, name: strings.ToLower(c.name)}
+			}
+			item.cols = cols
+			item.subRows = rows
+		} else {
+			t, sch, pager, err := ec.resolveTable(ref.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			alias := strings.ToLower(ref.Alias)
+			if alias == "" {
+				alias = strings.ToLower(ref.Name)
+			}
+			cols := make([]colInfo, 0, len(t.Cols)+1)
+			for _, c := range t.Cols {
+				cols = append(cols, colInfo{table: alias, name: strings.ToLower(c.Name)})
+			}
+			cols = append(cols, colInfo{table: alias, name: "#rowid"})
+			item.cols = cols
+			item.table = t
+			item.schema = sch
+			item.pager = pager
+		}
+		items = append(items, item)
+	}
+
+	// ---- WHERE conjuncts ---------------------------------------------------
+	var conjuncts []Expr
+	conjuncts = append(conjuncts, splitAnd(s.Where)...)
+	for i := range items {
+		if !items[i].leftJoin && items[i].joinCond != nil {
+			// INNER JOIN ... ON behaves like WHERE.
+			conjuncts = append(conjuncts, splitAnd(items[i].joinCond)...)
+			items[i].joinCond = nil
+		}
+	}
+	placed := make([]bool, len(conjuncts))
+
+	resolves := func(e Expr, cols []colInfo) bool {
+		_, err := compileExpr(e, &compileEnv{cols: cols, ec: ec})
+		return err == nil
+	}
+
+	// Join-order heuristic (inner joins only): drive the join from
+	// tables that carry their own filter predicates, so selective
+	// tables come first and unfiltered big tables become inner sides —
+	// where a native or automatic index serves the probes. This is the
+	// reordering that makes SQLite build its automatic covering index
+	// on lineitem for the paper's Qq_cpu (Figure 9).
+	hasLeft := false
+	for _, item := range items {
+		if item.leftJoin {
+			hasLeft = true
+		}
+	}
+	if len(items) > 1 && !hasLeft {
+		hasLocal := func(item fromItem) bool {
+			for _, cond := range conjuncts {
+				if resolves(cond, item.cols) {
+					return true
+				}
+			}
+			return false
+		}
+		var filtered, rest []fromItem
+		for _, item := range items {
+			if hasLocal(item) {
+				filtered = append(filtered, item)
+			} else {
+				rest = append(rest, item)
+			}
+		}
+		items = append(filtered, rest...)
+	}
+
+	// buildBase constructs the access path for one base table or
+	// materialized subquery, applying the given single-item conjuncts.
+	buildBase := func(item fromItem, conds []Expr) (iterator, error) {
+		var it iterator
+		if item.table == nil {
+			it = &sliceIter{rows: item.subRows}
+		} else {
+			it = pickAccessPath(item.table, item.schema, item.pager, conds, ec)
+		}
+		for _, cond := range conds {
+			c, err := compileExpr(cond, &compileEnv{cols: item.cols, ec: ec})
+			if err != nil {
+				return nil, err
+			}
+			it = &filterIter{src: it, cond: c, ec: ec}
+		}
+		return it, nil
+	}
+
+	var cur iterator
+	var scope []colInfo
+	if len(items) == 0 {
+		cur = &oneRowIter{}
+	}
+	for idx, item := range items {
+		// Conjuncts local to this item.
+		var local []Expr
+		for ci, cond := range conjuncts {
+			if !placed[ci] && !item.leftJoin && resolves(cond, item.cols) {
+				local = append(local, cond)
+				placed[ci] = true
+			}
+		}
+		if idx == 0 {
+			it, err := buildBase(item, local)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = it
+			scope = item.cols
+			continue
+		}
+
+		combined := append(append([]colInfo{}, scope...), item.cols...)
+
+		if item.leftJoin {
+			// LEFT JOIN: inner materialized, ON condition only.
+			innerIt, err := buildBase(item, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			innerRows, err := drain(innerIt)
+			if err != nil {
+				return nil, nil, err
+			}
+			cond, err := compileExpr(item.joinCond, &compileEnv{cols: combined, ec: ec})
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = &nlJoinIter{outer: cur, inner: innerRows, innerCols: len(item.cols), cond: cond, leftOuter: true, ec: ec}
+			scope = combined
+			// WHERE conjuncts over the combined scope apply after.
+			cur, err = applyAvailable(cur, combined, conjuncts, placed, ec)
+			if err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+
+		// Find an equi-join conjunct: outerExpr = innerExpr.
+		var outerKeyE, innerKeyE Expr
+		for ci, cond := range conjuncts {
+			if placed[ci] {
+				continue
+			}
+			be, ok := cond.(*BinaryExpr)
+			if !ok || be.Op != "=" {
+				continue
+			}
+			switch {
+			case resolves(be.L, scope) && resolves(be.R, item.cols):
+				outerKeyE, innerKeyE = be.L, be.R
+			case resolves(be.R, scope) && resolves(be.L, item.cols):
+				outerKeyE, innerKeyE = be.R, be.L
+			default:
+				continue
+			}
+			placed[ci] = true
+			break
+		}
+
+		switch {
+		case outerKeyE == nil:
+			// Cross join: materialize the inner side.
+			innerIt, err := buildBase(item, local)
+			if err != nil {
+				return nil, nil, err
+			}
+			innerRows, err := drain(innerIt)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = &nlJoinIter{outer: cur, inner: innerRows, innerCols: len(item.cols), ec: ec}
+		default:
+			outerKey, err := compileExpr(outerKeyE, &compileEnv{cols: scope, ec: ec})
+			if err != nil {
+				return nil, nil, err
+			}
+			// Native index on the inner join column?
+			if ix := nativeJoinIndex(item.table, item.schema, innerKeyE); ix != nil && len(local) == 0 {
+				cur = &indexJoinIter{
+					outer:    cur,
+					pager:    item.pager,
+					table:    item.table,
+					index:    ix,
+					outerKey: outerKey,
+					ec:       ec,
+					tbl:      btree.Open(item.pager, item.table.Root),
+				}
+			} else {
+				// No usable native index: build the transient "automatic
+				// covering index" over the inner side (timed as index
+				// creation, per Figure 9).
+				innerKey, err := compileExpr(innerKeyE, &compileEnv{cols: item.cols, ec: ec})
+				if err != nil {
+					return nil, nil, err
+				}
+				itemCopy := item
+				localCopy := local
+				buildRows := func() ([][]record.Value, error) {
+					innerIt, err := buildBase(itemCopy, localCopy)
+					if err != nil {
+						return nil, err
+					}
+					return drain(innerIt)
+				}
+				cur = &autoIndexJoin{
+					outer:     cur,
+					innerCols: len(item.cols),
+					outerKey:  outerKey,
+					ec:        ec,
+					buildRows: buildRows,
+					innerKey:  innerKey,
+				}
+			}
+		}
+		scope = combined
+		var err error
+		cur, err = applyAvailable(cur, combined, conjuncts, placed, ec)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Any remaining conjuncts must resolve over the full scope.
+	for ci, cond := range conjuncts {
+		if placed[ci] {
+			continue
+		}
+		c, err := compileExpr(cond, &compileEnv{cols: scope, ec: ec})
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = &filterIter{src: cur, cond: c, ec: ec}
+	}
+
+	// ---- Aggregation --------------------------------------------------------
+	aliases := make(map[string]Expr)
+	for _, col := range s.Cols {
+		if col.Alias != "" {
+			aliases[strings.ToLower(col.Alias)] = col.Expr
+		}
+	}
+
+	var aggCalls []*FuncCall
+	for _, col := range s.Cols {
+		if col.Expr != nil {
+			if err := collectAggregates(col.Expr, &aggCalls); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if err := collectAggregates(s.Having, &aggCalls); err != nil {
+		return nil, nil, err
+	}
+	for _, ot := range s.OrderBy {
+		// ORDER BY may reference aliases whose expressions aggregate.
+		e := ot.Expr
+		if ref, ok := e.(*ColumnRef); ok && ref.Table == "" {
+			if ae, ok := aliases[strings.ToLower(ref.Name)]; ok {
+				e = ae
+			}
+		}
+		if err := collectAggregates(e, &aggCalls); err != nil {
+			return nil, nil, err
+		}
+	}
+	aggCalls = dedupCalls(aggCalls)
+
+	env := &compileEnv{cols: scope, aliases: aliases, ec: ec}
+	if len(aggCalls) > 0 || len(s.GroupBy) > 0 {
+		srcEnv := &compileEnv{cols: scope, aliases: aliases, ec: ec}
+		var groupBy []compiledExpr
+		for _, g := range s.GroupBy {
+			ge := g
+			// GROUP BY ordinal and alias support.
+			if lit, ok := ge.(*Literal); ok && lit.Val.Type() == record.TypeInt {
+				n := int(lit.Val.Int())
+				if n < 1 || n > len(s.Cols) || s.Cols[n-1].Expr == nil {
+					return nil, nil, fmt.Errorf("sql: GROUP BY ordinal %d out of range", n)
+				}
+				ge = s.Cols[n-1].Expr
+			}
+			c, err := compileExpr(ge, srcEnv)
+			if err != nil {
+				return nil, nil, err
+			}
+			groupBy = append(groupBy, c)
+		}
+		var specs []aggSpec
+		aggIdx := make(map[*FuncCall]int)
+		for _, call := range aggCalls {
+			spec := aggSpec{call: call, isMinMax: (call.Name == "min" || call.Name == "max") && !call.Distinct}
+			if call.Star {
+				if call.Name != "count" {
+					return nil, nil, fmt.Errorf("sql: %s(*) is not valid", call.Name)
+				}
+			} else {
+				if len(call.Args) != 1 {
+					return nil, nil, fmt.Errorf("sql: aggregate %s() takes one argument", call.Name)
+				}
+				c, err := compileExpr(call.Args[0], srcEnv)
+				if err != nil {
+					return nil, nil, err
+				}
+				spec.arg = c
+			}
+			aggIdx[call] = len(scope) + len(specs)
+			specs = append(specs, spec)
+		}
+		cur = &aggregateIter{
+			src:            cur,
+			groupBy:        groupBy,
+			specs:          specs,
+			inputCols:      len(scope),
+			ec:             ec,
+			emitEmptyGroup: len(s.GroupBy) == 0,
+		}
+		extended := append(append([]colInfo{}, scope...), make([]colInfo, len(specs))...)
+		for i := range specs {
+			extended[len(scope)+i] = colInfo{name: fmt.Sprintf("#agg%d", i)}
+		}
+		env = &compileEnv{cols: extended, aliases: aliases, aggIdx: aggIdx, ec: ec}
+	}
+
+	// ---- HAVING --------------------------------------------------------------
+	if s.Having != nil {
+		c, err := compileExpr(s.Having, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur = &filterIter{src: cur, cond: c, ec: ec}
+	}
+
+	// ---- Projection ------------------------------------------------------------
+	var projExprs []compiledExpr
+	var outCols []colInfo
+	for _, col := range s.Cols {
+		if col.Star {
+			starTable := strings.ToLower(col.StarTable)
+			matched := false
+			for pos, ci := range scope {
+				if strings.HasPrefix(ci.name, "#") {
+					continue
+				}
+				if starTable != "" && ci.table != starTable {
+					continue
+				}
+				matched = true
+				p := pos
+				projExprs = append(projExprs, func(rc *rowCtx) (record.Value, error) { return rc.row[p], nil })
+				outCols = append(outCols, colInfo{table: ci.table, name: ci.name})
+			}
+			if !matched {
+				return nil, nil, fmt.Errorf("sql: no tables match %s.*", col.StarTable)
+			}
+			continue
+		}
+		c, err := compileExpr(col.Expr, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		projExprs = append(projExprs, c)
+		outCols = append(outCols, colInfo{name: exprColumnName(col)})
+	}
+
+	pairs := &projectPairIter{src: cur, exprs: projExprs, ec: ec}
+	var pairSrc interface {
+		Next() (*pairRow, error)
+		Close() error
+	}
+	if s.Distinct {
+		pairSrc = &distinctPairIter{src: pairs}
+	} else {
+		pairSrc = &passPairIter{src: pairs}
+	}
+
+	// ---- ORDER BY / LIMIT -------------------------------------------------------
+	fin := &finalIter{pairs: pairSrc, limit: -1, ec: ec}
+	for _, ot := range s.OrderBy {
+		ord := -1
+		var ce compiledExpr
+		if lit, ok := ot.Expr.(*Literal); ok && lit.Val.Type() == record.TypeInt {
+			n := int(lit.Val.Int())
+			if n < 1 || n > len(outCols) {
+				return nil, nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", n)
+			}
+			ord = n - 1
+		} else {
+			c, err := compileExpr(ot.Expr, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			ce = c
+		}
+		fin.orderBy = append(fin.orderBy, ce)
+		fin.ordinal = append(fin.ordinal, ord)
+		fin.desc = append(fin.desc, ot.Desc)
+	}
+	if s.Limit != nil {
+		v, err := evalConst(s.Limit, ec)
+		if err != nil {
+			return nil, nil, err
+		}
+		fin.limit = v.AsInt()
+	}
+	if s.Offset != nil {
+		v, err := evalConst(s.Offset, ec)
+		if err != nil {
+			return nil, nil, err
+		}
+		fin.offset = v.AsInt()
+		if fin.offset < 0 {
+			fin.offset = 0
+		}
+	}
+	return fin, outCols, nil
+}
+
+// applyAvailable filters the stream with every unplaced conjunct that
+// resolves over the given scope.
+func applyAvailable(cur iterator, scope []colInfo, conjuncts []Expr, placed []bool, ec *execCtx) (iterator, error) {
+	for ci, cond := range conjuncts {
+		if placed[ci] {
+			continue
+		}
+		c, err := compileExpr(cond, &compileEnv{cols: scope, ec: ec})
+		if err != nil {
+			continue // not available at this scope yet
+		}
+		placed[ci] = true
+		cur = &filterIter{src: cur, cond: c, ec: ec}
+	}
+	return cur, nil
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if be, ok := e.(*BinaryExpr); ok && be.Op == "AND" {
+		return append(splitAnd(be.L), splitAnd(be.R)...)
+	}
+	return []Expr{e}
+}
+
+func dedupCalls(calls []*FuncCall) []*FuncCall {
+	seen := make(map[*FuncCall]bool)
+	var out []*FuncCall
+	for _, c := range calls {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func evalConst(e Expr, ec *execCtx) (record.Value, error) {
+	c, err := compileExpr(e, &compileEnv{ec: ec})
+	if err != nil {
+		return record.Value{}, err
+	}
+	return c(&rowCtx{ec: ec})
+}
+
+// nativeJoinIndex returns an index usable for an equi-join probe: the
+// inner key must be a bare column that is the first column of an index
+// on the inner table.
+func nativeJoinIndex(t *Table, sch *schema, innerKey Expr) *Index {
+	if t == nil {
+		return nil
+	}
+	ref, ok := innerKey.(*ColumnRef)
+	if !ok {
+		return nil
+	}
+	for _, ix := range sch.tableIndexes(t.Name) {
+		if strings.EqualFold(ix.Cols[0], ref.Name) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// pickAccessPath chooses between a full scan and an index scan for a
+// base table given its local conjuncts.
+func pickAccessPath(t *Table, sch *schema, pager storage.Pager, conds []Expr, ec *execCtx) iterator {
+	// Gather constant equality and range conditions per column.
+	eq := make(map[string]Expr)
+	type rng struct {
+		op string
+		e  Expr
+	}
+	ranges := make(map[string][]rng)
+	constant := func(e Expr) bool {
+		_, err := compileExpr(e, &compileEnv{ec: ec})
+		return err == nil
+	}
+	for _, cond := range conds {
+		be, ok := cond.(*BinaryExpr)
+		if !ok {
+			continue
+		}
+		col, val := "", Expr(nil)
+		op := be.Op
+		if ref, ok := be.L.(*ColumnRef); ok && constant(be.R) {
+			col, val = strings.ToLower(ref.Name), be.R
+		} else if ref, ok := be.R.(*ColumnRef); ok && constant(be.L) {
+			col, val = strings.ToLower(ref.Name), be.L
+			// Mirror the operator: 5 < c  ==  c > 5.
+			switch op {
+			case "<":
+				op = ">"
+			case "<=":
+				op = ">="
+			case ">":
+				op = "<"
+			case ">=":
+				op = "<="
+			}
+		} else {
+			continue
+		}
+		switch op {
+		case "=":
+			eq[col] = val
+		case "<", "<=", ">", ">=":
+			ranges[col] = append(ranges[col], rng{op: op, e: val})
+		}
+	}
+
+	var best *Index
+	bestEqLen := 0
+	var bestRange bool
+	for _, ix := range sch.tableIndexes(t.Name) {
+		n := 0
+		for _, c := range ix.Cols {
+			if _, ok := eq[strings.ToLower(c)]; ok {
+				n++
+			} else {
+				break
+			}
+		}
+		hasRange := false
+		if n == 0 {
+			_, hasRange = ranges[strings.ToLower(ix.Cols[0])]
+		}
+		if n > bestEqLen || (best == nil && hasRange) {
+			best, bestEqLen, bestRange = ix, n, hasRange && n == 0
+		}
+	}
+	if best == nil || (bestEqLen == 0 && !bestRange) {
+		return newTableScan(pager, t)
+	}
+
+	it := &indexScanIter{
+		pager:  pager,
+		table:  t,
+		idxCur: btree.Open(pager, best.Root).Cursor(),
+		tbl:    btree.Open(pager, t.Root),
+	}
+	if bestEqLen > 0 {
+		vals := make([]record.Value, 0, bestEqLen)
+		for _, c := range best.Cols[:bestEqLen] {
+			v, err := evalConst(eq[strings.ToLower(c)], ec)
+			if err != nil {
+				return newTableScan(pager, t)
+			}
+			vals = append(vals, v)
+		}
+		prefix := record.EncodeKey(nil, vals)
+		it.lo = prefix
+		it.eqPrefix = prefix
+		return it
+	}
+	// Range on the first index column: seek to the lower bound (if any)
+	// and stop past the upper bound. Residual filters enforce
+	// strictness, so the bounds only need to be conservative.
+	col := strings.ToLower(best.Cols[0])
+	for _, r := range ranges[col] {
+		v, err := evalConst(r.e, ec)
+		if err != nil {
+			return newTableScan(pager, t)
+		}
+		switch r.op {
+		case ">", ">=":
+			it.lo = record.EncodeKey(nil, []record.Value{v})
+		case "<", "<=":
+			bound := v
+			it.checkHi = func(x record.Value) bool { return record.Compare(x, bound) <= 0 }
+		}
+	}
+	return it
+}

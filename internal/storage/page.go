@@ -1,0 +1,77 @@
+// Package storage implements the transactional page store that plays the
+// role of Berkeley DB in the paper's stack: fixed-size logical pages, a
+// single-writer/multi-reader transaction model with page-level MVCC
+// version chains (so read-only transactions — including Retro snapshot
+// queries — never block or observe concurrent updates), a transactional
+// free list, and a commit hook through which the Retro snapshot system
+// captures pre-states for copy-on-write snapshotting.
+//
+// Following the paper's §5 assumption, the current database is
+// memory-resident; durability of the current state is out of scope (the
+// paper's Retro integrates with BDB recovery, which we do not model).
+// Snapshot state durability is handled by the retro package's Pagelog.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a logical database page in bytes.
+const PageSize = 4096
+
+// PageID identifies a logical page. IDs are 1-based; 0 means "no page".
+type PageID uint32
+
+// PageData is the content of one page.
+type PageData [PageSize]byte
+
+// Errors returned by the storage layer.
+var (
+	ErrReadOnly    = errors.New("storage: write on read-only transaction")
+	ErrTxDone      = errors.New("storage: transaction already finished")
+	ErrBadPage     = errors.New("storage: page id out of range")
+	ErrPageFree    = errors.New("storage: page is free")
+	ErrNoVersion   = errors.New("storage: no page version visible at read LSN")
+	ErrStoreClosed = errors.New("storage: store is closed")
+)
+
+// Pager is the page access interface the B+tree (and anything else that
+// stores data in pages) is written against. Writer transactions
+// implement all of it; read-only views implement the read methods and
+// fail the mutating ones with ErrReadOnly.
+type Pager interface {
+	// Get returns a read-only view of the page content. Callers must
+	// not mutate the returned array; use GetMut for that.
+	Get(id PageID) (*PageData, error)
+	// GetMut returns a writable copy of the page registered in the
+	// transaction's dirty set. Repeated calls return the same copy.
+	GetMut(id PageID) (*PageData, error)
+	// Allocate returns a fresh zeroed page owned by the transaction.
+	Allocate() (PageID, error)
+	// Free releases a page at commit time. The page must not be used
+	// again within the transaction.
+	Free(id PageID) error
+}
+
+// DirtyPage describes one page modified by a committing transaction,
+// as passed to the CommitHook. Pre is nil for newly allocated pages;
+// New is nil for freed pages.
+type DirtyPage struct {
+	ID  PageID
+	Pre *PageData
+	New *PageData
+}
+
+// CommitHook observes commits. The Retro snapshot system registers one
+// to capture page pre-states (copy-on-write) and to assign snapshot
+// identifiers. Committing is invoked under the store mutex, before the
+// new versions become visible; newLSN is the commit LSN the transaction
+// will receive. declare is true when the transaction committed WITH
+// SNAPSHOT; the hook returns the declared snapshot id (0 when declare
+// is false). A non-nil error vetoes the commit.
+type CommitHook interface {
+	Committing(dirty []DirtyPage, declare bool, newLSN uint64) (snapID uint64, err error)
+}
+
+func (id PageID) String() string { return fmt.Sprintf("page %d", uint32(id)) }

@@ -1,0 +1,26 @@
+package storage
+
+import "sync/atomic"
+
+// Stats holds the store's monotonically increasing counters. All fields
+// are safe for concurrent update.
+type Stats struct {
+	Commits      atomic.Uint64 // committed writer transactions
+	PagesWritten atomic.Uint64 // page versions installed by commits
+	DBReads      atomic.Uint64 // page reads served from the current DB
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Commits      uint64
+	PagesWritten uint64
+	DBReads      uint64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Commits:      s.Commits.Load(),
+		PagesWritten: s.PagesWritten.Load(),
+		DBReads:      s.DBReads.Load(),
+	}
+}

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// pageVersion is one committed version of a page. Versions form a
+// singly-linked chain from newest to oldest; readers walk the chain to
+// the newest version with lsn <= their read LSN (MVCC). data == nil
+// marks a "freed" version: the page does not exist at that LSN.
+type pageVersion struct {
+	lsn  uint64
+	data *PageData
+	prev *pageVersion
+}
+
+// Store is the in-memory transactional page store. It supports one
+// writer at a time and any number of concurrent MVCC readers.
+type Store struct {
+	writer sync.Mutex // held by the active writer transaction
+
+	mu      sync.RWMutex // guards everything below
+	pages   []*pageVersion
+	free    []PageID
+	lsn     uint64
+	readers map[uint64]int // read LSN -> active reader count
+	hook    CommitHook
+	closed  bool
+
+	stats Stats
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{readers: make(map[uint64]int)}
+}
+
+// SetCommitHook installs the commit hook (the Retro snapshot system).
+// It must be called before any transactions run.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
+}
+
+// Close marks the store closed; subsequent Begin calls fail.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// LSN returns the current commit LSN.
+func (s *Store) LSN() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lsn
+}
+
+// NumPages returns the number of page slots ever allocated (including
+// currently free ones).
+func (s *Store) NumPages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pages)
+}
+
+// NumFree returns the number of pages on the free list.
+func (s *Store) NumFree() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.free)
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// Begin starts a writer transaction. It blocks until any other writer
+// finishes (single-writer model; the paper's BDB uses finer-grained
+// locking, but RQL's workloads are single-writer and the simplification
+// does not affect the studied behaviours).
+func (s *Store) Begin() (*Tx, error) {
+	s.writer.Lock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.writer.Unlock()
+		return nil, ErrStoreClosed
+	}
+	return &Tx{
+		store: s,
+		dirty: make(map[PageID]*PageData),
+		base:  s.lsn,
+	}, nil
+}
+
+// BeginRead starts an MVCC read-only transaction pinned at the current
+// commit LSN. It never blocks writers; the version chains retain any
+// page versions it may need until it is closed.
+func (s *Store) BeginRead() (*ReadTx, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStoreClosed
+	}
+	s.readers[s.lsn]++
+	return &ReadTx{store: s, lsn: s.lsn}, nil
+}
+
+// minReaderLSN returns the smallest pinned read LSN, or cur when no
+// readers are active. Callers must hold s.mu.
+func (s *Store) minReaderLSN(cur uint64) uint64 {
+	min := cur
+	for l := range s.readers {
+		if l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// readVersion returns the content of page id visible at readLSN.
+// It returns (nil, nil) when the page does not exist at that LSN
+// (never allocated yet, or freed).
+func (s *Store) readVersion(id PageID, readLSN uint64) (*PageData, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 || int(id) > len(s.pages) {
+		return nil, ErrBadPage
+	}
+	for v := s.pages[id-1]; v != nil; v = v.prev {
+		if v.lsn <= readLSN {
+			s.stats.DBReads.Add(1)
+			return v.data, nil
+		}
+	}
+	return nil, nil
+}
+
+// commit applies a transaction's effects: assigns the next LSN, invokes
+// the commit hook (Retro pre-state capture / snapshot declaration),
+// installs new page versions, prunes version chains no active reader
+// needs, and updates the free list.
+func (s *Store) commit(tx *Tx, declare bool) (snapID uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Assemble the dirty set in a deterministic order: content
+	// changes, then frees.
+	dirty := make([]DirtyPage, 0, len(tx.dirty)+len(tx.freed))
+	for id, data := range tx.dirty {
+		var pre *PageData
+		if head := s.currentVersion(id); head != nil {
+			pre = head.data
+		}
+		dirty = append(dirty, DirtyPage{ID: id, Pre: pre, New: data})
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].ID < dirty[j].ID })
+	for _, id := range tx.freed {
+		var pre *PageData
+		if head := s.currentVersion(id); head != nil {
+			pre = head.data
+		}
+		dirty = append(dirty, DirtyPage{ID: id, Pre: pre, New: nil})
+	}
+
+	if s.hook != nil {
+		snapID, err = s.hook.Committing(dirty, declare, s.lsn+1)
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	s.lsn++
+	newLSN := s.lsn
+	keep := s.minReaderLSN(newLSN)
+	for _, d := range dirty {
+		s.installVersion(d.ID, &pageVersion{lsn: newLSN, data: d.New}, keep)
+	}
+	s.free = append(s.free, tx.freed...)
+	s.stats.Commits.Add(1)
+	s.stats.PagesWritten.Add(uint64(len(dirty)))
+	return snapID, nil
+}
+
+// currentVersion returns the newest committed version of a page, or
+// nil when the page has never been written. Callers must hold s.mu.
+func (s *Store) currentVersion(id PageID) *pageVersion {
+	if id == 0 || int(id) > len(s.pages) {
+		return nil
+	}
+	return s.pages[id-1]
+}
+
+// installVersion pushes v as the new head of the page's chain, pruning
+// versions no reader with LSN >= keep can observe. Callers hold s.mu.
+func (s *Store) installVersion(id PageID, v *pageVersion, keep uint64) {
+	for int(id) > len(s.pages) {
+		s.pages = append(s.pages, nil)
+	}
+	v.prev = s.pages[id-1]
+	// Prune: retain the newest version with lsn <= keep and everything
+	// newer; older versions are invisible to every active reader.
+	for p := v; p != nil; p = p.prev {
+		if p.lsn <= keep {
+			p.prev = nil
+			break
+		}
+	}
+	s.pages[id-1] = v
+}
+
+// allocate hands out a page id for a writer transaction, reusing the
+// free list when possible. Version chains make reuse safe: readers
+// pinned before the free still resolve their own versions.
+func (s *Store) allocate() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
+	s.pages = append(s.pages, nil)
+	return PageID(len(s.pages))
+}
+
+// unallocate returns pages reserved by a rolled-back transaction.
+func (s *Store) unallocate(ids []PageID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.free = append(s.free, ids...)
+}
+
+func (s *Store) endRead(lsn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := s.readers[lsn]; n > 1 {
+		s.readers[lsn] = n - 1
+	} else {
+		delete(s.readers, lsn)
+	}
+}

@@ -1,0 +1,204 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"rql/internal/core"
+	"rql/internal/record"
+	"rql/internal/sql"
+)
+
+func loadTiny(t *testing.T, ordersPerSnap int) (*sql.DB, *sql.Conn, *Workload) {
+	t.Helper()
+	db, err := sql.Open(sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	core.Attach(db)
+	conn := db.Conn()
+	g := NewGenerator(0.001, 42) // 1500 orders
+	minKey, _, err := Load(conn, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.EnsureSnapIds(conn); err != nil {
+		t.Fatal(err)
+	}
+	return db, conn, NewWorkload(conn, g, minKey, ordersPerSnap)
+}
+
+func count(t *testing.T, c *sql.Conn, sqlText string) int64 {
+	t.Helper()
+	rows, err := c.Query(sqlText)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sqlText, err)
+	}
+	return rows.Rows[0][0].Int()
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(0.001, 7)
+	b := NewGenerator(0.001, 7)
+	oa := a.NextOrders(10)
+	ob := b.NextOrders(10)
+	for i := range oa {
+		for j := range oa[i].Row {
+			if record.Compare(oa[i].Row[j], ob[i].Row[j]) != 0 {
+				t.Fatalf("order %d field %d differs", i, j)
+			}
+		}
+	}
+	c := NewGenerator(0.001, 8)
+	oc := c.NextOrders(10)
+	same := true
+	for j := range oa[0].Row {
+		if record.Compare(oa[0].Row[j], oc[0].Row[j]) != 0 {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical rows")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	g := NewGenerator(0.001, 1)
+	if g.Orders() != 1500 || g.Customers() != 150 || g.Parts() != 200 || g.Suppliers() != 10 {
+		t.Errorf("cardinalities: %d %d %d %d", g.Orders(), g.Customers(), g.Parts(), g.Suppliers())
+	}
+	if len(g.Nation()) != 25 || len(g.Region()) != 5 {
+		t.Error("fixed tables wrong size")
+	}
+	if got := len(g.PartSupp()); got != g.Parts()*4 {
+		t.Errorf("partsupp = %d", got)
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	_, conn, _ := loadTiny(t, 30)
+	for table, want := range map[string]int64{
+		"region": 5, "nation": 25, "supplier": 10, "customer": 150,
+		"part": 200, "partsupp": 800, "orders": 1500,
+	} {
+		if got := count(t, conn, "SELECT COUNT(*) FROM "+table); got != want {
+			t.Errorf("%s: %d rows, want %d", table, got, want)
+		}
+	}
+	// ~4 lineitems per order on average.
+	li := count(t, conn, "SELECT COUNT(*) FROM lineitem")
+	if li < 3000 || li > 9000 {
+		t.Errorf("lineitem count %d out of plausible range", li)
+	}
+	// The paper's Qq_cpu p_type exists.
+	if got := count(t, conn,
+		`SELECT COUNT(*) FROM part WHERE p_type = 'STANDARD POLISHED TIN'`); got == 0 {
+		t.Skip("no STANDARD POLISHED TIN at this tiny scale (acceptable)")
+	}
+}
+
+func TestWorkloadSlidingWindow(t *testing.T) {
+	_, conn, w := loadTiny(t, 30)
+	before := count(t, conn, "SELECT COUNT(*) FROM orders")
+	if err := w.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	after := count(t, conn, "SELECT COUNT(*) FROM orders")
+	if before != after {
+		t.Errorf("window size changed: %d -> %d", before, after)
+	}
+	// The oldest keys are gone, new keys appended.
+	minKey := count(t, conn, "SELECT MIN(o_orderkey) FROM orders")
+	if minKey != 1+5*30 {
+		t.Errorf("min order key %d, want %d", minKey, 1+5*30)
+	}
+	// Lineitems follow their orders.
+	if got := count(t, conn,
+		"SELECT COUNT(*) FROM lineitem WHERE l_orderkey < 151"); got != 0 {
+		t.Errorf("%d orphaned lineitems", got)
+	}
+	// Five snapshots declared and recorded.
+	if got := count(t, conn, "SELECT COUNT(*) FROM SnapIds"); got != 5 {
+		t.Errorf("SnapIds has %d rows", got)
+	}
+}
+
+func TestSnapshotsSeeHistoricalWindows(t *testing.T) {
+	db, conn, w := loadTiny(t, 30)
+	if err := w.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	db.Retro().ResetCache()
+	// Snapshot 1: window was [31, 1530] after the first refresh.
+	rows, err := conn.Query(`SELECT AS OF 1 MIN(o_orderkey), MAX(o_orderkey) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := rows.Rows[0][0].Int(), rows.Rows[0][1].Int()
+	if lo != 31 || hi != 1530 {
+		t.Errorf("snapshot 1 window [%d,%d], want [31,1530]", lo, hi)
+	}
+	// Snapshot 3 differs from snapshot 1.
+	rows, err = conn.Query(`SELECT AS OF 3 MIN(o_orderkey) FROM orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rows[0][0].Int() != 91 {
+		t.Errorf("snapshot 3 min key %d, want 91", rows.Rows[0][0].Int())
+	}
+}
+
+// The full RQL-over-TPC-H integration: the paper's §5.3 example query.
+func TestRQLOverTPCH(t *testing.T) {
+	db, conn, w := loadTiny(t, 30)
+	r := core.Attach(db)
+	if err := w.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.AggregateDataInTable(conn,
+		`SELECT snap_id FROM SnapIds`,
+		`SELECT o_custkey, COUNT(*) AS cn, AVG(o_totalprice) AS av FROM orders GROUP BY o_custkey`,
+		"Result", "(cn,MAX)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResultRows == 0 {
+		t.Fatal("empty result")
+	}
+	// Cross-check against CollateData + SQL on a fresh result table.
+	if _, err := r.CollateData(conn,
+		`SELECT snap_id FROM SnapIds`,
+		`SELECT o_custkey, COUNT(*) AS cn, AVG(o_totalprice) AS av FROM orders GROUP BY o_custkey`,
+		"CollResult"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := conn.Query(`SELECT o_custkey, MAX(cn) FROM Result GROUP BY o_custkey ORDER BY o_custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := conn.Query(`SELECT o_custkey, MAX(cn) FROM CollResult GROUP BY o_custkey ORDER BY o_custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if record.Compare(a.Rows[i][j], b.Rows[i][j]) != 0 {
+				t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+			}
+		}
+	}
+}
+
+func TestDates(t *testing.T) {
+	g := NewGenerator(0.001, 3)
+	for i := 0; i < 100; i++ {
+		d := g.date()
+		if len(d) != 10 || !strings.HasPrefix(d, "199") {
+			t.Fatalf("bad date %q", d)
+		}
+	}
+}

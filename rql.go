@@ -1,0 +1,184 @@
+// Package rql is the public API of the RQL reproduction: a declarative
+// SQL extension for retrospective computations over sets of database
+// snapshots, as described in "RQL: Retrospective Computations over
+// Snapshot Sets" (EDBT 2018).
+//
+// The stack underneath — a transactional page store with MVCC (playing
+// Berkeley DB's role), the Retro page-level copy-on-write snapshot
+// system (Pagelog, Maplog with Skippy indexing, snapshot page tables),
+// and a SQL engine with a UDF callback framework (playing SQLite's
+// role) — is implemented from scratch in this module's internal
+// packages.
+//
+// # Quick start
+//
+//	db, _ := rql.Open(rql.Options{})
+//	defer db.Close()
+//	conn := db.Conn()
+//	conn.Exec(`CREATE TABLE logged_in (user TEXT, country TEXT)`, nil)
+//	conn.Exec(`INSERT INTO logged_in VALUES ('ann', 'USA')`, nil)
+//	snap, _ := conn.DeclareSnapshot("day-1")       // BEGIN; COMMIT WITH SNAPSHOT
+//	conn.Exec(`DELETE FROM logged_in`, nil)
+//	rows, _ := conn.Query(fmt.Sprintf(`SELECT AS OF %d * FROM logged_in`, snap))
+//
+// Multi-snapshot computations use the four RQL mechanisms, either
+// through the Go API:
+//
+//	stats, _ := conn.CollateData(
+//	    `SELECT snap_id FROM SnapIds`,
+//	    `SELECT DISTINCT user, current_snapshot() AS sid FROM logged_in`,
+//	    "Result")
+//
+// or in SQL, with the mechanism interposed on the snapshot-set query as
+// a UDF (the paper's Figure 5 structure):
+//
+//	SELECT CollateData(snap_id,
+//	    'SELECT DISTINCT user, current_snapshot() AS sid FROM logged_in',
+//	    'Result') FROM SnapIds;
+package rql
+
+import (
+	"time"
+
+	"rql/internal/core"
+	"rql/internal/record"
+	"rql/internal/retro"
+	"rql/internal/sql"
+)
+
+// Value is a dynamically typed SQL value.
+type Value = record.Value
+
+// Convenience constructors for Values.
+var (
+	Null  = record.Null
+	Int   = record.Int
+	Float = record.Float
+	Text  = record.Text
+	Blob  = record.Blob
+)
+
+// Re-exported result and statistics types.
+type (
+	// Rows is a materialized query result.
+	Rows = sql.Rows
+	// ExecStats is the per-statement cost breakdown.
+	ExecStats = sql.ExecStats
+	// RunStats is a mechanism run's statistics (per-iteration costs).
+	RunStats = core.RunStats
+	// IterationCost is one RQL loop iteration's cost breakdown.
+	IterationCost = core.IterationCost
+	// RowCallback receives result rows, sqlite3_exec style.
+	RowCallback = sql.RowCallback
+	// FuncDef registers a scalar function or UDF.
+	FuncDef = sql.FuncDef
+	// FuncContext is passed to scalar function invocations.
+	FuncContext = sql.FuncContext
+	// TableStats reports a table's size (rows, data bytes, index bytes).
+	TableStats = sql.TableStats
+)
+
+// Options configures Open.
+type Options struct {
+	// PagelogPath backs the snapshot archive with a file; empty keeps
+	// it in memory.
+	PagelogPath string
+	// CachePages is the snapshot page cache capacity in pages
+	// (default 16384 = 64 MiB; negative disables).
+	CachePages int
+	// SimulatedReadLatency models the cost of one Pagelog read that
+	// misses the snapshot cache; see retro.DefaultReadLatency.
+	SimulatedReadLatency time.Duration
+	// SkipFactor is the Skippy skip-merge fanout (default 4).
+	SkipFactor int
+}
+
+// DB is a database with the Retro snapshot system and the RQL
+// mechanisms attached.
+type DB struct {
+	inner *sql.DB
+	rql   *core.RQL
+}
+
+// Open creates a new database.
+func Open(opts Options) (*DB, error) {
+	inner, err := sql.Open(sql.Options{Retro: retro.Options{
+		PagelogPath:          opts.PagelogPath,
+		CachePages:           opts.CachePages,
+		SimulatedReadLatency: opts.SimulatedReadLatency,
+		SkipFactor:           opts.SkipFactor,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner, rql: core.Attach(inner)}, nil
+}
+
+// Close releases the database.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// RegisterFunc registers a scalar function or UDF.
+func (db *DB) RegisterFunc(def FuncDef) { db.inner.RegisterFunc(def) }
+
+// LastRun returns the statistics of the most recent mechanism run.
+func (db *DB) LastRun() *RunStats { return db.rql.LastRun() }
+
+// ResetSnapshotCache empties the snapshot page cache (produces the
+// paper's "cold" starting condition for measurements).
+func (db *DB) ResetSnapshotCache() { db.inner.Retro().ResetCache() }
+
+// PagelogPages reports the number of archived page pre-states.
+func (db *DB) PagelogPages() int64 { return db.inner.Retro().PagelogPages() }
+
+// Conn opens a connection. Connections are not safe for concurrent
+// use; open one per goroutine.
+func (db *DB) Conn() *Conn { return &Conn{Conn: db.inner.Conn(), db: db} }
+
+// Conn is a database connection with the RQL mechanisms bound.
+type Conn struct {
+	*sql.Conn
+	db *DB
+}
+
+// DeclareSnapshot declares a snapshot of the current state (an empty
+// BEGIN; COMMIT WITH SNAPSHOT) and records it in the SnapIds table with
+// the current time and the given label.
+func (c *Conn) DeclareSnapshot(label string) (uint64, error) {
+	return core.DeclareSnapshot(c.Conn, time.Now(), label)
+}
+
+// EnsureSnapIds creates the SnapIds table if needed. The helpers above
+// create it on demand; call this directly when populating SnapIds
+// manually after COMMIT WITH SNAPSHOT statements.
+func (c *Conn) EnsureSnapIds() error { return core.EnsureSnapIds(c.Conn) }
+
+// RecordSnapshot registers an already-declared snapshot id in SnapIds.
+func (c *Conn) RecordSnapshot(snapID uint64, ts time.Time, label string) error {
+	return core.RecordSnapshot(c.Conn, snapID, ts, label)
+}
+
+// CollateData collects the records Qq returns on every snapshot of the
+// Qs set into table T (paper §2.1).
+func (c *Conn) CollateData(qs, qq, table string) (*RunStats, error) {
+	return c.db.rql.CollateData(c.Conn, qs, qq, table)
+}
+
+// AggregateDataInVariable applies an aggregate function (min, max, sum,
+// count or avg) to the single value Qq returns per snapshot, storing
+// the final value in T (paper §2.2).
+func (c *Conn) AggregateDataInVariable(qs, qq, table, aggFunc string) (*RunStats, error) {
+	return c.db.rql.AggregateDataInVariable(c.Conn, qs, qq, table, aggFunc)
+}
+
+// AggregateDataInTable aggregates Qq's records across snapshots in
+// table T; pairs names the aggregated columns and their functions, e.g.
+// "(cn,MAX):(av,MAX)" (paper §2.3).
+func (c *Conn) AggregateDataInTable(qs, qq, table, pairs string) (*RunStats, error) {
+	return c.db.rql.AggregateDataInTable(c.Conn, qs, qq, table, pairs)
+}
+
+// CollateDataIntoIntervals collects Qq's records into lifetime
+// intervals [start_snapshot, end_snapshot] in table T (paper §2.4).
+func (c *Conn) CollateDataIntoIntervals(qs, qq, table string) (*RunStats, error) {
+	return c.db.rql.CollateDataIntoIntervals(c.Conn, qs, qq, table)
+}

@@ -1,0 +1,129 @@
+package rql_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rql"
+)
+
+func openTestDB(t *testing.T) (*rql.DB, *rql.Conn) {
+	t.Helper()
+	db, err := rql.Open(rql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, db.Conn()
+}
+
+// TestPublicAPIQuickstart walks the README flow through the facade.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, conn := openTestDB(t)
+
+	steps := []string{
+		`CREATE TABLE logged_in (user TEXT, country TEXT)`,
+		`INSERT INTO logged_in VALUES ('ann', 'USA'), ('ben', 'UK')`,
+	}
+	for _, s := range steps {
+		if err := conn.Exec(s, nil); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	snap, err := conn.DeclareSnapshot("day-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Exec(`DELETE FROM logged_in WHERE user = 'ann'`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.DeclareSnapshot("day-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := conn.Query(fmt.Sprintf(`SELECT AS OF %d user FROM logged_in ORDER BY user`, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != 2 || rows.Rows[0][0].Text() != "ann" {
+		t.Fatalf("AS OF result: %v", rows.Rows)
+	}
+
+	// The four mechanisms through the facade.
+	if _, err := conn.CollateData(`SELECT snap_id FROM SnapIds`,
+		`SELECT user, current_snapshot() AS sid FROM logged_in`, "R1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.AggregateDataInVariable(`SELECT snap_id FROM SnapIds`,
+		`SELECT COUNT(*) FROM logged_in`, "R2", "max"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.AggregateDataInTable(`SELECT snap_id FROM SnapIds`,
+		`SELECT country, COUNT(*) AS c FROM logged_in GROUP BY country`, "R3", "(c,max)"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := conn.CollateDataIntoIntervals(`SELECT snap_id FROM SnapIds`,
+		`SELECT user FROM logged_in`, "R4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResultRows != 2 { // ann [1,1], ben [1,2]
+		t.Errorf("intervals rows = %d", stats.ResultRows)
+	}
+	if db.LastRun() == nil || db.LastRun().Mechanism != "CollateDataIntoIntervals" {
+		t.Errorf("LastRun: %+v", db.LastRun())
+	}
+
+	r2, err := conn.Query(`SELECT * FROM R2`)
+	if err != nil || len(r2.Rows) != 1 || r2.Rows[0][0].Int() != 2 {
+		t.Errorf("max logged-in count: %v %v", r2, err)
+	}
+
+	// Snapshot cache control and stats surface.
+	db.ResetSnapshotCache()
+	if err := conn.Exec(fmt.Sprintf(`SELECT AS OF %d COUNT(*) FROM logged_in`, snap), nil); err != nil {
+		t.Fatal(err)
+	}
+	if db.PagelogPages() == 0 {
+		t.Error("expected archived pages after updates")
+	}
+}
+
+func TestPublicAPIUDF(t *testing.T) {
+	db, conn := openTestDB(t)
+	db.RegisterFunc(rql.FuncDef{
+		Name: "shout", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *rql.FuncContext, args []rql.Value) (rql.Value, error) {
+			return rql.Text(strings.ToUpper(args[0].String()) + "!"), nil
+		},
+	})
+	rows, err := conn.Query(`SELECT shout('hi')`)
+	if err != nil || rows.Rows[0][0].Text() != "HI!" {
+		t.Fatalf("UDF: %v %v", rows, err)
+	}
+}
+
+func TestPublicAPIValues(t *testing.T) {
+	_, conn := openTestDB(t)
+	if err := conn.Exec(`CREATE TABLE t (a, b, c, d)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := conn.Exec(`INSERT INTO t VALUES (?, ?, ?, ?)`, nil,
+		rql.Int(1), rql.Float(2.5), rql.Text("x"), rql.Null())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := conn.Query(`SELECT a, b, c, d FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows.Rows[0]
+	if r[0].Int() != 1 || r[1].Float() != 2.5 || r[2].Text() != "x" || !r[3].IsNull() {
+		t.Errorf("values: %v", r)
+	}
+	st, err := conn.TableStats("t")
+	if err != nil || st.Rows != 1 {
+		t.Errorf("TableStats: %+v %v", st, err)
+	}
+}
