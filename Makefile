@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all check build vet test race fmt bench
+
+all: check
+
+# check is the tier-1 gate: build, vet, race-enabled tests, and gofmt
+# as a failing check.
+check: build vet race fmt
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -1,0 +1,535 @@
+// Package client is the Go client for rqld, the RQL network server.
+// Conn mirrors rql.Conn's API — Exec with streaming row callbacks,
+// Query, transactions, COMMIT WITH SNAPSHOT, DeclareSnapshot, and the
+// four RQL mechanisms — so code written against the in-process API runs
+// unchanged against a remote server:
+//
+//	conn, _ := client.Dial("localhost:7427")
+//	defer conn.Close()
+//	conn.Exec(`CREATE TABLE logged_in (user TEXT, country TEXT)`, nil)
+//	snap, _ := conn.DeclareSnapshot("day-1")
+//	rows, _ := conn.Query(fmt.Sprintf(`SELECT AS OF %d * FROM logged_in`, snap))
+//	stats, _ := conn.CollateData(`SELECT snap_id FROM SnapIds`, qq, "Result")
+//
+// A Conn carries one request at a time and is safe for use from one
+// goroutine; open one Conn per goroutine, exactly like rql.Conn.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rql"
+	"rql/internal/record"
+	"rql/internal/wire"
+)
+
+// RemoteError is a server-reported statement error.
+type RemoteError = wire.RemoteError
+
+// ServerStats is the server's STATS reply.
+type ServerStats = wire.ServerStats
+
+// ErrConnClosed is returned after Close or a fatal protocol failure.
+var ErrConnClosed = errors.New("client: connection closed")
+
+// Conn is a connection to an rqld server. It mirrors rql.Conn; it is
+// not safe for concurrent use — open one Conn per goroutine.
+type Conn struct {
+	mu sync.Mutex
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	// RequestTimeout, when positive, bounds each request round-trip on
+	// the client side (the server enforces its own deadline regardless).
+	RequestTimeout time.Duration
+
+	fatal        error // sticky: protocol or I/O failure
+	lastStats    rql.ExecStats
+	lastSnapshot uint64
+	inTx         bool
+}
+
+// Dial connects to an rqld server.
+func Dial(addr string) (*Conn, error) { return DialTimeout(addr, 10*time.Second) }
+
+// DialTimeout connects with a bound on connection establishment and the
+// protocol handshake.
+func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 32<<10),
+		bw: bufio.NewWriterSize(nc, 32<<10),
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+	if err := c.handshake(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+func (c *Conn) handshake() error {
+	e := &wire.Enc{}
+	e.String(wire.Magic)
+	e.Uvarint(wire.ProtocolVersion)
+	if err := wire.WriteFrame(c.bw, wire.ReqHello, e.B); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	op, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return err
+	}
+	if op == wire.RespError {
+		return wire.DecodeError(payload)
+	}
+	if op != wire.RespHello {
+		return fmt.Errorf("client: unexpected handshake reply %#x", op)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal == nil {
+		c.fatal = ErrConnClosed
+	}
+	return c.nc.Close()
+}
+
+// fail marks the connection unusable and returns err.
+func (c *Conn) fail(err error) error {
+	if c.fatal == nil {
+		c.fatal = fmt.Errorf("client: connection broken: %w", err)
+		c.nc.Close()
+	}
+	return err
+}
+
+// request sends one frame and hands response frames to handle until it
+// returns done. The connection lock is held for the whole round-trip:
+// one request at a time.
+func (c *Conn) request(op byte, payload []byte, handle func(op byte, payload []byte) (done bool, err error)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal != nil {
+		return c.fatal
+	}
+	if c.RequestTimeout > 0 {
+		c.nc.SetDeadline(time.Now().Add(c.RequestTimeout))
+		defer c.nc.SetDeadline(time.Time{})
+	}
+	if err := wire.WriteFrame(c.bw, op, payload); err != nil {
+		return c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	for {
+		rop, rpayload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return c.fail(err)
+		}
+		done, err := handle(rop, rpayload)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// errUnexpected makes a protocol-violation error; the caller wraps it
+// through fail since the stream position is no longer trustworthy.
+func (c *Conn) unexpected(op byte) error {
+	return c.fail(fmt.Errorf("client: unexpected response frame %#x", op))
+}
+
+// Exec executes one or more semicolon-separated statements, streaming
+// result rows to cb. Unlike the in-process API, a callback error does
+// not abort the statement server-side: the remaining rows are drained
+// and the error is returned afterwards.
+func (c *Conn) Exec(sqlText string, cb rql.RowCallback, params ...rql.Value) error {
+	return c.exec(sqlText, 0, cb, params)
+}
+
+// ExecAsOf executes statements with SELECTs bound to the given snapshot.
+func (c *Conn) ExecAsOf(sqlText string, snap uint64, cb rql.RowCallback, params ...rql.Value) error {
+	return c.exec(sqlText, snap, cb, params)
+}
+
+func (c *Conn) exec(sqlText string, asOf uint64, cb rql.RowCallback, params []rql.Value) error {
+	e := &wire.Enc{}
+	e.Uvarint(asOf)
+	e.String(sqlText)
+	e.Row(params)
+
+	var (
+		cols   []string
+		cbErr  error
+		result error
+	)
+	err := c.request(wire.ReqExec, e.B, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespHeader:
+			d := &wire.Dec{B: payload}
+			n := d.Uvarint()
+			cols = make([]string, 0, n)
+			for i := uint64(0); i < n && d.Err() == nil; i++ {
+				cols = append(cols, d.String())
+			}
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return false, nil
+		case wire.RespBatch:
+			d := &wire.Dec{B: payload}
+			n := d.Uvarint()
+			for i := uint64(0); i < n; i++ {
+				row := d.Row()
+				if d.Err() != nil {
+					return true, c.fail(d.Err())
+				}
+				if cb != nil && cbErr == nil {
+					cbErr = cb(cols, row)
+				}
+			}
+			return false, nil
+		case wire.RespDone:
+			d := &wire.Dec{B: payload}
+			st := wire.DecodeExecStats(d)
+			c.lastSnapshot = d.Uvarint()
+			c.inTx = d.Bool()
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			c.lastStats = rql.ExecStats{
+				Duration:     st.Duration,
+				SPTBuildTime: st.SPTBuildTime,
+				AutoIndex:    st.AutoIndex,
+				MapScanned:   st.MapScanned,
+				PagelogReads: st.PagelogReads,
+				CacheHits:    st.CacheHits,
+				DBReads:      st.DBReads,
+				RowsReturned: st.RowsReturned,
+			}
+			return true, nil
+		case wire.RespError:
+			result = wire.DecodeError(payload)
+			return true, nil
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if result != nil {
+		return result
+	}
+	return cbErr
+}
+
+// Query executes a single SELECT and returns the materialized result.
+func (c *Conn) Query(sqlText string, params ...rql.Value) (*rql.Rows, error) {
+	rows := &rql.Rows{}
+	err := c.Exec(sqlText, func(cols []string, row []rql.Value) error {
+		if rows.Cols == nil {
+			rows.Cols = append([]string(nil), cols...)
+		}
+		cp := make([]rql.Value, len(row))
+		copy(cp, row)
+		rows.Rows = append(rows.Rows, cp)
+		return nil
+	}, params...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// LastStats returns the statistics of the most recent statement.
+func (c *Conn) LastStats() rql.ExecStats { return c.lastStats }
+
+// LastSnapshot returns the snapshot id declared by the most recent
+// COMMIT WITH SNAPSHOT on this connection.
+func (c *Conn) LastSnapshot() uint64 { return c.lastSnapshot }
+
+// InTx reports whether the server session has an explicit transaction
+// open.
+func (c *Conn) InTx() bool { return c.inTx }
+
+// Begin opens an explicit transaction on the server session.
+func (c *Conn) Begin() error { return c.Exec("BEGIN", nil) }
+
+// Commit commits the explicit transaction.
+func (c *Conn) Commit() error { return c.Exec("COMMIT", nil) }
+
+// CommitWithSnapshot commits the explicit transaction and declares a
+// snapshot that includes it, returning the new snapshot id.
+func (c *Conn) CommitWithSnapshot() (uint64, error) {
+	if err := c.Exec("COMMIT WITH SNAPSHOT", nil); err != nil {
+		return 0, err
+	}
+	return c.lastSnapshot, nil
+}
+
+// Rollback aborts the explicit transaction.
+func (c *Conn) Rollback() error { return c.Exec("ROLLBACK", nil) }
+
+// DeclareSnapshot declares a snapshot of the current state and records
+// it in the SnapIds table with the current time and the given label.
+func (c *Conn) DeclareSnapshot(label string) (uint64, error) {
+	e := &wire.Enc{}
+	e.String(label)
+	var id uint64
+	err := c.request(wire.ReqSnap, e.B, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespSnapID:
+			d := &wire.Dec{B: payload}
+			id = d.Uvarint()
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return id, err
+}
+
+// EnsureSnapIds creates the SnapIds table if needed (same DDL as the
+// in-process API).
+func (c *Conn) EnsureSnapIds() error {
+	return c.Exec(`CREATE TEMP TABLE IF NOT EXISTS SnapIds (
+		snap_id INTEGER PRIMARY KEY,
+		snap_ts TEXT,
+		label   TEXT
+	)`, nil)
+}
+
+// RecordSnapshot registers an already-declared snapshot id in SnapIds.
+func (c *Conn) RecordSnapshot(snapID uint64, ts time.Time, label string) error {
+	return c.Exec(`INSERT INTO SnapIds (snap_id, snap_ts, label) VALUES (?, ?, ?)`, nil,
+		record.Int(int64(snapID)),
+		record.Text(ts.UTC().Format("2006-01-02 15:04:05")),
+		record.Text(label),
+	)
+}
+
+// CollateData collects the records Qq returns on every snapshot of the
+// Qs set into table T, server-side.
+func (c *Conn) CollateData(qs, qq, table string) (*rql.RunStats, error) {
+	return c.mech(wire.MechCollate, qs, qq, table, "")
+}
+
+// AggregateDataInVariable applies an aggregate function to the single
+// value Qq returns per snapshot, storing the final value in T.
+func (c *Conn) AggregateDataInVariable(qs, qq, table, aggFunc string) (*rql.RunStats, error) {
+	return c.mech(wire.MechAggVar, qs, qq, table, aggFunc)
+}
+
+// AggregateDataInTable aggregates Qq's records across snapshots in
+// table T with the per-column functions of pairs.
+func (c *Conn) AggregateDataInTable(qs, qq, table, pairs string) (*rql.RunStats, error) {
+	return c.mech(wire.MechAggTable, qs, qq, table, pairs)
+}
+
+// CollateDataIntoIntervals collects Qq's records into lifetime
+// intervals in table T.
+func (c *Conn) CollateDataIntoIntervals(qs, qq, table string) (*rql.RunStats, error) {
+	return c.mech(wire.MechIntervals, qs, qq, table, "")
+}
+
+func (c *Conn) mech(kind byte, qs, qq, table, extra string) (*rql.RunStats, error) {
+	e := &wire.Enc{}
+	e.Byte(kind)
+	e.String(qs)
+	e.String(qq)
+	e.String(table)
+	e.String(extra)
+	var run *rql.RunStats
+	err := c.request(wire.ReqMech, e.B, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespRun:
+			d := &wire.Dec{B: payload}
+			if d.Bool() {
+				r := runFromWire(wire.DecodeRunStats(d))
+				run = &r
+			}
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return run, err
+}
+
+// LastRun returns the statistics of the most recent mechanism run on
+// the server (nil if none has run yet).
+func (c *Conn) LastRun() (*rql.RunStats, error) {
+	var run *rql.RunStats
+	err := c.request(wire.ReqRun, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespRun:
+			d := &wire.Dec{B: payload}
+			if d.Bool() {
+				r := runFromWire(wire.DecodeRunStats(d))
+				run = &r
+			}
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return run, err
+}
+
+// Objects lists every table and index in both stores.
+func (c *Conn) Objects() ([]rql.ObjectInfo, error) {
+	var out []rql.ObjectInfo
+	err := c.request(wire.ReqObjs, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespObjs:
+			d := &wire.Dec{B: payload}
+			objs := wire.DecodeObjects(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			out = make([]rql.ObjectInfo, len(objs))
+			for i, o := range objs {
+				out[i] = rql.ObjectInfo{Kind: o.Kind, Name: o.Name, Table: o.Table, Temp: o.Temp}
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return out, err
+}
+
+// TableStats measures the named table in the current state.
+func (c *Conn) TableStats(name string) (rql.TableStats, error) {
+	e := &wire.Enc{}
+	e.String(name)
+	var out rql.TableStats
+	err := c.request(wire.ReqTblSt, e.B, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespTblSt:
+			d := &wire.Dec{B: payload}
+			out.Rows = int(d.Uvarint())
+			out.DataBytes = d.Varint()
+			out.IndexBytes = d.Varint()
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return out, err
+}
+
+// ServerStats fetches the server's STATS counters: connections,
+// queries, streamed rows, the request-latency histogram, and the
+// storage/Retro counters piped through from the database.
+func (c *Conn) ServerStats() (ServerStats, error) {
+	var out ServerStats
+	err := c.request(wire.ReqStats, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespStats:
+			d := &wire.Dec{B: payload}
+			out = wire.DecodeServerStats(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return out, err
+}
+
+// Ping round-trips an empty request.
+func (c *Conn) Ping() error {
+	return c.request(wire.ReqPing, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespPong:
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+}
+
+// runFromWire converts wire run statistics into the public form.
+func runFromWire(r wire.RunStats) rql.RunStats {
+	out := rql.RunStats{
+		Mechanism:        r.Mechanism,
+		ResultRows:       r.ResultRows,
+		ResultDataBytes:  r.ResultDataBytes,
+		ResultIndexBytes: r.ResultIndexBytes,
+		Iterations:       make([]rql.IterationCost, len(r.Iterations)),
+	}
+	for i, it := range r.Iterations {
+		out.Iterations[i] = rql.IterationCost{
+			Snapshot:      it.Snapshot,
+			SPTBuild:      it.SPTBuild,
+			IndexCreation: it.IndexCreation,
+			QueryEval:     it.QueryEval,
+			UDF:           it.UDF,
+			IOTime:        it.IOTime,
+			PagelogReads:  it.PagelogReads,
+			CacheHits:     it.CacheHits,
+			DBReads:       it.DBReads,
+			MapScanned:    it.MapScanned,
+			QqRows:        it.QqRows,
+			ResultInserts: it.ResultInserts,
+			ResultUpdates: it.ResultUpdates,
+			ResultSearch:  it.ResultSearch,
+		}
+	}
+	return out
+}

@@ -1,6 +1,12 @@
 // Command rqlshell is an interactive SQL shell over an RQL database:
 // the full SQL surface including the Retro extensions (COMMIT WITH
-// SNAPSHOT, SELECT AS OF) and the four RQL mechanism UDFs.
+// SNAPSHOT, SELECT AS OF) and the four RQL mechanism UDFs. By default
+// it opens a private in-memory database; with -connect it speaks the
+// rqld wire protocol to a remote server instead, with the same SQL
+// surface and dot commands.
+//
+//	rqlshell                       # in-process, in-memory database
+//	rqlshell -connect localhost:7427
 //
 // Dot commands:
 //
@@ -15,27 +21,62 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"rql"
+	"rql/client"
 )
 
-func main() {
-	db, err := rql.Open(rql.Options{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rqlshell:", err)
-		os.Exit(1)
-	}
-	defer db.Close()
-	conn := db.Conn()
-	if err := conn.EnsureSnapIds(); err != nil {
-		fmt.Fprintln(os.Stderr, "rqlshell:", err)
-		os.Exit(1)
-	}
+// backend is the part of the rql.Conn API the shell needs; rql.Conn and
+// client.Conn both satisfy it, so every shell feature works in-process
+// and remotely.
+type backend interface {
+	Exec(sqlText string, cb rql.RowCallback, params ...rql.Value) error
+	LastStats() rql.ExecStats
+	DeclareSnapshot(label string) (uint64, error)
+	EnsureSnapIds() error
+	Objects() ([]rql.ObjectInfo, error)
+}
 
-	fmt.Println("RQL shell — in-memory database with Retro snapshots.")
+// shellEnv is the shell's connection plus whichever stats sources the
+// mode provides (db for in-process, remote for -connect).
+type shellEnv struct {
+	conn   backend
+	db     *rql.DB      // nil in remote mode
+	remote *client.Conn // nil in local mode
+}
+
+func main() {
+	connect := flag.String("connect", "", "connect to an rqld server at host:port instead of opening an in-process database")
+	flag.Parse()
+
+	env := &shellEnv{}
+	if *connect != "" {
+		rc, err := client.Dial(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rqlshell:", err)
+			os.Exit(1)
+		}
+		defer rc.Close()
+		env.conn, env.remote = rc, rc
+		fmt.Printf("RQL shell — connected to rqld at %s.\n", *connect)
+	} else {
+		db, err := rql.Open(rql.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rqlshell:", err)
+			os.Exit(1)
+		}
+		defer db.Close()
+		env.conn, env.db = db.Conn(), db
+		fmt.Println("RQL shell — in-memory database with Retro snapshots.")
+	}
+	if err := env.conn.EnsureSnapIds(); err != nil {
+		fmt.Fprintln(os.Stderr, "rqlshell:", err)
+		os.Exit(1)
+	}
 	fmt.Println(`Type SQL terminated by ';', or ".help" for commands.`)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -52,7 +93,7 @@ func main() {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, ".") {
-			if !dotCommand(db, conn, trimmed) {
+			if !dotCommand(env, trimmed) {
 				return
 			}
 			continue
@@ -62,12 +103,12 @@ func main() {
 		if !strings.HasSuffix(trimmed, ";") {
 			continue
 		}
-		runSQL(conn, pending.String())
+		runSQL(env.conn, pending.String())
 		pending.Reset()
 	}
 }
 
-func runSQL(conn *rql.Conn, sqlText string) {
+func runSQL(conn backend, sqlText string) {
 	var cols []string
 	var rows [][]string
 	err := conn.Exec(sqlText, func(names []string, row []rql.Value) error {
@@ -120,7 +161,8 @@ func printTable(cols []string, rows [][]string) {
 	}
 }
 
-func dotCommand(db *rql.DB, conn *rql.Conn, cmd string) bool {
+func dotCommand(env *shellEnv, cmd string) bool {
+	conn := env.conn
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case ".quit", ".exit":
@@ -169,9 +211,30 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 		st := conn.LastStats()
 		fmt.Printf("last statement: duration=%v rows=%d pagelog_reads=%d cache_hits=%d db_reads=%d spt=%v auto_index=%v\n",
 			st.Duration, st.RowsReturned, st.PagelogReads, st.CacheHits, st.DBReads, st.SPTBuildTime, st.AutoIndex)
-		fmt.Printf("pagelog: %d archived pages\n", db.PagelogPages())
+		switch {
+		case env.db != nil:
+			fmt.Printf("pagelog: %d archived pages\n", env.db.PagelogPages())
+		case env.remote != nil:
+			ss, err := env.remote.ServerStats()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			printServerStats(ss)
+		}
 	case ".mech":
-		run := db.LastRun()
+		var run *rql.RunStats
+		switch {
+		case env.db != nil:
+			run = env.db.LastRun()
+		case env.remote != nil:
+			var err error
+			run, err = env.remote.LastRun()
+			if err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+		}
 		if run == nil {
 			fmt.Println("no mechanism has run yet")
 			break
@@ -186,4 +249,17 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 		fmt.Println("unknown command; try .help")
 	}
 	return true
+}
+
+func printServerStats(ss client.ServerStats) {
+	fmt.Printf("server: %d conns accepted (%d active), %d queries, %d rows streamed, %d errors\n",
+		ss.ConnsAccepted, ss.ConnsActive, ss.QueriesServed, ss.RowsStreamed, ss.Errors)
+	fmt.Printf("latency: <=100µs:%d <=1ms:%d <=10ms:%d <=100ms:%d <=1s:%d <=10s:%d >10s:%d\n",
+		ss.LatencyBuckets[0], ss.LatencyBuckets[1], ss.LatencyBuckets[2],
+		ss.LatencyBuckets[3], ss.LatencyBuckets[4], ss.LatencyBuckets[5], ss.LatencyBuckets[6])
+	fmt.Printf("storage: %d commits, %d pages written, %d db reads\n",
+		ss.Commits, ss.PagesWritten, ss.DBReads)
+	fmt.Printf("retro: %d snapshots, pagelog %d pages (%d writes, %d reads), %d cache hits (%d cached), %d SPT builds\n",
+		ss.Snapshots, ss.PagelogPages, ss.PagelogWrites, ss.PagelogReads,
+		ss.CacheHits, ss.CachedPages, ss.SPTBuilds)
 }

@@ -181,9 +181,9 @@ var (
 func aggTable(pairs string) mech { return mech{name: "AggT", extra: pairs} }
 
 // Exported mechanism selectors for external benchmark drivers.
-func MechAggVarAvg() Mech          { return mechAggVarAvg }
-func MechCollate() Mech            { return mechCollate }
-func MechIntervals() Mech          { return mechIntervals }
+func MechAggVarAvg() Mech            { return mechAggVarAvg }
+func MechCollate() Mech              { return mechCollate }
+func MechIntervals() Mech            { return mechIntervals }
 func MechAggTable(pairs string) Mech { return aggTable(pairs) }
 
 var resultSeq int

@@ -69,8 +69,8 @@ func (n node) prev() storage.PageID {
 	return storage.PageID(binary.LittleEndian.Uint32(n.data[offPrev:]))
 }
 
-func (n node) setType(t byte)     { n.data[offType] = t }
-func (n node) setNumCells(c int)  { binary.LittleEndian.PutUint16(n.data[offNumCells:], uint16(c)) }
+func (n node) setType(t byte)    { n.data[offType] = t }
+func (n node) setNumCells(c int) { binary.LittleEndian.PutUint16(n.data[offNumCells:], uint16(c)) }
 func (n node) setContentPtr(p int) {
 	binary.LittleEndian.PutUint16(n.data[offContent:], uint16(p))
 }

@@ -55,14 +55,14 @@ func TestRowAppendsToDst(t *testing.T) {
 
 func TestDecodeRowCorrupt(t *testing.T) {
 	cases := [][]byte{
-		{},                      // no terminator
-		{byte(TypeInt)},         // unterminated header
-		{0x07, recordEnd},       // bad type byte
-		{byte(TypeInt), recordEnd},                         // missing int payload
-		{byte(TypeFloat), recordEnd, 1, 2, 3},              // short float
-		{byte(TypeText), recordEnd, 5, 'a'},                // short text
+		{},                                    // no terminator
+		{byte(TypeInt)},                       // unterminated header
+		{0x07, recordEnd},                     // bad type byte
+		{byte(TypeInt), recordEnd},            // missing int payload
+		{byte(TypeFloat), recordEnd, 1, 2, 3}, // short float
+		{byte(TypeText), recordEnd, 5, 'a'},   // short text
 		{byte(TypeBlob), recordEnd, 200, 200, 200, 200, 200, 200, 200, 200, 200, 200}, // huge uvarint
-		append(EncodeRow(nil, []Value{Int(1)}), 0xAA),      // trailing bytes
+		append(EncodeRow(nil, []Value{Int(1)}), 0xAA),                                 // trailing bytes
 	}
 	for i, c := range cases {
 		if _, err := DecodeRow(c); err == nil {
@@ -91,11 +91,11 @@ func TestKeyRoundTrip(t *testing.T) {
 
 func TestDecodeKeyCorrupt(t *testing.T) {
 	cases := [][]byte{
-		{0x99},                          // unknown tag
-		{tagNum, 1, 2},                  // short numeric
-		{tagText, 'a'},                  // unterminated text
-		{tagText, escByte},              // dangling escape
-		{tagText, escByte, 0x42},        // bad escape
+		{0x99},                   // unknown tag
+		{tagNum, 1, 2},           // short numeric
+		{tagText, 'a'},           // unterminated text
+		{tagText, escByte},       // dangling escape
+		{tagText, escByte, 0x42}, // bad escape
 	}
 	for i, c := range cases {
 		if _, err := DecodeKey(c); err == nil {

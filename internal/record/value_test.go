@@ -179,8 +179,8 @@ func TestCompareIntFloatExact(t *testing.T) {
 		{2, 2.0, 0},
 		{2, 2.5, -1},
 		{3, 2.5, 1},
-		{big + 1, float64(big), 1},          // would collide via AsFloat
-		{big, float64(big) + 2, -1},         // next representable float
+		{big + 1, float64(big), 1},           // would collide via AsFloat
+		{big, float64(big) + 2, -1},          // next representable float
 		{math.MaxInt64, maxInt64AsFloat, -1}, // 2^63 exceeds MaxInt64
 		{math.MinInt64, minInt64AsFloat, 0},  // -2^63 is exactly MinInt64
 		{0, math.SmallestNonzeroFloat64, -1},

@@ -29,10 +29,10 @@ import (
 
 // Errors returned by the retro package.
 var (
-	ErrNoSnapshot    = errors.New("retro: snapshot does not exist")
-	ErrClosed        = errors.New("retro: system is closed")
-	ErrBadOffset     = errors.New("retro: pagelog offset out of range")
-	ErrReaderClosed  = errors.New("retro: snapshot reader is closed")
+	ErrNoSnapshot   = errors.New("retro: snapshot does not exist")
+	ErrClosed       = errors.New("retro: system is closed")
+	ErrBadOffset    = errors.New("retro: pagelog offset out of range")
+	ErrReaderClosed = errors.New("retro: snapshot reader is closed")
 )
 
 // pagelog is the append-only archive of captured page pre-states.

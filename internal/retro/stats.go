@@ -4,11 +4,11 @@ import "sync/atomic"
 
 // Stats holds the snapshot system's global counters.
 type Stats struct {
-	Snapshots    atomic.Uint64 // snapshots declared
+	Snapshots     atomic.Uint64 // snapshots declared
 	PagelogWrites atomic.Uint64 // pre-states captured (COW)
-	PagelogReads atomic.Uint64 // cache-missing Pagelog reads
-	CacheHits    atomic.Uint64 // snapshot cache hits
-	SPTBuilds    atomic.Uint64 // snapshot page tables constructed
+	PagelogReads  atomic.Uint64 // cache-missing Pagelog reads
+	CacheHits     atomic.Uint64 // snapshot cache hits
+	SPTBuilds     atomic.Uint64 // snapshot page tables constructed
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.

@@ -1,0 +1,238 @@
+// Package server implements rqld, the RQL network service: a TCP server
+// speaking the internal/wire frame protocol. Each accepted connection
+// becomes a session that owns one rql.Conn — an independent read context
+// over the MVCC/Retro stack — so any number of clients read snapshots
+// and the current state concurrently while writes funnel through the
+// store's single-writer commit path.
+//
+// The server shuts down gracefully: Shutdown stops accepting, lets
+// in-flight requests finish (bounded by the drain timeout), then closes
+// the remaining connections. Every request is also bounded by a
+// per-request deadline so one runaway query cannot wedge a session
+// forever.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rql"
+	"rql/internal/wire"
+)
+
+// DefaultAddr is the default rqld listen address.
+const DefaultAddr = "localhost:7427"
+
+// Config tunes the server. Zero values select the defaults.
+type Config struct {
+	// Addr is the TCP listen address for ListenAndServe.
+	Addr string
+	// RequestTimeout bounds one request's wall-clock time (default 30s).
+	// Streaming queries that exceed it are aborted mid-stream with an
+	// error frame.
+	RequestTimeout time.Duration
+	// IdleTimeout closes sessions with no request activity (default 5m).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response-frame flush (default 30s).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight requests
+	// (default 5s); connections still busy afterwards are force-closed.
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = DefaultAddr
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves one rql.DB over TCP.
+type Server struct {
+	db  *rql.DB
+	cfg Config
+
+	mu       sync.Mutex
+	lis      net.Listener
+	sessions map[*session]struct{}
+	draining bool
+
+	wg    sync.WaitGroup
+	stats serverStats
+}
+
+// New creates a server over db. The caller keeps ownership of db and
+// closes it after the server has shut down.
+func New(db *rql.DB, cfg Config) *Server {
+	return &Server{
+		db:       db,
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[*session]struct{}),
+	}
+}
+
+// DB returns the served database.
+func (s *Server) DB() *rql.DB { return s.db }
+
+// Addr returns the bound listen address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Shutdown. It takes ownership
+// of the listener.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.startSession(nc)
+	}
+}
+
+func (s *Server) startSession(nc net.Conn) {
+	sess := newSession(s, nc)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+
+	s.stats.connsAccepted.Add(1)
+	s.stats.connsActive.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.stats.connsActive.Add(-1)
+		defer s.dropSession(sess)
+		sess.run()
+	}()
+}
+
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+}
+
+// Shutdown drains and stops the server: stop accepting, let in-flight
+// requests finish for up to cfg.DrainTimeout, then force-close whatever
+// is left and wait for every session to exit.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	lis := s.lis
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	if lis != nil {
+		lis.Close()
+	}
+	// Idle sessions close immediately; busy ones finish their request.
+	for _, sess := range sessions {
+		sess.beginShutdown()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.forceClose()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// Stats assembles the full STATS reply: server counters plus the
+// storage and snapshot-system counters piped through from the database.
+func (s *Server) Stats() wire.ServerStats {
+	out := s.stats.snapshot()
+	ss := s.db.StorageStats()
+	out.Commits = ss.Commits
+	out.PagesWritten = ss.PagesWritten
+	out.DBReads = ss.DBReads
+	rs := s.db.RetroStats()
+	out.Snapshots = rs.Snapshots
+	out.PagelogWrites = rs.PagelogWrites
+	out.PagelogReads = rs.PagelogReads
+	out.CacheHits = rs.CacheHits
+	out.SPTBuilds = rs.SPTBuilds
+	out.PagelogPages = s.db.PagelogPages()
+	out.CachedPages = uint64(s.db.CachedPages())
+	return out
+}
+
+// deadlineError is sent to clients whose request exceeded the
+// per-request deadline.
+func deadlineError(limit time.Duration) error {
+	return fmt.Errorf("server: request exceeded the %v deadline", limit)
+}

@@ -1,0 +1,413 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rql"
+	"rql/internal/wire"
+)
+
+// batchRows / batchBytes bound one RespBatch frame: rows are flushed to
+// the client once either limit is reached, so large results stream with
+// bounded memory on both sides.
+const (
+	batchRows  = 256
+	batchBytes = 64 << 10
+)
+
+// session is one client connection: it owns a private rql.Conn (its
+// independent read context over the MVCC/Retro stack) and serves one
+// request at a time from its goroutine.
+type session struct {
+	srv  *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	conn *rql.Conn
+
+	mu            sync.Mutex
+	busy          bool // a request is executing
+	closeWhenIdle bool // drain: exit after the in-flight request
+}
+
+func newSession(s *Server, nc net.Conn) *session {
+	return &session{
+		srv:  s,
+		nc:   nc,
+		br:   bufio.NewReaderSize(nc, 32<<10),
+		bw:   bufio.NewWriterSize(nc, 32<<10),
+		conn: s.db.Conn(),
+	}
+}
+
+// beginShutdown is called by Server.Shutdown: idle sessions close right
+// away (unblocking their read), busy ones exit after the in-flight
+// request completes.
+func (ss *session) beginShutdown() {
+	ss.mu.Lock()
+	ss.closeWhenIdle = true
+	busy := ss.busy
+	ss.mu.Unlock()
+	if !busy {
+		ss.nc.Close()
+	}
+}
+
+// forceClose severs the connection regardless of in-flight work.
+func (ss *session) forceClose() { ss.nc.Close() }
+
+func (ss *session) setBusy(b bool) (exit bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	ss.busy = b
+	return ss.closeWhenIdle
+}
+
+// run is the session loop: handshake, then request/response until the
+// client goes away, a protocol error occurs, or the server drains.
+func (ss *session) run() {
+	defer func() {
+		// Release the single-writer lock if the client died mid
+		// transaction, and drop the connection.
+		if ss.conn.InTx() {
+			ss.conn.Rollback()
+		}
+		ss.nc.Close()
+	}()
+
+	if err := ss.handshake(); err != nil {
+		return
+	}
+	for {
+		ss.nc.SetReadDeadline(time.Now().Add(ss.srv.cfg.IdleTimeout))
+		op, payload, err := wire.ReadFrame(ss.br)
+		if err != nil {
+			return
+		}
+		if exit := ss.setBusy(true); exit {
+			// Shutdown won the race with this request: refuse it.
+			ss.writeError(ErrServerClosed)
+			ss.flush()
+			return
+		}
+		start := time.Now()
+		err = ss.dispatch(op, payload)
+		ss.srv.stats.observe(time.Since(start))
+		ferr := ss.flush()
+		exit := ss.setBusy(false)
+		if err != nil || ferr != nil || exit {
+			return
+		}
+	}
+}
+
+// handshake validates the client hello.
+func (ss *session) handshake() error {
+	ss.nc.SetReadDeadline(time.Now().Add(ss.srv.cfg.IdleTimeout))
+	op, payload, err := wire.ReadFrame(ss.br)
+	if err != nil {
+		return err
+	}
+	d := &wire.Dec{B: payload}
+	if op != wire.ReqHello || d.String() != wire.Magic {
+		ss.writeError(wire.ErrBadMagic)
+		ss.flush()
+		return wire.ErrBadMagic
+	}
+	if v := d.Uvarint(); d.Err() != nil || v > wire.ProtocolVersion {
+		err := fmt.Errorf("server: unsupported protocol version %d (server speaks %d)", v, wire.ProtocolVersion)
+		ss.writeError(err)
+		ss.flush()
+		return err
+	}
+	e := &wire.Enc{}
+	e.Uvarint(wire.ProtocolVersion)
+	e.String("rqld")
+	if err := ss.writeFrame(wire.RespHello, e.B); err != nil {
+		return err
+	}
+	return ss.flush()
+}
+
+// dispatch executes one request and writes its response frames. A
+// returned error means the connection is no longer usable (I/O or
+// protocol failure); statement errors go to the client as RespError and
+// return nil.
+func (ss *session) dispatch(op byte, payload []byte) error {
+	switch op {
+	case wire.ReqExec:
+		return ss.handleExec(payload)
+	case wire.ReqSnap:
+		return ss.handleSnapshot(payload)
+	case wire.ReqMech:
+		return ss.handleMech(payload)
+	case wire.ReqStats:
+		e := &wire.Enc{}
+		wire.EncodeServerStats(e, ss.srv.Stats())
+		return ss.writeFrame(wire.RespStats, e.B)
+	case wire.ReqObjs:
+		return ss.handleObjects()
+	case wire.ReqRun:
+		e := &wire.Enc{}
+		run := ss.srv.db.LastRun()
+		e.Bool(run != nil)
+		if run != nil {
+			wire.EncodeRunStats(e, runToWire(run))
+		}
+		return ss.writeFrame(wire.RespRun, e.B)
+	case wire.ReqTblSt:
+		return ss.handleTableStats(payload)
+	case wire.ReqPing:
+		return ss.writeFrame(wire.RespPong, nil)
+	default:
+		// Unknown opcode: the stream cannot be trusted any further.
+		ss.writeError(fmt.Errorf("server: unknown opcode %#x", op))
+		return fmt.Errorf("server: unknown opcode %#x", op)
+	}
+}
+
+// handleExec runs SQL and streams the result: header frames when the
+// column set changes, batched row frames, and a final RespDone carrying
+// the statement statistics.
+func (ss *session) handleExec(payload []byte) error {
+	d := &wire.Dec{B: payload}
+	asOf := d.Uvarint()
+	sqlText := d.String()
+	params := d.Row()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	ss.srv.stats.queriesServed.Add(1)
+
+	var (
+		lastCols  []string
+		batch     wire.Enc
+		batchN    int
+		streamErr error // I/O failure while streaming
+	)
+	flushBatch := func() error {
+		if batchN == 0 {
+			return nil
+		}
+		hdr := wire.Enc{}
+		hdr.Uvarint(uint64(batchN))
+		hdr.B = append(hdr.B, batch.B...)
+		batch.B = batch.B[:0]
+		ss.srv.stats.rowsStreamed.Add(uint64(batchN))
+		batchN = 0
+		return ss.writeFrame(wire.RespBatch, hdr.B)
+	}
+
+	start := time.Now()
+	limit := ss.srv.cfg.RequestTimeout
+	cb := func(cols []string, row []rql.Value) error {
+		if time.Since(start) > limit {
+			return deadlineError(limit)
+		}
+		if !sameCols(lastCols, cols) {
+			if err := flushBatch(); err != nil {
+				streamErr = err
+				return err
+			}
+			e := &wire.Enc{}
+			e.Uvarint(uint64(len(cols)))
+			for _, c := range cols {
+				e.String(c)
+			}
+			if err := ss.writeFrame(wire.RespHeader, e.B); err != nil {
+				streamErr = err
+				return err
+			}
+			lastCols = append(lastCols[:0], cols...)
+		}
+		batch.Row(row)
+		batchN++
+		if batchN >= batchRows || len(batch.B) >= batchBytes {
+			if err := flushBatch(); err != nil {
+				streamErr = err
+				return err
+			}
+		}
+		return nil
+	}
+
+	var err error
+	if asOf != 0 {
+		err = ss.conn.ExecAsOf(sqlText, asOf, cb, params...)
+	} else {
+		err = ss.conn.Exec(sqlText, cb, params...)
+	}
+	if streamErr != nil {
+		return streamErr
+	}
+	if err != nil {
+		ss.writeError(err)
+		return nil
+	}
+	if err := flushBatch(); err != nil {
+		return err
+	}
+	st := ss.conn.LastStats()
+	e := &wire.Enc{}
+	wire.EncodeExecStats(e, wire.ExecStats{
+		Duration:     st.Duration,
+		SPTBuildTime: st.SPTBuildTime,
+		AutoIndex:    st.AutoIndex,
+		MapScanned:   st.MapScanned,
+		PagelogReads: st.PagelogReads,
+		CacheHits:    st.CacheHits,
+		DBReads:      st.DBReads,
+		RowsReturned: st.RowsReturned,
+	})
+	e.Uvarint(ss.conn.LastSnapshot())
+	e.Bool(ss.conn.InTx())
+	return ss.writeFrame(wire.RespDone, e.B)
+}
+
+func (ss *session) handleSnapshot(payload []byte) error {
+	d := &wire.Dec{B: payload}
+	label := d.String()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	ss.srv.stats.queriesServed.Add(1)
+	id, err := ss.conn.DeclareSnapshot(label)
+	if err != nil {
+		ss.writeError(err)
+		return nil
+	}
+	e := &wire.Enc{}
+	e.Uvarint(id)
+	return ss.writeFrame(wire.RespSnapID, e.B)
+}
+
+func (ss *session) handleMech(payload []byte) error {
+	d := &wire.Dec{B: payload}
+	kind := d.Byte()
+	qs := d.String()
+	qq := d.String()
+	table := d.String()
+	extra := d.String()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	ss.srv.stats.queriesServed.Add(1)
+	var (
+		run *rql.RunStats
+		err error
+	)
+	switch kind {
+	case wire.MechCollate:
+		run, err = ss.conn.CollateData(qs, qq, table)
+	case wire.MechAggVar:
+		run, err = ss.conn.AggregateDataInVariable(qs, qq, table, extra)
+	case wire.MechAggTable:
+		run, err = ss.conn.AggregateDataInTable(qs, qq, table, extra)
+	case wire.MechIntervals:
+		run, err = ss.conn.CollateDataIntoIntervals(qs, qq, table)
+	default:
+		err = fmt.Errorf("server: unknown mechanism kind %d", kind)
+	}
+	if err != nil {
+		ss.writeError(err)
+		return nil
+	}
+	e := &wire.Enc{}
+	e.Bool(true)
+	wire.EncodeRunStats(e, runToWire(run))
+	return ss.writeFrame(wire.RespRun, e.B)
+}
+
+func (ss *session) handleObjects() error {
+	objs, err := ss.conn.Objects()
+	if err != nil {
+		ss.writeError(err)
+		return nil
+	}
+	out := make([]wire.ObjectInfo, len(objs))
+	for i, o := range objs {
+		out[i] = wire.ObjectInfo{Kind: o.Kind, Name: o.Name, Table: o.Table, Temp: o.Temp}
+	}
+	e := &wire.Enc{}
+	wire.EncodeObjects(e, out)
+	return ss.writeFrame(wire.RespObjs, e.B)
+}
+
+func (ss *session) handleTableStats(payload []byte) error {
+	d := &wire.Dec{B: payload}
+	name := d.String()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	st, err := ss.conn.TableStats(name)
+	if err != nil {
+		ss.writeError(err)
+		return nil
+	}
+	e := &wire.Enc{}
+	e.Uvarint(uint64(st.Rows))
+	e.Varint(st.DataBytes)
+	e.Varint(st.IndexBytes)
+	return ss.writeFrame(wire.RespTblSt, e.B)
+}
+
+// runToWire converts a mechanism run's statistics to the wire form.
+func runToWire(r *rql.RunStats) wire.RunStats {
+	out := wire.RunStats{
+		Mechanism:        r.Mechanism,
+		ResultRows:       r.ResultRows,
+		ResultDataBytes:  r.ResultDataBytes,
+		ResultIndexBytes: r.ResultIndexBytes,
+		Iterations:       make([]wire.IterationCost, len(r.Iterations)),
+	}
+	for i, it := range r.Iterations {
+		out.Iterations[i] = wire.IterationCost{
+			Snapshot:      it.Snapshot,
+			SPTBuild:      it.SPTBuild,
+			IndexCreation: it.IndexCreation,
+			QueryEval:     it.QueryEval,
+			UDF:           it.UDF,
+			IOTime:        it.IOTime,
+			PagelogReads:  it.PagelogReads,
+			CacheHits:     it.CacheHits,
+			DBReads:       it.DBReads,
+			MapScanned:    it.MapScanned,
+			QqRows:        it.QqRows,
+			ResultInserts: it.ResultInserts,
+			ResultUpdates: it.ResultUpdates,
+			ResultSearch:  it.ResultSearch,
+		}
+	}
+	return out
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (ss *session) writeFrame(op byte, payload []byte) error {
+	ss.nc.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+	return wire.WriteFrame(ss.bw, op, payload)
+}
+
+func (ss *session) writeError(err error) {
+	ss.srv.stats.errors.Add(1)
+	ss.writeFrame(wire.RespError, wire.EncodeError(err))
+}
+
+func (ss *session) flush() error {
+	ss.nc.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+	return ss.bw.Flush()
+}

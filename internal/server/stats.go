@@ -1,0 +1,51 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rql/internal/wire"
+)
+
+// serverStats holds the server's own counters. All fields are atomics;
+// sessions update them concurrently and STATS reads them without
+// coordination.
+type serverStats struct {
+	connsAccepted atomic.Uint64
+	connsActive   atomic.Int64
+	queriesServed atomic.Uint64
+	rowsStreamed  atomic.Uint64
+	errors        atomic.Uint64
+
+	// Per-request latency histogram; buckets[i] counts requests with
+	// latency <= wire.HistogramBuckets[i], the last bucket is +Inf.
+	buckets [wire.NumHistogramBuckets]atomic.Uint64
+}
+
+// observe records one request's latency in the histogram.
+func (st *serverStats) observe(d time.Duration) {
+	for i, bound := range wire.HistogramBuckets {
+		if d <= bound {
+			st.buckets[i].Add(1)
+			return
+		}
+	}
+	st.buckets[wire.NumHistogramBuckets-1].Add(1)
+}
+
+// snapshot copies the server counters into a wire.ServerStats (the
+// storage/Retro fields are filled in by Server.Stats).
+func (st *serverStats) snapshot() wire.ServerStats {
+	var out wire.ServerStats
+	out.ConnsAccepted = st.connsAccepted.Load()
+	if n := st.connsActive.Load(); n > 0 {
+		out.ConnsActive = uint64(n)
+	}
+	out.QueriesServed = st.queriesServed.Load()
+	out.RowsStreamed = st.rowsStreamed.Load()
+	out.Errors = st.errors.Load()
+	for i := range st.buckets {
+		out.LatencyBuckets[i] = st.buckets[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"rql"
+	"rql/client"
+	"rql/internal/tpch"
+)
+
+// TestStress32Sessions runs 32 concurrent client sessions — current-state
+// reads and AS OF reads over a growing snapshot set — while one writer
+// drives the paper's RF1/RF2 refresh workload through the single-writer
+// commit path. Every read is checked against an analytic shadow model:
+//
+// The refresh workload advances a deletion front through a dense,
+// monotonically increasing order-key space, so after step k the live
+// orders are exactly the keys [minKey + k*ops, minKey + k*ops + N - 1]
+// for N total orders and ops refreshed per snapshot. COUNT, MIN, MAX
+// and SUM of o_orderkey at any snapshot are therefore closed-form, and
+// the current-state COUNT must always equal N because each refresh is
+// one atomic transaction.
+//
+// Run with -race; it doubles as the concurrency audit for the
+// session/Conn/store stack.
+func TestStress32Sessions(t *testing.T) {
+	const (
+		readers = 32
+		steps   = 12 // writer refresh cycles (snapshots declared)
+		ops     = 30 // orders refreshed per snapshot (the paper's UW30)
+		minIter = 6  // each reader verifies at least this many reads
+	)
+
+	db, err := rql.Open(rql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	gen := tpch.NewGenerator(0.001, 42)
+	wconn := db.Conn()
+	minKey, _, err := tpch.Load(wconn.Conn, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := int64(gen.Orders())
+
+	srv := New(db, Config{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(lis) }()
+	addr := lis.Addr().String()
+
+	// expectAt is the shadow model: the live key range after step k.
+	type expect struct{ count, min, max, sum int64 }
+	expectAt := func(k int64) expect {
+		lo := minKey + k*ops
+		hi := lo + orders - 1
+		return expect{count: orders, min: lo, max: hi, sum: (lo + hi) * orders / 2}
+	}
+
+	// Snapshots are published only after their step's commit returns, so
+	// a reader never holds an id the server doesn't serve yet.
+	var (
+		mu     sync.Mutex
+		snaps  []uint64
+		shadow = map[uint64]expect{}
+	)
+	publish := func(id uint64, e expect) {
+		mu.Lock()
+		snaps = append(snaps, id)
+		shadow[id] = e
+		mu.Unlock()
+	}
+	pick := func(rng *rand.Rand) (uint64, expect) {
+		mu.Lock()
+		defer mu.Unlock()
+		id := snaps[rng.Intn(len(snaps))]
+		return id, shadow[id]
+	}
+
+	snap0, err := wconn.DeclareSnapshot("initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish(snap0, expectAt(0))
+
+	writerDone := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(writerDone)
+		w := tpch.NewWorkload(wconn.Conn, gen, minKey, ops)
+		for k := int64(1); k <= steps; k++ {
+			id, err := w.Step()
+			if err != nil {
+				writerErr = fmt.Errorf("refresh step %d: %w", k, err)
+				return
+			}
+			publish(id, expectAt(k))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			verify := func() error {
+				id, want := pick(rng)
+				rows, err := c.Query(fmt.Sprintf(
+					`SELECT AS OF %d COUNT(*), MIN(o_orderkey), MAX(o_orderkey), SUM(o_orderkey) FROM orders`, id))
+				if err != nil {
+					return fmt.Errorf("reader %d, snapshot %d: %w", r, id, err)
+				}
+				got := expect{
+					count: rows.Rows[0][0].Int(),
+					min:   rows.Rows[0][1].Int(),
+					max:   rows.Rows[0][2].Int(),
+					sum:   rows.Rows[0][3].Int(),
+				}
+				if got != want {
+					return fmt.Errorf("reader %d, snapshot %d: read %+v, want %+v", r, id, got, want)
+				}
+				// The current state must never expose a half-applied
+				// refresh: each RF1/RF2 cycle commits atomically.
+				rows, err = c.Query(`SELECT COUNT(*) FROM orders`)
+				if err != nil {
+					return fmt.Errorf("reader %d current state: %w", r, err)
+				}
+				if n := rows.Rows[0][0].Int(); n != orders {
+					return fmt.Errorf("reader %d saw torn refresh: %d live orders, want %d", r, n, orders)
+				}
+				return nil
+			}
+			done := false
+			for i := 0; i < minIter || !done; i++ {
+				if err := verify(); err != nil {
+					errs <- err
+					return
+				}
+				select {
+				case <-writerDone:
+					done = true
+				default:
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	<-writerDone
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	srv.Shutdown()
+	if err := <-served; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	st := srv.Stats()
+	if st.ConnsAccepted != readers || st.QueriesServed == 0 || st.Snapshots < steps {
+		t.Fatalf("stats after stress: %+v", st)
+	}
+}

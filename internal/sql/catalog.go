@@ -74,8 +74,8 @@ func newSchema() *schema {
 	return &schema{tables: make(map[string]*Table), indexes: make(map[string]*Index)}
 }
 
-func (s *schema) table(name string) *Table  { return s.tables[strings.ToLower(name)] }
-func (s *schema) index(name string) *Index  { return s.indexes[strings.ToLower(name)] }
+func (s *schema) table(name string) *Table { return s.tables[strings.ToLower(name)] }
+func (s *schema) index(name string) *Index { return s.indexes[strings.ToLower(name)] }
 
 // tableIndexes returns the indexes on a table, in name order.
 func (s *schema) tableIndexes(table string) []*Index {

@@ -98,54 +98,54 @@ func TestSelectStar(t *testing.T) {
 func TestExpressions(t *testing.T) {
 	c := testConn(t)
 	cases := map[string]string{
-		`SELECT 1 + 2 * 3`:                  "7",
-		`SELECT (1 + 2) * 3`:                "9",
-		`SELECT 10 / 4`:                     "2",
-		`SELECT 10.0 / 4`:                   "2.5",
-		`SELECT 7 % 3`:                      "1",
-		`SELECT 1 / 0`:                      "NULL",
-		`SELECT -5`:                         "-5",
-		`SELECT 'a' || 'b' || 'c'`:          "abc",
-		`SELECT 1 < 2`:                      "1",
-		`SELECT 2 <= 1`:                     "0",
-		`SELECT 'abc' = 'abc'`:              "1",
-		`SELECT 1 != 2`:                     "1",
-		`SELECT 1 <> 2`:                     "1",
-		`SELECT NULL IS NULL`:               "1",
-		`SELECT 1 IS NOT NULL`:              "1",
-		`SELECT NULL = NULL`:                "NULL",
-		`SELECT 2 BETWEEN 1 AND 3`:          "1",
-		`SELECT 4 NOT BETWEEN 1 AND 3`:      "1",
-		`SELECT 2 IN (1, 2, 3)`:             "1",
-		`SELECT 5 NOT IN (1, 2, 3)`:         "1",
-		`SELECT 'hello' LIKE 'he%'`:         "1",
-		`SELECT 'hello' LIKE 'h_llo'`:       "1",
-		`SELECT 'hello' NOT LIKE 'x%'`:      "1",
-		`SELECT 'HELLO' LIKE 'hello'`:       "1", // case-insensitive
-		`SELECT CASE WHEN 1 THEN 'y' ELSE 'n' END`:       "y",
+		`SELECT 1 + 2 * 3`:                                  "7",
+		`SELECT (1 + 2) * 3`:                                "9",
+		`SELECT 10 / 4`:                                     "2",
+		`SELECT 10.0 / 4`:                                   "2.5",
+		`SELECT 7 % 3`:                                      "1",
+		`SELECT 1 / 0`:                                      "NULL",
+		`SELECT -5`:                                         "-5",
+		`SELECT 'a' || 'b' || 'c'`:                          "abc",
+		`SELECT 1 < 2`:                                      "1",
+		`SELECT 2 <= 1`:                                     "0",
+		`SELECT 'abc' = 'abc'`:                              "1",
+		`SELECT 1 != 2`:                                     "1",
+		`SELECT 1 <> 2`:                                     "1",
+		`SELECT NULL IS NULL`:                               "1",
+		`SELECT 1 IS NOT NULL`:                              "1",
+		`SELECT NULL = NULL`:                                "NULL",
+		`SELECT 2 BETWEEN 1 AND 3`:                          "1",
+		`SELECT 4 NOT BETWEEN 1 AND 3`:                      "1",
+		`SELECT 2 IN (1, 2, 3)`:                             "1",
+		`SELECT 5 NOT IN (1, 2, 3)`:                         "1",
+		`SELECT 'hello' LIKE 'he%'`:                         "1",
+		`SELECT 'hello' LIKE 'h_llo'`:                       "1",
+		`SELECT 'hello' NOT LIKE 'x%'`:                      "1",
+		`SELECT 'HELLO' LIKE 'hello'`:                       "1", // case-insensitive
+		`SELECT CASE WHEN 1 THEN 'y' ELSE 'n' END`:          "y",
 		`SELECT CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END`: "b",
-		`SELECT CASE 9 WHEN 1 THEN 'a' END`: "NULL",
-		`SELECT abs(-3)`:                    "3",
-		`SELECT length('abcd')`:             "4",
-		`SELECT upper('ab') || lower('CD')`: "ABcd",
-		`SELECT substr('hello', 2, 3)`:      "ell",
-		`SELECT coalesce(NULL, NULL, 5)`:    "5",
-		`SELECT ifnull(NULL, 7)`:            "7",
-		`SELECT nullif(3, 3)`:               "NULL",
-		`SELECT typeof(3.5)`:                "real",
-		`SELECT round(2.567, 2)`:            "2.57",
-		`SELECT min(3, 1, 2)`:               "1",
-		`SELECT max(3, 1, 2)`:               "3",
-		`SELECT CAST('42' AS INTEGER)`:      "42",
-		`SELECT CAST(42 AS TEXT)`:           "42",
-		`SELECT NOT 0`:                      "1",
-		`SELECT 1 AND 1`:                    "1",
-		`SELECT 0 OR 1`:                     "1",
-		`SELECT NULL AND 0`:                 "0",
-		`SELECT NULL OR 1`:                  "1",
-		`SELECT NULL AND 1`:                 "NULL",
-		`SELECT TRUE`:                       "1",
-		`SELECT FALSE`:                      "0",
+		`SELECT CASE 9 WHEN 1 THEN 'a' END`:                 "NULL",
+		`SELECT abs(-3)`:                                    "3",
+		`SELECT length('abcd')`:                             "4",
+		`SELECT upper('ab') || lower('CD')`:                 "ABcd",
+		`SELECT substr('hello', 2, 3)`:                      "ell",
+		`SELECT coalesce(NULL, NULL, 5)`:                    "5",
+		`SELECT ifnull(NULL, 7)`:                            "7",
+		`SELECT nullif(3, 3)`:                               "NULL",
+		`SELECT typeof(3.5)`:                                "real",
+		`SELECT round(2.567, 2)`:                            "2.57",
+		`SELECT min(3, 1, 2)`:                               "1",
+		`SELECT max(3, 1, 2)`:                               "3",
+		`SELECT CAST('42' AS INTEGER)`:                      "42",
+		`SELECT CAST(42 AS TEXT)`:                           "42",
+		`SELECT NOT 0`:                                      "1",
+		`SELECT 1 AND 1`:                                    "1",
+		`SELECT 0 OR 1`:                                     "1",
+		`SELECT NULL AND 0`:                                 "0",
+		`SELECT NULL OR 1`:                                  "1",
+		`SELECT NULL AND 1`:                                 "NULL",
+		`SELECT TRUE`:                                       "1",
+		`SELECT FALSE`:                                      "0",
 	}
 	for sql, want := range cases {
 		got := q(t, c, sql)
@@ -416,7 +416,7 @@ func TestSnapshotQueries(t *testing.T) {
 		('UserA', '2008-11-09 13:23:44', 'USA'),
 		('UserB', '2008-11-09 15:45:21', 'UK'),
 		('UserC', '2008-11-09 15:45:21', 'USA')`)
-	mustExec(t, c, `BEGIN; COMMIT WITH SNAPSHOT`) // S1
+	mustExec(t, c, `BEGIN; COMMIT WITH SNAPSHOT`)                                                 // S1
 	mustExec(t, c, `BEGIN; DELETE FROM logged_in WHERE l_userid = 'UserA'; COMMIT WITH SNAPSHOT`) // S2
 	mustExec(t, c, `BEGIN;
 		INSERT INTO logged_in (l_userid, l_time, l_country) VALUES ('UserD', '2008-11-11 10:08:04', 'UK');

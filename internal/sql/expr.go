@@ -546,7 +546,7 @@ func likeRec(p, s string) bool {
 	}
 }
 
-func parseInt(s string) (int64, error)   { return strconv.ParseInt(s, 10, 64) }
+func parseInt(s string) (int64, error)     { return strconv.ParseInt(s, 10, 64) }
 func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
 
 // exprColumnName derives the display name of a result column, following

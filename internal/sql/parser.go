@@ -56,9 +56,9 @@ type parser struct {
 	params int
 }
 
-func (p *parser) peek() token  { return p.toks[p.pos] }
-func (p *parser) next() token  { t := p.toks[p.pos]; p.pos++; return t }
-func (p *parser) back()        { p.pos-- }
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) back()       { p.pos-- }
 
 func (p *parser) errf(format string, args ...any) error {
 	t := p.peek()

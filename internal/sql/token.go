@@ -21,10 +21,10 @@ const (
 	tkEOF tokenKind = iota
 	tkIdent
 	tkKeyword
-	tkString  // 'quoted'
-	tkNumber  // integer or float literal
-	tkParam   // ?
-	tkSymbol  // punctuation and operators
+	tkString // 'quoted'
+	tkNumber // integer or float literal
+	tkParam  // ?
+	tkSymbol // punctuation and operators
 )
 
 type token struct {

@@ -56,16 +56,16 @@ func scaled(base int, sf float64) int {
 
 // Word pools (abbreviated versions of dbgen's grammar-based text).
 var (
-	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
-	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
-	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
-	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
-	types1     = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
-	types2     = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
-	types3     = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities  = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes   = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	types1      = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	types2      = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	types3      = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
 	containers1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
 	containers2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
-	nounPool   = []string{"packages", "requests", "accounts", "deposits", "foxes", "ideas",
+	nounPool    = []string{"packages", "requests", "accounts", "deposits", "foxes", "ideas",
 		"theodolites", "pinto beans", "instructions", "dependencies", "excuses", "platelets"}
 	verbPool = []string{"sleep", "haggle", "nag", "wake", "cajole", "dazzle", "detect",
 		"integrate", "doze", "snooze", "engage", "boost"}

@@ -1,0 +1,533 @@
+// Package wire defines the rqld client/server protocol: length-prefixed
+// binary frames over a byte stream (TCP), stdlib only. Each frame is
+//
+//	| u32 payload length (big endian) | u8 opcode | payload |
+//
+// Payloads are built from three primitives — unsigned varints, varint
+// length-prefixed strings, and rows in internal/record's self-describing
+// record encoding — so the value marshalling on the wire is byte-for-byte
+// the storage engine's own row codec.
+//
+// A connection carries one request at a time (no pipelining): the client
+// writes a request frame and reads response frames until a terminal
+// RespDone / RespError / single-frame reply arrives. Query results
+// stream: RespRowHeader announces the column names, RespRowBatch frames
+// carry groups of rows, and RespDone ends the statement with its
+// execution statistics.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"rql/internal/record"
+)
+
+// ProtocolVersion is bumped on incompatible frame-format changes.
+const ProtocolVersion = 1
+
+// Magic opens the client hello.
+const Magic = "RQL1"
+
+// MaxFrame caps a frame payload (64 MiB), bounding per-request memory.
+const MaxFrame = 64 << 20
+
+// Request opcodes (client -> server).
+const (
+	ReqHello byte = 0x01 // magic, version
+	ReqExec  byte = 0x02 // asOf, sql, params row
+	ReqSnap  byte = 0x03 // label — DeclareSnapshot
+	ReqMech  byte = 0x04 // kind, qs, qq, table, extra
+	ReqStats byte = 0x05 // —
+	ReqObjs  byte = 0x06 // —
+	ReqRun   byte = 0x07 // — last mechanism run stats
+	ReqTblSt byte = 0x08 // table name — TableStats
+	ReqPing  byte = 0x09 // —
+)
+
+// Response opcodes (server -> client).
+const (
+	RespHello  byte = 0x81 // version, server banner
+	RespHeader byte = 0x82 // column names
+	RespBatch  byte = 0x83 // row batch
+	RespDone   byte = 0x84 // exec stats, last snapshot, in-tx flag
+	RespError  byte = 0x85 // message
+	RespSnapID byte = 0x86 // snapshot id
+	RespRun    byte = 0x87 // run stats (or absent)
+	RespStats  byte = 0x88 // server stats
+	RespObjs   byte = 0x89 // object list
+	RespTblSt  byte = 0x8A // table stats
+	RespPong   byte = 0x8B // —
+)
+
+// Mechanism kinds carried by ReqMech.
+const (
+	MechCollate byte = iota
+	MechAggVar
+	MechAggTable
+	MechIntervals
+)
+
+// Errors returned by frame and payload decoding.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrTruncated     = errors.New("wire: truncated payload")
+	ErrBadMagic      = errors.New("wire: bad protocol magic")
+)
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+// Enc accumulates a frame payload.
+type Enc struct{ B []byte }
+
+// Uvarint appends an unsigned varint.
+func (e *Enc) Uvarint(v uint64) { e.B = binary.AppendUvarint(e.B, v) }
+
+// Varint appends a signed varint.
+func (e *Enc) Varint(v int64) { e.B = binary.AppendVarint(e.B, v) }
+
+// Byte appends one byte.
+func (e *Enc) Byte(b byte) { e.B = append(e.B, b) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(b bool) {
+	if b {
+		e.B = append(e.B, 1)
+	} else {
+		e.B = append(e.B, 0)
+	}
+}
+
+// String appends a varint length-prefixed string.
+func (e *Enc) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.B = append(e.B, s...)
+}
+
+// Row appends a varint length-prefixed record-encoded row.
+func (e *Enc) Row(vals []record.Value) {
+	enc := record.EncodeRow(nil, vals)
+	e.Uvarint(uint64(len(enc)))
+	e.B = append(e.B, enc...)
+}
+
+// Duration appends a duration as varint nanoseconds.
+func (e *Enc) Duration(d time.Duration) { e.Varint(int64(d)) }
+
+// Dec consumes a frame payload. The first decode error sticks; check
+// Err once after the reads.
+type Dec struct {
+	B   []byte
+	err error
+}
+
+// Err returns the first decoding error.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.B)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.B = d.B[n:]
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Dec) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.B)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.B = d.B[n:]
+	return v
+}
+
+// Byte reads one byte.
+func (d *Dec) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.B) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.B[0]
+	d.B = d.B[1:]
+	return b
+}
+
+// Bool reads a one-byte boolean.
+func (d *Dec) Bool() bool { return d.Byte() != 0 }
+
+// String reads a varint length-prefixed string.
+func (d *Dec) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.B)) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.B[:n])
+	d.B = d.B[n:]
+	return s
+}
+
+// Row reads a varint length-prefixed record-encoded row.
+func (d *Dec) Row() []record.Value {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.B)) < n {
+		d.fail()
+		return nil
+	}
+	vals, err := record.DecodeRow(d.B[:n])
+	if err != nil {
+		if d.err == nil {
+			d.err = err
+		}
+		return nil
+	}
+	d.B = d.B[n:]
+	return vals
+}
+
+// Duration reads a varint-nanosecond duration.
+func (d *Dec) Duration() time.Duration { return time.Duration(d.Varint()) }
+
+// ---------------------------------------------------------------------------
+// Composite message bodies shared by client and server
+// ---------------------------------------------------------------------------
+
+// ExecStats mirrors sql.ExecStats field-for-field; wire keeps its own
+// copy so the protocol schema is explicit and self-contained.
+type ExecStats struct {
+	Duration     time.Duration
+	SPTBuildTime time.Duration
+	AutoIndex    time.Duration
+	MapScanned   int
+	PagelogReads int
+	CacheHits    int
+	DBReads      int
+	RowsReturned int
+}
+
+// EncodeExecStats appends an ExecStats body.
+func EncodeExecStats(e *Enc, s ExecStats) {
+	e.Duration(s.Duration)
+	e.Duration(s.SPTBuildTime)
+	e.Duration(s.AutoIndex)
+	e.Uvarint(uint64(s.MapScanned))
+	e.Uvarint(uint64(s.PagelogReads))
+	e.Uvarint(uint64(s.CacheHits))
+	e.Uvarint(uint64(s.DBReads))
+	e.Uvarint(uint64(s.RowsReturned))
+}
+
+// DecodeExecStats reads an ExecStats body.
+func DecodeExecStats(d *Dec) ExecStats {
+	return ExecStats{
+		Duration:     d.Duration(),
+		SPTBuildTime: d.Duration(),
+		AutoIndex:    d.Duration(),
+		MapScanned:   int(d.Uvarint()),
+		PagelogReads: int(d.Uvarint()),
+		CacheHits:    int(d.Uvarint()),
+		DBReads:      int(d.Uvarint()),
+		RowsReturned: int(d.Uvarint()),
+	}
+}
+
+// IterationCost mirrors core.IterationCost on the wire.
+type IterationCost struct {
+	Snapshot      uint64
+	SPTBuild      time.Duration
+	IndexCreation time.Duration
+	QueryEval     time.Duration
+	UDF           time.Duration
+	IOTime        time.Duration
+	PagelogReads  int
+	CacheHits     int
+	DBReads       int
+	MapScanned    int
+	QqRows        int
+	ResultInserts int
+	ResultUpdates int
+	ResultSearch  int
+}
+
+// RunStats mirrors core.RunStats on the wire.
+type RunStats struct {
+	Mechanism        string
+	Iterations       []IterationCost
+	ResultRows       int
+	ResultDataBytes  int64
+	ResultIndexBytes int64
+}
+
+// EncodeRunStats appends a RunStats body.
+func EncodeRunStats(e *Enc, r RunStats) {
+	e.String(r.Mechanism)
+	e.Uvarint(uint64(r.ResultRows))
+	e.Varint(r.ResultDataBytes)
+	e.Varint(r.ResultIndexBytes)
+	e.Uvarint(uint64(len(r.Iterations)))
+	for _, it := range r.Iterations {
+		e.Uvarint(it.Snapshot)
+		e.Duration(it.SPTBuild)
+		e.Duration(it.IndexCreation)
+		e.Duration(it.QueryEval)
+		e.Duration(it.UDF)
+		e.Duration(it.IOTime)
+		e.Uvarint(uint64(it.PagelogReads))
+		e.Uvarint(uint64(it.CacheHits))
+		e.Uvarint(uint64(it.DBReads))
+		e.Uvarint(uint64(it.MapScanned))
+		e.Uvarint(uint64(it.QqRows))
+		e.Uvarint(uint64(it.ResultInserts))
+		e.Uvarint(uint64(it.ResultUpdates))
+		e.Uvarint(uint64(it.ResultSearch))
+	}
+}
+
+// DecodeRunStats reads a RunStats body.
+func DecodeRunStats(d *Dec) RunStats {
+	r := RunStats{
+		Mechanism:        d.String(),
+		ResultRows:       int(d.Uvarint()),
+		ResultDataBytes:  d.Varint(),
+		ResultIndexBytes: d.Varint(),
+	}
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return r
+	}
+	r.Iterations = make([]IterationCost, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		r.Iterations = append(r.Iterations, IterationCost{
+			Snapshot:      d.Uvarint(),
+			SPTBuild:      d.Duration(),
+			IndexCreation: d.Duration(),
+			QueryEval:     d.Duration(),
+			UDF:           d.Duration(),
+			IOTime:        d.Duration(),
+			PagelogReads:  int(d.Uvarint()),
+			CacheHits:     int(d.Uvarint()),
+			DBReads:       int(d.Uvarint()),
+			MapScanned:    int(d.Uvarint()),
+			QqRows:        int(d.Uvarint()),
+			ResultInserts: int(d.Uvarint()),
+			ResultUpdates: int(d.Uvarint()),
+			ResultSearch:  int(d.Uvarint()),
+		})
+	}
+	return r
+}
+
+// ObjectInfo mirrors sql.ObjectInfo on the wire.
+type ObjectInfo struct {
+	Kind  string
+	Name  string
+	Table string
+	Temp  bool
+}
+
+// EncodeObjects appends an object list body.
+func EncodeObjects(e *Enc, objs []ObjectInfo) {
+	e.Uvarint(uint64(len(objs)))
+	for _, o := range objs {
+		e.String(o.Kind)
+		e.String(o.Name)
+		e.String(o.Table)
+		e.Bool(o.Temp)
+	}
+}
+
+// DecodeObjects reads an object list body.
+func DecodeObjects(d *Dec) []ObjectInfo {
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return nil
+	}
+	out := make([]ObjectInfo, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		out = append(out, ObjectInfo{
+			Kind:  d.String(),
+			Name:  d.String(),
+			Table: d.String(),
+			Temp:  d.Bool(),
+		})
+	}
+	return out
+}
+
+// HistogramBuckets are the upper bounds of the server's per-request
+// latency histogram; the final +Inf bucket is implicit.
+var HistogramBuckets = []time.Duration{
+	100 * time.Microsecond,
+	1 * time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	1 * time.Second,
+	10 * time.Second,
+}
+
+// NumHistogramBuckets includes the implicit +Inf bucket.
+const NumHistogramBuckets = 7
+
+// ServerStats is the full STATS reply: the server's own counters plus
+// the storage and Retro counters piped through from the database.
+type ServerStats struct {
+	// Server counters.
+	ConnsAccepted  uint64
+	ConnsActive    uint64
+	QueriesServed  uint64
+	RowsStreamed   uint64
+	Errors         uint64
+	LatencyBuckets [NumHistogramBuckets]uint64
+
+	// Storage counters (main store).
+	Commits      uint64
+	PagesWritten uint64
+	DBReads      uint64
+
+	// Retro snapshot-system counters.
+	Snapshots     uint64
+	PagelogWrites uint64
+	PagelogReads  uint64
+	CacheHits     uint64
+	SPTBuilds     uint64
+	PagelogPages  int64
+	CachedPages   uint64
+}
+
+// EncodeServerStats appends a ServerStats body.
+func EncodeServerStats(e *Enc, s ServerStats) {
+	e.Uvarint(s.ConnsAccepted)
+	e.Uvarint(s.ConnsActive)
+	e.Uvarint(s.QueriesServed)
+	e.Uvarint(s.RowsStreamed)
+	e.Uvarint(s.Errors)
+	e.Uvarint(uint64(len(s.LatencyBuckets)))
+	for _, c := range s.LatencyBuckets {
+		e.Uvarint(c)
+	}
+	e.Uvarint(s.Commits)
+	e.Uvarint(s.PagesWritten)
+	e.Uvarint(s.DBReads)
+	e.Uvarint(s.Snapshots)
+	e.Uvarint(s.PagelogWrites)
+	e.Uvarint(s.PagelogReads)
+	e.Uvarint(s.CacheHits)
+	e.Uvarint(s.SPTBuilds)
+	e.Varint(s.PagelogPages)
+	e.Uvarint(s.CachedPages)
+}
+
+// DecodeServerStats reads a ServerStats body.
+func DecodeServerStats(d *Dec) ServerStats {
+	var s ServerStats
+	s.ConnsAccepted = d.Uvarint()
+	s.ConnsActive = d.Uvarint()
+	s.QueriesServed = d.Uvarint()
+	s.RowsStreamed = d.Uvarint()
+	s.Errors = d.Uvarint()
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		c := d.Uvarint()
+		if i < NumHistogramBuckets {
+			s.LatencyBuckets[i] = c
+		}
+	}
+	s.Commits = d.Uvarint()
+	s.PagesWritten = d.Uvarint()
+	s.DBReads = d.Uvarint()
+	s.Snapshots = d.Uvarint()
+	s.PagelogWrites = d.Uvarint()
+	s.PagelogReads = d.Uvarint()
+	s.CacheHits = d.Uvarint()
+	s.SPTBuilds = d.Uvarint()
+	s.PagelogPages = d.Varint()
+	s.CachedPages = d.Uvarint()
+	return s
+}
+
+// RemoteError is a server-reported statement error delivered to the
+// client. It unwraps to nothing — the server's error chain does not
+// cross the wire — but preserves the full message.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// DecodeError turns a RespError payload into a RemoteError.
+func DecodeError(payload []byte) error {
+	d := &Dec{B: payload}
+	msg := d.String()
+	if d.Err() != nil {
+		msg = fmt.Sprintf("(corrupt error frame: %v)", d.Err())
+	}
+	return &RemoteError{Msg: msg}
+}
+
+// EncodeError builds a RespError payload.
+func EncodeError(err error) []byte {
+	e := &Enc{}
+	e.String(err.Error())
+	return e.B
+}

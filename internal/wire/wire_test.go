@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"rql/internal/record"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {0x01}, bytes.Repeat([]byte{0xAB}, 100_000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		op, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: op=%#x len=%d, want op=%#x len=%d", i, op, len(got), i+1, len(p))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("read past the last frame should fail")
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("oversized write: %v, want ErrFrameTooLarge", err)
+	}
+	// A forged oversized header must be rejected before allocation.
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	if _, _, err := ReadFrame(&buf); err != ErrFrameTooLarge {
+		t.Fatalf("oversized read: %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	row := []record.Value{
+		record.Null(),
+		record.Int(-42),
+		record.Float(3.5),
+		record.Text("héllo"),
+		record.Blob([]byte{0, 1, 2}),
+	}
+	e := &Enc{}
+	e.Uvarint(0)
+	e.Uvarint(1 << 62)
+	e.Varint(-1 << 40)
+	e.Byte(0x7F)
+	e.Bool(true)
+	e.Bool(false)
+	e.String("")
+	e.String("snapshot set")
+	e.Row(row)
+	e.Duration(-time.Second)
+
+	d := &Dec{B: e.B}
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Uvarint(); v != 1<<62 {
+		t.Fatalf("uvarint = %d", v)
+	}
+	if v := d.Varint(); v != -1<<40 {
+		t.Fatalf("varint = %d", v)
+	}
+	if v := d.Byte(); v != 0x7F {
+		t.Fatalf("byte = %#x", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bools did not round-trip")
+	}
+	if v := d.String(); v != "" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := d.String(); v != "snapshot set" {
+		t.Fatalf("string = %q", v)
+	}
+	got := d.Row()
+	if len(got) != len(row) {
+		t.Fatalf("row has %d values, want %d", len(got), len(row))
+	}
+	for i := range row {
+		if record.Compare(got[i], row[i]) != 0 {
+			t.Fatalf("row[%d] = %v, want %v", i, got[i], row[i])
+		}
+	}
+	if v := d.Duration(); v != -time.Second {
+		t.Fatalf("duration = %v", v)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if len(d.B) != 0 {
+		t.Fatalf("%d bytes left over", len(d.B))
+	}
+}
+
+func TestDecStickyError(t *testing.T) {
+	d := &Dec{B: []byte{0x05}} // string length 5 with no bytes behind it
+	if s := d.String(); s != "" || d.Err() == nil {
+		t.Fatalf("truncated string: %q, err %v", s, d.Err())
+	}
+	// Every later read must keep failing without panicking.
+	d.Uvarint()
+	d.Byte()
+	d.Row()
+	if d.Err() != ErrTruncated {
+		t.Fatalf("sticky error = %v, want ErrTruncated", d.Err())
+	}
+}
+
+func TestCompositeRoundTrips(t *testing.T) {
+	es := ExecStats{
+		Duration: time.Millisecond, SPTBuildTime: time.Microsecond,
+		AutoIndex: time.Second, MapScanned: 1, PagelogReads: 2,
+		CacheHits: 3, DBReads: 4, RowsReturned: 5,
+	}
+	e := &Enc{}
+	EncodeExecStats(e, es)
+	if got := DecodeExecStats(&Dec{B: e.B}); got != es {
+		t.Fatalf("ExecStats = %+v, want %+v", got, es)
+	}
+
+	rs := RunStats{
+		Mechanism: "CollateData", ResultRows: 7,
+		ResultDataBytes: 100, ResultIndexBytes: 50,
+		Iterations: []IterationCost{
+			{Snapshot: 1, SPTBuild: time.Millisecond, QqRows: 9, ResultInserts: 9},
+			{Snapshot: 2, IOTime: time.Second, PagelogReads: 3, CacheHits: 1},
+		},
+	}
+	e = &Enc{}
+	EncodeRunStats(e, rs)
+	if got := DecodeRunStats(&Dec{B: e.B}); !reflect.DeepEqual(got, rs) {
+		t.Fatalf("RunStats = %+v, want %+v", got, rs)
+	}
+
+	objs := []ObjectInfo{
+		{Kind: "table", Name: "orders"},
+		{Kind: "index", Name: "idx", Table: "orders", Temp: true},
+	}
+	e = &Enc{}
+	EncodeObjects(e, objs)
+	if got := DecodeObjects(&Dec{B: e.B}); !reflect.DeepEqual(got, objs) {
+		t.Fatalf("Objects = %+v, want %+v", got, objs)
+	}
+
+	ss := ServerStats{
+		ConnsAccepted: 1, ConnsActive: 2, QueriesServed: 3, RowsStreamed: 4,
+		Errors: 5, LatencyBuckets: [NumHistogramBuckets]uint64{1, 2, 3, 4, 5, 6, 7},
+		Commits: 8, PagesWritten: 9, DBReads: 10, Snapshots: 11,
+		PagelogWrites: 12, PagelogReads: 13, CacheHits: 14, SPTBuilds: 15,
+		PagelogPages: -1, CachedPages: 17,
+	}
+	e = &Enc{}
+	EncodeServerStats(e, ss)
+	if got := DecodeServerStats(&Dec{B: e.B}); got != ss {
+		t.Fatalf("ServerStats = %+v, want %+v", got, ss)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	err := DecodeError(EncodeError(&RemoteError{Msg: "no such table: nope"}))
+	re, ok := err.(*RemoteError)
+	if !ok || re.Msg != "no such table: nope" {
+		t.Fatalf("round-tripped error = %#v", err)
+	}
+}

@@ -35,6 +35,26 @@
 //	SELECT CollateData(snap_id,
 //	    'SELECT DISTINCT user, current_snapshot() AS sid FROM logged_in',
 //	    'Result') FROM SnapIds;
+//
+// # Concurrency
+//
+// A DB is safe for concurrent use; a Conn is not. Open one Conn per
+// goroutine (or per network session — internal/server does exactly
+// this): each Conn carries its own explicit-transaction state,
+// per-statement statistics, and snapshot read contexts, while the DB
+// underneath serializes writers on a single-writer commit path and
+// serves any number of concurrent MVCC snapshot readers. The shared
+// pieces — schema caches, the UDF registry, the Retro snapshot system
+// and its page cache, and the store's version chains — are internally
+// synchronized.
+//
+// Two cross-session conventions follow from the paper's two-database
+// layout: temporary tables (including SnapIds and the RQL result tables
+// T) live in one side store shared by every Conn of a DB, so concurrent
+// mechanism runs must use distinct result-table names; and a Conn that
+// holds an explicit transaction (BEGIN without COMMIT) holds the
+// single-writer lock, blocking other writers until it commits or rolls
+// back.
 package rql
 
 import (
@@ -44,6 +64,7 @@ import (
 	"rql/internal/record"
 	"rql/internal/retro"
 	"rql/internal/sql"
+	"rql/internal/storage"
 )
 
 // Value is a dynamically typed SQL value.
@@ -76,6 +97,12 @@ type (
 	FuncContext = sql.FuncContext
 	// TableStats reports a table's size (rows, data bytes, index bytes).
 	TableStats = sql.TableStats
+	// ObjectInfo describes one catalog object (tables and indexes).
+	ObjectInfo = sql.ObjectInfo
+	// StorageStats is a point-in-time copy of the main store's counters.
+	StorageStats = storage.StatsSnapshot
+	// RetroStats is a point-in-time copy of the snapshot system's counters.
+	RetroStats = retro.StatsSnapshot
 )
 
 // Options configures Open.
@@ -130,8 +157,20 @@ func (db *DB) ResetSnapshotCache() { db.inner.Retro().ResetCache() }
 // PagelogPages reports the number of archived page pre-states.
 func (db *DB) PagelogPages() int64 { return db.inner.Retro().PagelogPages() }
 
-// Conn opens a connection. Connections are not safe for concurrent
-// use; open one per goroutine.
+// CachedPages reports the number of pages in the snapshot page cache.
+func (db *DB) CachedPages() int { return db.inner.Retro().CachedPages() }
+
+// StorageStats reports the main store's counters (commits, pages
+// written, current-DB page reads).
+func (db *DB) StorageStats() StorageStats { return db.inner.MainStore().Stats() }
+
+// RetroStats reports the snapshot system's counters (snapshots
+// declared, Pagelog writes/reads, cache hits, SPT builds).
+func (db *DB) RetroStats() RetroStats { return db.inner.Retro().Stats() }
+
+// Conn opens a connection. A Conn is not safe for concurrent use; open
+// one per goroutine (see the package-level Concurrency section). Any
+// number of Conns may be used concurrently on one DB.
 func (db *DB) Conn() *Conn { return &Conn{Conn: db.inner.Conn(), db: db} }
 
 // Conn is a database connection with the RQL mechanisms bound.
