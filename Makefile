@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt bench
+.PHONY: all check build vet test race fmt bench microbench
 
 all: check
 
@@ -26,5 +26,12 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# bench regenerates the machine-readable batch-SPT baseline: wall time,
+# Maplog entries scanned, and cache hit rates per mechanism, sequential
+# and parallel, legacy vs one-sweep batch construction.
 bench:
+	$(GO) run ./cmd/rqlbench -benchjson BENCH_rql.json
+
+# microbench runs the Go testing benchmarks (one pass, smoke-level).
+microbench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -223,14 +223,15 @@ func (c *Conn) exec(sqlText string, asOf uint64, cb rql.RowCallback, params []rq
 				return true, c.fail(d.Err())
 			}
 			c.lastStats = rql.ExecStats{
-				Duration:     st.Duration,
-				SPTBuildTime: st.SPTBuildTime,
-				AutoIndex:    st.AutoIndex,
-				MapScanned:   st.MapScanned,
-				PagelogReads: st.PagelogReads,
-				CacheHits:    st.CacheHits,
-				DBReads:      st.DBReads,
-				RowsReturned: st.RowsReturned,
+				Duration:       st.Duration,
+				SPTBuildTime:   st.SPTBuildTime,
+				AutoIndex:      st.AutoIndex,
+				MapScanned:     st.MapScanned,
+				PagelogReads:   st.PagelogReads,
+				CacheHits:      st.CacheHits,
+				DBReads:        st.DBReads,
+				RowsReturned:   st.RowsReturned,
+				ClusteredReads: st.ClusteredReads,
 			}
 			return true, nil
 		case wire.RespError:
@@ -511,24 +512,28 @@ func runFromWire(r wire.RunStats) rql.RunStats {
 		ResultRows:       r.ResultRows,
 		ResultDataBytes:  r.ResultDataBytes,
 		ResultIndexBytes: r.ResultIndexBytes,
+		BatchBuilds:      r.BatchBuilds,
+		BatchMapScanned:  r.BatchMapScanned,
+		BatchBuildTime:   r.BatchBuildTime,
 		Iterations:       make([]rql.IterationCost, len(r.Iterations)),
 	}
 	for i, it := range r.Iterations {
 		out.Iterations[i] = rql.IterationCost{
-			Snapshot:      it.Snapshot,
-			SPTBuild:      it.SPTBuild,
-			IndexCreation: it.IndexCreation,
-			QueryEval:     it.QueryEval,
-			UDF:           it.UDF,
-			IOTime:        it.IOTime,
-			PagelogReads:  it.PagelogReads,
-			CacheHits:     it.CacheHits,
-			DBReads:       it.DBReads,
-			MapScanned:    it.MapScanned,
-			QqRows:        it.QqRows,
-			ResultInserts: it.ResultInserts,
-			ResultUpdates: it.ResultUpdates,
-			ResultSearch:  it.ResultSearch,
+			Snapshot:       it.Snapshot,
+			SPTBuild:       it.SPTBuild,
+			IndexCreation:  it.IndexCreation,
+			QueryEval:      it.QueryEval,
+			UDF:            it.UDF,
+			IOTime:         it.IOTime,
+			PagelogReads:   it.PagelogReads,
+			CacheHits:      it.CacheHits,
+			DBReads:        it.DBReads,
+			MapScanned:     it.MapScanned,
+			QqRows:         it.QqRows,
+			ResultInserts:  it.ResultInserts,
+			ResultUpdates:  it.ResultUpdates,
+			ResultSearch:   it.ResultSearch,
+			ClusteredReads: it.ClusteredReads,
 		}
 	}
 	return out

@@ -32,6 +32,7 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		latency = flag.Duration("latency", 0, "modeled per-Pagelog-read latency (default 100µs)")
 		seed    = flag.Int64("seed", 0, "data generation seed")
+		bjson   = flag.String("benchjson", "", "run the batch experiment and write its machine-readable report to this path")
 	)
 	flag.Parse()
 
@@ -49,6 +50,17 @@ func main() {
 
 	start := time.Now()
 	switch {
+	case *bjson != "":
+		rep, err := r.BatchReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rqlbench:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(*bjson); err != nil {
+			fmt.Fprintln(os.Stderr, "rqlbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bjson)
 	case *all:
 		if err := r.RunAll(); err != nil {
 			fmt.Fprintln(os.Stderr, "rqlbench:", err)

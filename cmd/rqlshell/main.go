@@ -214,6 +214,10 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 		switch {
 		case env.db != nil:
 			fmt.Printf("pagelog: %d archived pages\n", env.db.PagelogPages())
+			rs := env.db.RetroStats()
+			fmt.Printf("retro: %d SPT builds, %d batch builds (%d snapshots, %d entries scanned), %d clustered reads (%d pages)\n",
+				rs.SPTBuilds, rs.SPTBatchBuilds, rs.BatchSnapshots, rs.BatchMapScanned,
+				rs.ClusteredReads, rs.ClusteredPages)
 		case env.remote != nil:
 			ss, err := env.remote.ServerStats()
 			if err != nil {
@@ -241,6 +245,10 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 		}
 		fmt.Printf("%s: %d iterations, result %d rows (%d data bytes, %d index bytes)\n",
 			run.Mechanism, len(run.Iterations), run.ResultRows, run.ResultDataBytes, run.ResultIndexBytes)
+		if run.BatchBuilds > 0 {
+			fmt.Printf("  batch SPT: %d build(s), %d maplog entries scanned in %v (one sweep for all iterations)\n",
+				run.BatchBuilds, run.BatchMapScanned, run.BatchBuildTime)
+		}
 		for _, it := range run.Iterations {
 			fmt.Printf("  snap %-4d io=%-10v spt=%-10v idx=%-10v eval=%-10v udf=%-10v rows=%d\n",
 				it.Snapshot, it.IOTime, it.SPTBuild, it.IndexCreation, it.QueryEval, it.UDF, it.QqRows)
@@ -262,4 +270,7 @@ func printServerStats(ss client.ServerStats) {
 	fmt.Printf("retro: %d snapshots, pagelog %d pages (%d writes, %d reads), %d cache hits (%d cached), %d SPT builds\n",
 		ss.Snapshots, ss.PagelogPages, ss.PagelogWrites, ss.PagelogReads,
 		ss.CacheHits, ss.CachedPages, ss.SPTBuilds)
+	fmt.Printf("batch: %d batch SPT builds (%d snapshots, %d entries scanned), %d clustered reads (%d pages)\n",
+		ss.SPTBatchBuilds, ss.BatchSnapshots, ss.BatchMapScanned,
+		ss.ClusteredReads, ss.ClusteredPages)
 }

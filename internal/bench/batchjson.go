@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"rql/internal/core"
+	"rql/internal/record"
+)
+
+// The batch experiment compares the two SPT-construction strategies for
+// a snapshot-set run — per-iteration (every snapshot builds its own SPT
+// through Skippy) versus one-sweep batch (one Maplog pass derives every
+// member's SPT as the later snapshot's SPT plus a delta) — across all
+// four mechanisms, sequential and parallel. Its output is also the
+// machine-readable BENCH_rql.json baseline written by `make bench`.
+
+// BatchSide is one strategy's measurement within a BatchResult.
+type BatchSide struct {
+	Wall         string  `json:"wall"`
+	WallNS       int64   `json:"wall_ns"`
+	MapScanned   int     `json:"map_scanned"`
+	PagelogReads int     `json:"pagelog_reads"`
+	CacheHits    int     `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// BatchResult compares the strategies for one mechanism and mode.
+type BatchResult struct {
+	Mechanism     string    `json:"mechanism"`
+	Mode          string    `json:"mode"` // "sequential" | "parallel"
+	Snapshots     int       `json:"snapshots"`
+	Legacy        BatchSide `json:"legacy"`
+	Batch         BatchSide `json:"batch"`
+	Speedup       float64   `json:"speedup"`        // legacy wall / batch wall
+	ScanReduction float64   `json:"scan_reduction"` // legacy scanned / batch scanned
+}
+
+// BatchReport is the full experiment output (BENCH_rql.json).
+type BatchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	SF          float64       `json:"sf"`
+	UW          string        `json:"uw"`
+	SetSize     int           `json:"set_size"`
+	History     int           `json:"history"` // snapshots declared in total
+	Workers     int           `json:"parallel_workers"`
+	Reps        int           `json:"reps"` // wall times are the min over reps
+	Results     []BatchResult `json:"results"`
+}
+
+// batchWorkers is the parallel worker count used by the experiment.
+const batchWorkers = 8
+
+// timedRun executes one mechanism run (cold cache) reps times and
+// returns the stats of the fastest repetition with its wall time.
+func (e *Env) timedRun(m mech, qs, qq string, parallel bool, reps int) (*core.RunStats, time.Duration, error) {
+	var best time.Duration
+	var bestRS *core.RunStats
+	for i := 0; i < reps; i++ {
+		e.DB.Retro().ResetCache()
+		resultSeq++
+		table := fmt.Sprintf("bench_result_%d", resultSeq)
+		var (
+			rs  *core.RunStats
+			err error
+		)
+		start := time.Now()
+		if parallel {
+			switch m.name {
+			case "AggV":
+				rs, err = e.R.ParallelAggregateDataInVariable(qs, qq, table, m.extra, batchWorkers)
+			case "Collate":
+				rs, err = e.R.ParallelCollateData(qs, qq, table, batchWorkers)
+			case "AggT":
+				rs, err = e.R.ParallelAggregateDataInTable(qs, qq, table, m.extra, batchWorkers)
+			case "Intervals":
+				rs, err = e.R.ParallelCollateDataIntoIntervals(qs, qq, table, batchWorkers)
+			default:
+				err = fmt.Errorf("bench: unknown mechanism %q", m.name)
+			}
+		} else {
+			switch m.name {
+			case "AggV":
+				rs, err = e.R.AggregateDataInVariable(e.Conn, qs, qq, table, m.extra)
+			case "Collate":
+				rs, err = e.R.CollateData(e.Conn, qs, qq, table)
+			case "AggT":
+				rs, err = e.R.AggregateDataInTable(e.Conn, qs, qq, table, m.extra)
+			case "Intervals":
+				rs, err = e.R.CollateDataIntoIntervals(e.Conn, qs, qq, table)
+			default:
+				err = fmt.Errorf("bench: unknown mechanism %q", m.name)
+			}
+		}
+		wall := time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		if bestRS == nil || wall < best {
+			best, bestRS = wall, rs
+		}
+	}
+	return bestRS, best, nil
+}
+
+func side(rs *core.RunStats, wall time.Duration) BatchSide {
+	t := rs.Total()
+	rate := 0.0
+	if fetches := t.CacheHits + t.PagelogReads; fetches > 0 {
+		rate = float64(t.CacheHits) / float64(fetches)
+	}
+	return BatchSide{
+		Wall:         wall.Round(time.Microsecond).String(),
+		WallNS:       wall.Nanoseconds(),
+		MapScanned:   t.MapScanned,
+		PagelogReads: t.PagelogReads,
+		CacheHits:    t.CacheHits,
+		CacheHitRate: rate,
+	}
+}
+
+// BatchReport runs the batch experiment and returns the report.
+//
+// The workload is chosen to expose SPT-construction cost, the quantity
+// the two strategies differ in: the measured window is the OLDEST
+// setSize snapshots of a history six times as long, so every legacy
+// per-iteration build scans from its snapshot to the distant Maplog
+// tail, while the batch sweep walks the shared range once. Qq is an
+// index-range query (the index is created before the history so every
+// snapshot carries it) — cheap enough that SPT work is a visible share
+// of wall time, the regime where per-iteration construction hurts.
+func (r *Runner) BatchReport() (*BatchReport, error) {
+	setSize, reps := 50, 5
+	if r.Cfg.Quick {
+		setSize, reps = 12, 1
+	}
+	history := 6 * setSize
+	fmt.Fprintf(r.Out, "[setup] building batch-SPT environment: SF=%g, %d snapshots, indexed orders...\n",
+		r.Cfg.SF, history+1)
+	e, err := NewEnv(UW30, 1, r.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	if err := e.Conn.Exec(`CREATE INDEX orders_okey ON orders (o_orderkey)`, nil); err != nil {
+		return nil, err
+	}
+	if err := e.Extend(history); err != nil {
+		return nil, err
+	}
+
+	// Key geometry of the refresh workload: live orders are the dense
+	// range [front, front+N-1]; the front advances ops keys per
+	// snapshot. Pick a key window near the top of the initial key space
+	// — inserted by snapshot 2, not yet deleted at snapshot setSize+1 —
+	// so the Qq reads real archived rows at every window snapshot.
+	var curMin, curMax int64
+	err = e.Conn.Exec(`SELECT MIN(o_orderkey), MAX(o_orderkey) FROM orders`,
+		func(cols []string, row []record.Value) error {
+			curMin, curMax = row[0].Int(), row[1].Int()
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	ops := int64(e.W.OrdersPerSnapshot)
+	n := curMax - curMin + 1
+	minKey0 := curMin - int64(e.Last)*ops
+	keyA := minKey0 + n
+	keyB := keyA + 2*ops
+
+	qs := QsRange(2, uint64(setSize+1), 1)
+	where := fmt.Sprintf(`WHERE o_orderkey >= %d AND o_orderkey < %d`, keyA, keyB)
+	mechs := []struct {
+		label string
+		m     mech
+		qq    string
+	}{
+		{"CollateData", mechCollate, `SELECT o_orderkey FROM orders ` + where},
+		{"AggregateDataInVariable", mech{name: "AggV", extra: "sum"},
+			`SELECT COUNT(*) FROM orders ` + where},
+		{"AggregateDataInTable", aggTable("(tp,MAX)"),
+			`SELECT o_orderkey, o_totalprice AS tp FROM orders ` + where},
+		{"CollateDataIntoIntervals", mechIntervals,
+			`SELECT o_orderkey, o_custkey FROM orders ` + where},
+	}
+
+	rep := &BatchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		SF:          e.Cfg.SF,
+		UW:          e.UW.Name,
+		SetSize:     setSize,
+		History:     int(e.Last),
+		Workers:     batchWorkers,
+		Reps:        reps,
+	}
+	defer e.R.SetBatchSPT(true)
+	for _, mm := range mechs {
+		for _, parallel := range []bool{false, true} {
+			e.R.SetBatchSPT(false)
+			lrs, lwall, err := e.timedRun(mm.m, qs, mm.qq, parallel, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s legacy: %w", mm.label, err)
+			}
+			e.R.SetBatchSPT(true)
+			brs, bwall, err := e.timedRun(mm.m, qs, mm.qq, parallel, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s batch: %w", mm.label, err)
+			}
+			mode := "sequential"
+			if parallel {
+				mode = "parallel"
+			}
+			res := BatchResult{
+				Mechanism: mm.label,
+				Mode:      mode,
+				Snapshots: setSize,
+				Legacy:    side(lrs, lwall),
+				Batch:     side(brs, bwall),
+			}
+			if bwall > 0 {
+				res.Speedup = float64(lwall) / float64(bwall)
+			}
+			if res.Batch.MapScanned > 0 {
+				res.ScanReduction = float64(res.Legacy.MapScanned) / float64(res.Batch.MapScanned)
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path, indented.
+func (rep *BatchReport) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Batch prints the batch experiment as a table (rqlbench -exp batch).
+func (r *Runner) Batch() error {
+	rep, err := r.BatchReport()
+	if err != nil {
+		return err
+	}
+	tab := &Table{
+		Title: fmt.Sprintf("Batch SPT: one-sweep vs per-iteration construction (%d-snapshot set, %s)", rep.SetSize, rep.UW),
+		Note: fmt.Sprintf("wall = min over %d cold-cache reps; scanned = Maplog entries examined for SPTs; parallel = %d workers",
+			rep.Reps, rep.Workers),
+		Headers: []string{"mechanism", "mode", "legacy wall", "batch wall", "speedup",
+			"legacy scanned", "batch scanned", "scan ratio", "hit rate"},
+	}
+	for _, res := range rep.Results {
+		tab.Add(res.Mechanism, res.Mode,
+			time.Duration(res.Legacy.WallNS), time.Duration(res.Batch.WallNS),
+			fmt.Sprintf("%.2fx", res.Speedup),
+			res.Legacy.MapScanned, res.Batch.MapScanned,
+			fmt.Sprintf("%.1fx", res.ScanReduction),
+			fmt.Sprintf("%.2f", res.Batch.CacheHitRate))
+	}
+	tab.Fprint(r.Out)
+	return nil
+}

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -148,6 +150,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 	for _, marker := range []string{
 		"Table 1", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
 		"Figure 10", "Figure 11", "Figure 12", "Figure 13", "§5.3",
+		"Batch SPT",
 	} {
 		if !strings.Contains(out, marker) {
 			t.Errorf("experiment output missing %q", marker)
@@ -155,5 +158,50 @@ func TestAllExperimentsQuick(t *testing.T) {
 	}
 	if FindExperiment("nope") != nil {
 		t.Error("FindExperiment of unknown name should be nil")
+	}
+}
+
+// The batch report must show the one-sweep win on Maplog entries
+// scanned for every mechanism and mode, and round-trip through JSON.
+func TestBatchReportQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a TPC-H environment")
+	}
+	var buf bytes.Buffer
+	r := NewRunner(quickCfg(), &buf)
+	defer r.Close()
+	rep, err := r.BatchReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 8 {
+		t.Fatalf("got %d results, want 8 (4 mechanisms x 2 modes)", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Batch.MapScanned >= res.Legacy.MapScanned {
+			t.Errorf("%s/%s: batch scanned %d Maplog entries, legacy %d — batch must be strictly lower",
+				res.Mechanism, res.Mode, res.Batch.MapScanned, res.Legacy.MapScanned)
+		}
+		if res.Legacy.WallNS <= 0 || res.Batch.WallNS <= 0 {
+			t.Errorf("%s/%s: missing wall times: %+v", res.Mechanism, res.Mode, res)
+		}
+		if res.Snapshots != rep.SetSize {
+			t.Errorf("%s/%s: snapshots %d, want %d", res.Mechanism, res.Mode, res.Snapshots, rep.SetSize)
+		}
+	}
+	path := t.TempDir() + "/BENCH_rql.json"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BatchReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("BENCH_rql.json is not valid JSON: %v", err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Errorf("JSON round-trip lost results: %d vs %d", len(back.Results), len(rep.Results))
 	}
 }

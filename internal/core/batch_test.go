@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// iterMapScanned sums the Maplog entries scanned across a run's
+// iterations (the per-iteration path's total SPT construction work).
+func iterMapScanned(rs *RunStats) int {
+	n := 0
+	for _, it := range rs.Iterations {
+		n += it.MapScanned
+	}
+	return n
+}
+
+// Every sequential mechanism must produce identical results with batch
+// SPT construction on (one sweep, shared reader set) and off (legacy
+// per-iteration builds) — and the batch sweep must scan strictly fewer
+// Maplog entries than the per-iteration builds it replaces.
+func TestBatchVsLegacySequentialEquivalence(t *testing.T) {
+	r, c := randomHistory(t, 11, 25)
+	qs := `SELECT snap_id FROM SnapIds`
+	mechs := []struct {
+		name string
+		run  func(table string) (*RunStats, error)
+	}{
+		{"CollateData", func(tb string) (*RunStats, error) {
+			return r.CollateData(c, qs, `SELECT k, grp, current_snapshot() AS sid FROM m`, tb)
+		}},
+		{"AggregateDataInVariable", func(tb string) (*RunStats, error) {
+			return r.AggregateDataInVariable(c, qs, `SELECT SUM(v) AS s FROM m`, tb, "max")
+		}},
+		{"AggregateDataInTable", func(tb string) (*RunStats, error) {
+			return r.AggregateDataInTable(c, qs, `SELECT grp, COUNT(*) AS cn FROM m GROUP BY grp`, tb, "(cn,MAX)")
+		}},
+		{"CollateDataIntoIntervals", func(tb string) (*RunStats, error) {
+			return r.CollateDataIntoIntervals(c, qs, `SELECT k, grp FROM m`, tb)
+		}},
+	}
+	for _, m := range mechs {
+		r.SetBatchSPT(true)
+		bs, err := m.run(m.name + "_batch")
+		if err != nil {
+			t.Fatalf("%s (batch): %v", m.name, err)
+		}
+		r.SetBatchSPT(false)
+		ls, err := m.run(m.name + "_legacy")
+		if err != nil {
+			t.Fatalf("%s (legacy): %v", m.name, err)
+		}
+		r.SetBatchSPT(true)
+
+		got := sortedRows(t, c, `SELECT * FROM `+m.name+`_batch`)
+		want := sortedRows(t, c, `SELECT * FROM `+m.name+`_legacy`)
+		if strings.Join(got, ";") != strings.Join(want, ";") {
+			t.Errorf("%s: batch result differs from legacy:\n  batch:  %v\n  legacy: %v", m.name, got, want)
+		}
+
+		if bs.BatchBuilds != 1 || bs.BatchMapScanned == 0 {
+			t.Errorf("%s: batch run stats %+v, want one recorded batch build", m.name, bs)
+		}
+		if ls.BatchBuilds != 0 {
+			t.Errorf("%s: legacy run recorded %d batch builds", m.name, ls.BatchBuilds)
+		}
+		if legacyScan := iterMapScanned(ls); bs.BatchMapScanned >= legacyScan {
+			t.Errorf("%s: batch sweep scanned %d Maplog entries, per-iteration sum %d — batch must be strictly lower",
+				m.name, bs.BatchMapScanned, legacyScan)
+		}
+		// Billing: the sweep's work lands on the first iteration so
+		// run totals stay comparable across the two paths.
+		if len(bs.Iterations) > 0 && bs.Iterations[0].MapScanned < bs.BatchMapScanned {
+			t.Errorf("%s: batch sweep not billed to the first iteration: %+v", m.name, bs.Iterations[0])
+		}
+	}
+}
+
+// The parallel path shares one immutable reader set across all workers;
+// results and the scanned-entries win must match the sequential story.
+// Run with -race.
+func TestParallelBatchSharedSetEquivalence(t *testing.T) {
+	r, c := randomHistory(t, 7, 40)
+	qs := `SELECT snap_id FROM SnapIds`
+	qq := `SELECT k, grp, current_snapshot() AS sid FROM m`
+
+	r.SetBatchSPT(false)
+	ls, err := r.ParallelCollateData(qs, qq, "ParLegacy", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetBatchSPT(true)
+	bs, err := r.ParallelCollateData(qs, qq, "ParBatch", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := sortedRows(t, c, `SELECT k, grp, sid FROM ParBatch`)
+	want := sortedRows(t, c, `SELECT k, grp, sid FROM ParLegacy`)
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("parallel batch result differs from legacy:\n  batch:  %v\n  legacy: %v", got, want)
+	}
+	if bs.BatchBuilds != 1 || bs.BatchMapScanned == 0 {
+		t.Errorf("parallel batch run stats %+v, want one recorded batch build", bs)
+	}
+	if legacyScan := iterMapScanned(ls); bs.BatchMapScanned >= legacyScan {
+		t.Errorf("parallel batch sweep scanned %d entries, per-iteration sum %d", bs.BatchMapScanned, legacyScan)
+	}
+	if len(bs.Iterations) != 40 || len(ls.Iterations) != 40 {
+		t.Errorf("iteration counts: batch %d, legacy %d, want 40", len(bs.Iterations), len(ls.Iterations))
+	}
+}
+
+// Clustered prefetch on the batch set must not change any result, only
+// how pages reach the cache.
+func TestBatchPrefetchEquivalence(t *testing.T) {
+	r, c := randomHistory(t, 3, 20)
+	qs := `SELECT snap_id FROM SnapIds`
+	qq := `SELECT k, v, current_snapshot() AS sid FROM m`
+
+	if _, err := r.CollateData(c, qs, qq, "NoPrefetch"); err != nil {
+		t.Fatal(err)
+	}
+	r.SetPrefetch(true)
+	defer r.SetPrefetch(false)
+	r.db.Retro().ResetCache()
+	if _, err := r.CollateData(c, qs, qq, "WithPrefetch"); err != nil {
+		t.Fatal(err)
+	}
+	got := sortedRows(t, c, `SELECT k, v, sid FROM WithPrefetch`)
+	want := sortedRows(t, c, `SELECT k, v, sid FROM NoPrefetch`)
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("prefetch changed results:\n  prefetch: %v\n  plain:    %v", got, want)
+	}
+}
+
+// The SQL-form UDF path (mechanisms invoked from a SELECT over SnapIds)
+// streams Qs rows and therefore keeps the per-iteration path; it must
+// keep working with the batch toggle in either position.
+func TestUDFPathUnaffectedByBatchToggle(t *testing.T) {
+	for _, on := range []bool{true, false} {
+		r, c := fixture(t)
+		r.SetBatchSPT(on)
+		mustExec(t, c, `SELECT CollateData(snap_id, 'SELECT DISTINCT l_userid, current_snapshot() AS sid FROM LoggedIn', 'R') FROM SnapIds`)
+		rows := queryRows(t, c, `SELECT COUNT(*) FROM R`)
+		if len(rows) != 1 || rows[0] != "8" {
+			t.Errorf("batch=%v: UDF CollateData rows = %v, want [8]", on, rows)
+		}
+		if run := r.LastRun(); run == nil || run.BatchBuilds != 0 {
+			t.Errorf("batch=%v: UDF path must not record batch builds: %+v", on, run)
+		}
+	}
+}

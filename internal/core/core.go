@@ -34,8 +34,10 @@ import (
 type RQL struct {
 	db *sql.DB
 
-	mu      sync.Mutex
-	lastRun *RunStats
+	mu       sync.Mutex
+	lastRun  *RunStats
+	noBatch  bool // disable batch SPT construction (legacy per-iteration path)
+	prefetch bool // clustered Pagelog prefetch on batch-set opens
 }
 
 // Attach registers the four RQL mechanism UDFs on db and returns the
@@ -73,6 +75,66 @@ func (r *RQL) setLastRun(rs *RunStats) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.lastRun = rs
+}
+
+// SetBatchSPT enables or disables batch SPT construction for the
+// Go-level mechanism API (on by default): when on, a run collects the
+// Qs snapshot set first and builds every SPT with one Maplog sweep
+// (sql.ReaderSet); when off, each iteration builds its own SPT — the
+// legacy path, kept for comparison benchmarks and equivalence tests.
+func (r *RQL) SetBatchSPT(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noBatch = !on
+}
+
+// SetPrefetch enables clustered Pagelog prefetching on batch reader
+// sets (off by default: prefetching can fetch pages a query never
+// touches, changing the PagelogReads accounting the paper's figures
+// are built on).
+func (r *RQL) SetPrefetch(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prefetch = on
+}
+
+// batchEnabled reports the current toggles.
+func (r *RQL) batchEnabled() (batch, prefetch bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.noBatch, r.prefetch
+}
+
+// openReaderSet builds the batch reader set for a run's snapshot set,
+// honouring the toggles. Returns nil (no error) when batching is off
+// or the set is empty.
+func (r *RQL) openReaderSet(conn *sql.Conn, snaps []uint64) (*sql.ReaderSet, error) {
+	batch, prefetch := r.batchEnabled()
+	if !batch || len(snaps) == 0 {
+		return nil, nil
+	}
+	set, err := conn.OpenSnapshotSet(snaps)
+	if err != nil {
+		return nil, err
+	}
+	set.SetPrefetch(prefetch)
+	return set, nil
+}
+
+// billBatch records the reader set's one-sweep build on the run: as
+// run-level fields, and billed to the first iteration's SPTBuild and
+// MapScanned so totals stay comparable with the per-iteration path.
+func billBatch(run *RunStats, set *sql.ReaderSet) {
+	if set == nil {
+		return
+	}
+	run.BatchBuilds = 1
+	run.BatchMapScanned = set.Scanned()
+	run.BatchBuildTime = set.BuildTime()
+	if len(run.Iterations) > 0 {
+		run.Iterations[0].SPTBuild += set.BuildTime()
+		run.Iterations[0].MapScanned += set.Scanned()
+	}
 }
 
 // readLatency is the modeled per-Pagelog-read cost configured on the
@@ -178,12 +240,17 @@ func (r *RQL) CollateDataIntoIntervals(conn *sql.Conn, qs, qq, table string) (*R
 	})
 }
 
-// run drives a mechanism from Go: execute Qs, iterate the loop body.
+// run drives a mechanism from Go: execute Qs, then iterate the loop
+// body over the returned set. Unlike the SQL UDF form — where the
+// engine streams Qs rows into the UDF one at a time — the whole set is
+// known before the first iteration, so the SPT of every member is
+// built with one batch Maplog sweep (unless SetBatchSPT disabled it).
 func (r *RQL) run(conn *sql.Conn, kind mechKind, qs string, args []record.Value) (*RunStats, error) {
 	st := &mechState{kind: kind, rql: r}
 	if err := st.init(conn, args); err != nil {
 		return nil, err
 	}
+	var snaps []uint64
 	err := conn.Exec(qs, func(cols []string, row []record.Value) error {
 		if len(row) != 1 {
 			return fmt.Errorf("rql: Qs must return a single snapshot-id column, got %d columns", len(row))
@@ -191,8 +258,26 @@ func (r *RQL) run(conn *sql.Conn, kind mechKind, qs string, args []record.Value)
 		if row[0].IsNull() {
 			return fmt.Errorf("rql: Qs returned a NULL snapshot id")
 		}
-		return st.iterate(conn, uint64(row[0].AsInt()))
+		snaps = append(snaps, uint64(row[0].AsInt()))
+		return nil
 	})
+	if err == nil {
+		var set *sql.ReaderSet
+		set, err = r.openReaderSet(conn, snaps)
+		if set != nil {
+			defer set.Close()
+			st.set = set
+		}
+		for _, snap := range snaps {
+			if err != nil {
+				break
+			}
+			err = st.iterate(conn, snap)
+		}
+		if err == nil {
+			billBatch(st.run, set)
+		}
+	}
 	if ferr := st.FinalizeStmt(err == nil); err == nil {
 		err = ferr
 	}

@@ -45,6 +45,12 @@ type mechState struct {
 	qq     string
 	table  string
 
+	// set, when non-nil, is the batch-built reader set covering the
+	// run's snapshots: iterations open their SPT from it in O(1)
+	// instead of building one per snapshot. Shared read-only by the
+	// parallel workers. The run driver owns its lifetime.
+	set *sql.ReaderSet
+
 	// AggregateDataInVariable.
 	monoid *Monoid
 	avgAcc avgAccumulator
@@ -140,7 +146,7 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 		st.iterUDF += time.Since(t0)
 		return err
 	}
-	if err := conn.ExecAsOf(st.qq, snap, cb); err != nil {
+	if err := conn.ExecAsOfSet(st.qq, st.set, snap, cb); err != nil {
 		return err
 	}
 	qs := conn.LastStats()
@@ -170,6 +176,7 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	cost.CacheHits = qs.CacheHits
 	cost.DBReads = qs.DBReads
 	cost.MapScanned = qs.MapScanned
+	cost.ClusteredReads = qs.ClusteredReads
 
 	st.run.Iterations = append(st.run.Iterations, cost)
 	st.prevSnap = snap
@@ -181,7 +188,7 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 // interval columns for CollateDataIntoIntervals). Result tables are
 // temporary and live in the non-snapshotable side store (§3).
 func (st *mechState) createResultTable(conn *sql.Conn, snap uint64) error {
-	cols, err := conn.Columns(st.qq, snap)
+	cols, err := conn.ColumnsSet(st.qq, st.set, snap)
 	if err != nil {
 		return err
 	}

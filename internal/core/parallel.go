@@ -118,6 +118,17 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 		return run, nil
 	}
 
+	// One batch-built reader set shared (read-only) by every worker:
+	// the SPTs are built once, and cross-chunk duplicate builds vanish.
+	set, err := r.openReaderSet(conn, snaps)
+	if err != nil {
+		return nil, err
+	}
+	if set != nil {
+		defer set.Close()
+		tmpl.set = set
+	}
+
 	// Result-table shape comes from the first snapshot, as in the
 	// sequential mechanisms.
 	if err := tmpl.createResultTable(conn, snaps[0]); err != nil {
@@ -219,6 +230,7 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 		}
 	}
 	sortIterationsByQsOrder(run.Iterations, snaps)
+	billBatch(run, set)
 
 	ts, err := conn.TableStats(table)
 	if err != nil {
@@ -254,7 +266,7 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 			udf += time.Since(t0)
 			return err
 		}
-		if err := conn.ExecAsOf(tmpl.qq, snap, cb); err != nil {
+		if err := conn.ExecAsOfSet(tmpl.qq, tmpl.set, snap, cb); err != nil {
 			res.err = err
 			return res
 		}
@@ -271,6 +283,7 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		cost.CacheHits = qs.CacheHits
 		cost.DBReads = qs.DBReads
 		cost.MapScanned = qs.MapScanned
+		cost.ClusteredReads = qs.ClusteredReads
 		res.iters = append(res.iters, cost)
 		prev = snap
 	}

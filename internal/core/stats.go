@@ -28,10 +28,11 @@ type IterationCost struct {
 	IOTime time.Duration
 
 	// Raw counters, device-independent.
-	PagelogReads int
-	CacheHits    int
-	DBReads      int
-	MapScanned   int
+	PagelogReads   int
+	CacheHits      int
+	DBReads        int
+	MapScanned     int
+	ClusteredReads int // coalesced Pagelog read runs (prefetch)
 
 	QqRows        int
 	ResultInserts int
@@ -48,6 +49,15 @@ func (c IterationCost) Total() time.Duration {
 type RunStats struct {
 	Mechanism  string
 	Iterations []IterationCost
+
+	// Batch SPT construction, when the run used a pre-built reader set:
+	// one Maplog sweep derived every iteration's SPT. Its time and
+	// entries scanned are also billed to the first iteration's
+	// SPTBuild/MapScanned so Total() stays comparable with the
+	// per-iteration path (whose builds are spread across iterations).
+	BatchBuilds     int
+	BatchMapScanned int
+	BatchBuildTime  time.Duration
 
 	// Result-table footprint after the run (§5.3 memory experiments).
 	ResultRows       int
@@ -68,6 +78,7 @@ func (r *RunStats) Total() IterationCost {
 		t.CacheHits += c.CacheHits
 		t.DBReads += c.DBReads
 		t.MapScanned += c.MapScanned
+		t.ClusteredReads += c.ClusteredReads
 		t.QqRows += c.QqRows
 		t.ResultInserts += c.ResultInserts
 		t.ResultUpdates += c.ResultUpdates
@@ -102,6 +113,7 @@ func (r *RunStats) Hot() IterationCost {
 		t.CacheHits += c.CacheHits
 		t.DBReads += c.DBReads
 		t.MapScanned += c.MapScanned
+		t.ClusteredReads += c.ClusteredReads
 		t.QqRows += c.QqRows
 		t.ResultInserts += c.ResultInserts
 		t.ResultUpdates += c.ResultUpdates
@@ -117,6 +129,7 @@ func (r *RunStats) Hot() IterationCost {
 	t.CacheHits /= n
 	t.DBReads /= n
 	t.MapScanned /= n
+	t.ClusteredReads /= n
 	t.QqRows /= n
 	t.ResultInserts /= n
 	t.ResultUpdates /= n

@@ -116,46 +116,48 @@ func (m *maplog) merge(level, j int) levelSeg {
 // SPT is a snapshot page table: for every page captured after snapshot
 // S, the Pagelog offset of its as-of-S pre-state. Pages absent from the
 // table are shared with the current database.
+//
+// A batch-built SPT (see buildSPTBatch) holds only the mappings first
+// recorded between its own snapshot and the next set member, and chains
+// to the next member's SPT for everything later — the "later snapshot's
+// SPT plus the per-snapshot segment delta" decomposition. Lookup walks
+// the chain; own entries shadow chained ones, which is exactly
+// first-mapping-wins because Maplog tags are non-decreasing.
 type SPT struct {
 	Snap    SnapshotID
 	loc     map[storage.PageID]int64
-	Scanned int // Maplog entries examined during construction (build cost)
+	next    *SPT // batch chain toward the set's latest member (nil otherwise)
+	size    int  // distinct pages resolved across the whole chain
+	Scanned int  // Maplog entries examined building this table (its delta, when chained)
 }
 
 // Lookup returns the Pagelog offset holding the page's as-of-S state.
 func (t *SPT) Lookup(id storage.PageID) (int64, bool) {
-	off, ok := t.loc[id]
-	return off, ok
+	for s := t; s != nil; s = s.next {
+		if off, ok := s.loc[id]; ok {
+			return off, true
+		}
+	}
+	return 0, false
 }
 
 // Len returns the number of pages resolved to the Pagelog.
-func (t *SPT) Len() int { return len(t.loc) }
+func (t *SPT) Len() int { return t.size }
 
-// buildSPT constructs SPT(S) by scanning the Maplog from S forward,
-// first-mapping-wins, using the Skippy hierarchy to skip over long
-// histories. upto bounds the raw tail scan (entries appended later
-// belong to commits the caller's MVCC read transaction does not see;
-// including them would also be correct, but bounding keeps the build
-// deterministic for a given open point).
-func (m *maplog) buildSPT(s SnapshotID, upto int) (*SPT, error) {
-	last := m.lastSnap()
-	if s < 1 || s > last {
-		return nil, ErrNoSnapshot
+// cover walks the Maplog over the snapshot tag range [lo, hi] in
+// chronological order, calling take on each covering segment. It
+// greedily prefers the largest aligned, completed Skippy level segments
+// that fit inside the range, falling back to raw level-0 segments. When
+// hi is the latest snapshot, its still-open segment is scanned raw,
+// bounded by upto.
+func (m *maplog) cover(lo, hi SnapshotID, upto int, take func([]mapEntry)) {
+	last := int(m.lastSnap())
+	closed := int(hi)
+	if closed > last-1 {
+		closed = last - 1 // the latest snapshot's segment is still open
 	}
-	if s < m.minSnap {
-		return nil, fmt.Errorf("%w: snapshot %d was truncated (retention floor %d)", ErrNoSnapshot, s, m.minSnap)
-	}
-	t := &SPT{Snap: s, loc: make(map[storage.PageID]int64)}
-	take := func(es []mapEntry) {
-		for _, e := range es {
-			t.Scanned++
-			if _, ok := t.loc[e.page]; !ok {
-				t.loc[e.page] = e.off
-			}
-		}
-	}
-	pos := int(s)
-	for pos <= int(last) {
+	pos := int(lo)
+	for pos <= int(hi) {
 		if pos == int(last) {
 			// The open segment of the latest snapshot: raw scan.
 			start := m.segStart[pos]
@@ -165,9 +167,10 @@ func (m *maplog) buildSPT(s SnapshotID, upto int) (*SPT, error) {
 			take(m.entries[start:upto])
 			break
 		}
-		// Largest aligned, completed level segment starting at pos.
+		// Largest aligned, completed level segment starting at pos whose
+		// span stays within the closed part of the range.
 		level, span := 0, 1
-		for f := m.factor; (pos-1)%f == 0 && pos-1+f <= int(last)-1 && level < len(m.levels); f *= m.factor {
+		for f := m.factor; (pos-1)%f == 0 && pos-1+f <= closed && level < len(m.levels); f *= m.factor {
 			if (pos-1)/f < len(m.levels[level]) {
 				level++
 				span = f
@@ -183,7 +186,120 @@ func (m *maplog) buildSPT(s SnapshotID, upto int) (*SPT, error) {
 		take(m.levels[level-1][(pos-1)/span].entries)
 		pos += span
 	}
+}
+
+// checkOpenable validates that snapshot s can be built.
+func (m *maplog) checkOpenable(s SnapshotID) error {
+	if s < 1 || s > m.lastSnap() {
+		return ErrNoSnapshot
+	}
+	if s < m.minSnap {
+		return fmt.Errorf("%w: snapshot %d was truncated (retention floor %d)", ErrNoSnapshot, s, m.minSnap)
+	}
+	return nil
+}
+
+// buildSPT constructs SPT(S) by scanning the Maplog from S forward,
+// first-mapping-wins, using the Skippy hierarchy to skip over long
+// histories. upto bounds the raw tail scan (entries appended later
+// belong to commits the caller's MVCC read transaction does not see;
+// including them would also be correct, but bounding keeps the build
+// deterministic for a given open point).
+func (m *maplog) buildSPT(s SnapshotID, upto int) (*SPT, error) {
+	if err := m.checkOpenable(s); err != nil {
+		return nil, err
+	}
+	t := &SPT{Snap: s, loc: make(map[storage.PageID]int64)}
+	m.cover(s, m.lastSnap(), upto, func(es []mapEntry) {
+		for _, e := range es {
+			t.Scanned++
+			if _, ok := t.loc[e.page]; !ok {
+				t.loc[e.page] = e.off
+			}
+		}
+	})
+	t.size = len(t.loc)
 	return t, nil
+}
+
+// buildSPTBatch constructs the SPTs of every snapshot in ids — which
+// must be sorted ascending and unique — in a single Maplog sweep. The
+// latest member's SPT is built with the usual Skippy-covered scan from
+// it to the tail; each earlier member then only scans its delta range
+// [S_i, S_i+1) and chains to its successor, so the ranges shared by the
+// set members are walked once instead of once per member. The returned
+// tables are aligned with ids.
+//
+// A naive chain makes every Lookup walk O(n) links, which for large
+// sets costs more than the sweep saves. Every k-th member (k ≈ √n) is
+// therefore a checkpoint: its own table holds the cumulative delta from
+// itself to the base and its next pointer skips straight to the base,
+// bounding the walk at ~√n links for the ~n/√n extra tables' memory.
+func (m *maplog) buildSPTBatch(ids []SnapshotID, upto int) ([]*SPT, error) {
+	for _, s := range ids {
+		if err := m.checkOpenable(s); err != nil {
+			return nil, err
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("%w: empty snapshot set", ErrNoSnapshot)
+	}
+	out := make([]*SPT, len(ids))
+	n := len(ids)
+	base := &SPT{Snap: ids[n-1], loc: make(map[storage.PageID]int64)}
+	m.cover(ids[n-1], m.lastSnap(), upto, func(es []mapEntry) {
+		for _, e := range es {
+			base.Scanned++
+			if _, ok := base.loc[e.page]; !ok {
+				base.loc[e.page] = e.off
+			}
+		}
+	})
+	base.size = len(base.loc)
+	out[n-1] = base
+	k := 1
+	for k*k < n {
+		k++
+	}
+	// cum folds the deltas from the current member to the base together,
+	// earliest mapping winning: walking backwards, each member's delta
+	// overwrites what later members recorded for the same page.
+	cum := make(map[storage.PageID]int64)
+	for i := n - 2; i >= 0; i-- {
+		next := out[i+1]
+		t := &SPT{Snap: ids[i], loc: make(map[storage.PageID]int64), next: next}
+		m.cover(ids[i], ids[i+1]-1, upto, func(es []mapEntry) {
+			for _, e := range es {
+				t.Scanned++
+				if _, ok := t.loc[e.page]; !ok {
+					t.loc[e.page] = e.off
+				}
+			}
+		})
+		for page, off := range t.loc {
+			cum[page] = off
+		}
+		if (n-1-i)%k == 0 {
+			// Checkpoint: replace the delta with the cumulative table and
+			// skip the chain. Scanned stays the delta's scan count — the
+			// copy examines no Maplog entries.
+			loc := make(map[storage.PageID]int64, len(cum))
+			for page, off := range cum {
+				loc[page] = off
+			}
+			t.loc, t.next = loc, base
+		}
+		// Chain-aware resolved-page count: an own key not resolvable by
+		// the successor chain is new.
+		t.size = t.next.size
+		for page := range t.loc {
+			if _, ok := t.next.Lookup(page); !ok {
+				t.size++
+			}
+		}
+		out[i] = t
+	}
+	return out, nil
 }
 
 // len0 returns the raw Maplog length (level-0 entries).

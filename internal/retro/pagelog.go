@@ -100,6 +100,38 @@ func (pl *pagelog) read(off int64, dst *storage.PageData) error {
 	return nil
 }
 
+// readRun reads n consecutively-archived pages starting at off with a
+// single backing ReadAt (the clustered fetch Prefetch builds its runs
+// from). The caller owns the returned pages.
+func (pl *pagelog) readRun(off int64, n int) ([]*storage.PageData, error) {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	if err := pl.injectReadErr; err != nil {
+		pl.injectReadErr = nil
+		return nil, err
+	}
+	if n <= 0 || off < 0 || off+int64(n) > pl.n {
+		return nil, ErrBadOffset
+	}
+	out := make([]*storage.PageData, n)
+	if pl.file != nil {
+		buf := make([]byte, n*storage.PageSize)
+		if _, err := pl.file.ReadAt(buf, off*storage.PageSize); err != nil {
+			return nil, fmt.Errorf("retro: pagelog read: %w", err)
+		}
+		for i := range out {
+			out[i] = new(storage.PageData)
+			copy(out[i][:], buf[i*storage.PageSize:])
+		}
+		return out, nil
+	}
+	for i := range out {
+		out[i] = new(storage.PageData)
+		*out[i] = *pl.mem[off+int64(i)]
+	}
+	return out, nil
+}
+
 func (pl *pagelog) size() int64 {
 	pl.mu.RLock()
 	defer pl.mu.RUnlock()

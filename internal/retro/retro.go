@@ -1,6 +1,8 @@
 package retro
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -191,6 +193,126 @@ func (s *System) OpenSnapshot(id SnapshotID) (*SnapshotReader, error) {
 	return r, nil
 }
 
+// SnapshotSet is a reader set over a batch-built group of SPTs: one
+// Maplog sweep (BuildSPTs) derives the page table of every member, and
+// one MVCC read transaction — pinned before the sweep, preserving
+// OpenSnapshot's pin-then-scan consistency argument — serves the pages
+// each member shares with the current database.
+//
+// The set is immutable after construction and safe for concurrent use:
+// parallel workers may Open readers on different (or the same) members
+// simultaneously. Close releases the pinned read transaction; readers
+// opened from the set must be closed first (they do not pin their own).
+type SnapshotSet struct {
+	sys  *System
+	rt   *storage.ReadTx
+	spts map[SnapshotID]*SPT
+	ids  []SnapshotID // sorted ascending, unique
+
+	// Scanned is the total number of Maplog entries examined by the
+	// single sweep; BuildTime is its wall time. Compare with the sum of
+	// per-member Counters.MapScanned a per-iteration loop would pay.
+	Scanned   int
+	BuildTime time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// OpenSnapshotSet builds the SPT of every snapshot in ids with a single
+// Maplog sweep (ids need not be sorted; duplicates are ignored) and
+// pins one MVCC read transaction shared by all readers opened from the
+// set. This is the batch entry point for RQL's defining access pattern,
+// a loop over a whole Qs snapshot set: the per-member Maplog ranges
+// overlap, and the sweep walks the shared ranges once instead of once
+// per member.
+func (s *System) OpenSnapshotSet(ids []SnapshotID) (*SnapshotSet, error) {
+	sorted := make([]SnapshotID, 0, len(ids))
+	seen := make(map[SnapshotID]bool, len(ids))
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			sorted = append(sorted, id)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	rt, err := s.store.BeginRead()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		rt.Close()
+		return nil, ErrClosed
+	}
+	start := time.Now()
+	spts, err := s.ml.buildSPTBatch(sorted, s.ml.len0())
+	buildTime := time.Since(start)
+	if err == nil {
+		s.openReaders++ // the set counts as one open reader (Compact safety)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	set := &SnapshotSet{sys: s, rt: rt, spts: make(map[SnapshotID]*SPT, len(sorted)), ids: sorted, BuildTime: buildTime}
+	for i, id := range sorted {
+		set.spts[id] = spts[i]
+		set.Scanned += spts[i].Scanned
+	}
+	s.stats.SPTBatchBuilds.Add(1)
+	s.stats.BatchSnapshots.Add(uint64(len(sorted)))
+	s.stats.BatchMapScanned.Add(uint64(set.Scanned))
+	return set, nil
+}
+
+// Snapshots returns the set's members, sorted ascending.
+func (ss *SnapshotSet) Snapshots() []SnapshotID {
+	return append([]SnapshotID(nil), ss.ids...)
+}
+
+// Contains reports whether the snapshot is a member of the set.
+func (ss *SnapshotSet) Contains(id SnapshotID) bool {
+	_, ok := ss.spts[id]
+	return ok
+}
+
+// Open returns a reader serving pages as of a member snapshot. The
+// reader reuses the set's pre-built SPT and pinned read transaction, so
+// opening is O(1) — no Maplog scan, no new MVCC pin. Closing the reader
+// does not release the set.
+func (ss *SnapshotSet) Open(id SnapshotID) (*SnapshotReader, error) {
+	ss.mu.Lock()
+	closed := ss.closed
+	ss.mu.Unlock()
+	if closed {
+		return nil, ErrReaderClosed
+	}
+	spt, ok := ss.spts[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: snapshot %d is not in the reader set", ErrNoSnapshot, id)
+	}
+	return &SnapshotReader{sys: ss.sys, spt: spt, rt: ss.rt, sharedRT: true}, nil
+}
+
+// Close releases the pinned read transaction. Idempotent.
+func (ss *SnapshotSet) Close() {
+	ss.mu.Lock()
+	if ss.closed {
+		ss.mu.Unlock()
+		return
+	}
+	ss.closed = true
+	ss.mu.Unlock()
+	ss.rt.Close()
+	ss.sys.mu.Lock()
+	ss.sys.openReaders--
+	ss.sys.mu.Unlock()
+}
+
 // SnapshotLSN returns the commit LSN at which the snapshot was declared.
 func (s *System) SnapshotLSN(id SnapshotID) (uint64, error) {
 	s.mu.Lock()
@@ -211,11 +333,12 @@ func (s *System) InjectPagelogReadError(err error) {
 // Counters accumulates the per-reader costs the paper's §5 figures
 // break down.
 type Counters struct {
-	PagelogReads int           // cache-missing reads from the Pagelog
-	CacheHits    int           // snapshot pages served from the cache
-	DBReads      int           // pages shared with (and read from) the current DB
-	MapScanned   int           // Maplog entries examined building the SPT
-	SPTBuildTime time.Duration // wall time of the SPT build
+	PagelogReads   int           // cache-missing reads from the Pagelog
+	CacheHits      int           // snapshot pages served from the cache
+	DBReads        int           // pages shared with (and read from) the current DB
+	MapScanned     int           // Maplog entries examined building the SPT
+	ClusteredReads int           // coalesced Pagelog read runs issued by Prefetch
+	SPTBuildTime   time.Duration // wall time of the SPT build
 }
 
 // ModeledIOTime converts Pagelog misses into modeled I/O time at the
@@ -229,9 +352,10 @@ func (c Counters) ModeledIOTime(perRead time.Duration) time.Duration {
 // snapshot exactly as they run over the current database — the paper's
 // retrospection property.
 type SnapshotReader struct {
-	sys *System
-	spt *SPT
-	rt  *storage.ReadTx
+	sys      *System
+	spt      *SPT
+	rt       *storage.ReadTx
+	sharedRT bool // the read tx belongs to a SnapshotSet; Close leaves it pinned
 
 	// Counters accumulates this reader's costs; not safe for
 	// concurrent readers sharing one SnapshotReader.
@@ -247,6 +371,14 @@ func (r *SnapshotReader) Snapshot() SnapshotID { return r.spt.Snap }
 func (r *SnapshotReader) SPTLen() int { return r.spt.Len() }
 
 // Get returns the page content as of the snapshot.
+//
+// The returned *storage.PageData is SHARED — with the snapshot page
+// cache (other readers receive the same pointer), and, for pages the
+// snapshot shares with the current database, with the store's committed
+// version chain. Callers must treat it as immutable; mutating it would
+// corrupt every other reader of the same pre-state. The B+tree and SQL
+// layers honour this by only writing through Pager.GetMut, which this
+// reader rejects. TestCachedPageAliasingReadOnly guards the contract.
 func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
 	if r.closed {
 		return nil, ErrReaderClosed
@@ -292,12 +424,72 @@ func (r *SnapshotReader) Allocate() (storage.PageID, error) {
 // Free always fails: snapshots are immutable.
 func (r *SnapshotReader) Free(storage.PageID) error { return storage.ErrReadOnly }
 
-// Close unpins the underlying MVCC read transaction.
+// Prefetch bulk-loads into the snapshot cache every Pagelog pre-state
+// the reader's SPT (including its batch chain) can resolve and that is
+// not already cached. Offsets are sorted and adjacent ones coalesced so
+// a run of consecutively-archived pages costs one Pagelog ReadAt
+// instead of one per page — the capture order is commit order, so the
+// pre-states of one burst of updates cluster. Fetched pages count as
+// PagelogReads as usual; the number of coalesced runs is reported in
+// Counters.ClusteredReads (a run of n pages would have been n seeks on
+// the paper's SSD, now it is one). Returns pages fetched and runs
+// issued.
+func (r *SnapshotReader) Prefetch() (pages, runs int, err error) {
+	if r.closed {
+		return 0, 0, ErrReaderClosed
+	}
+	var offs []int64
+	seen := make(map[int64]bool)
+	for t := r.spt; t != nil; t = t.next {
+		for _, off := range t.loc {
+			if !seen[off] && !r.sys.cache.contains(off) {
+				seen[off] = true
+				offs = append(offs, off)
+			}
+		}
+	}
+	if len(offs) == 0 {
+		return 0, 0, nil
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for i := 0; i < len(offs); {
+		j := i + 1
+		for j < len(offs) && offs[j] == offs[j-1]+1 {
+			j++
+		}
+		data, err := r.sys.pl.readRun(offs[i], j-i)
+		if err != nil {
+			return pages, runs, err
+		}
+		if r.sys.sleepOnRd && r.sys.simLatency > 0 {
+			time.Sleep(r.sys.simLatency) // one device op per clustered run
+		}
+		for k, d := range data {
+			r.sys.cache.put(offs[i]+int64(k), d)
+		}
+		pages += j - i
+		runs++
+		i = j
+	}
+	r.Counters.PagelogReads += pages
+	r.Counters.ClusteredReads += runs
+	r.sys.stats.PagelogReads.Add(uint64(pages))
+	r.sys.stats.ClusteredReads.Add(uint64(runs))
+	r.sys.stats.ClusteredPages.Add(uint64(pages))
+	return pages, runs, nil
+}
+
+// Close unpins the underlying MVCC read transaction (unless the reader
+// was opened from a SnapshotSet, whose transaction stays pinned until
+// the set itself is closed).
 func (r *SnapshotReader) Close() {
 	if r.closed {
 		return
 	}
 	r.closed = true
+	if r.sharedRT {
+		return
+	}
 	r.rt.Close()
 	r.sys.mu.Lock()
 	r.sys.openReaders--

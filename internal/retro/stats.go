@@ -8,7 +8,16 @@ type Stats struct {
 	PagelogWrites atomic.Uint64 // pre-states captured (COW)
 	PagelogReads  atomic.Uint64 // cache-missing Pagelog reads
 	CacheHits     atomic.Uint64 // snapshot cache hits
-	SPTBuilds     atomic.Uint64 // snapshot page tables constructed
+	SPTBuilds     atomic.Uint64 // snapshot page tables built one at a time
+
+	// Batch SPT construction (OpenSnapshotSet).
+	SPTBatchBuilds  atomic.Uint64 // one-sweep batch builds performed
+	BatchSnapshots  atomic.Uint64 // SPTs derived by batch builds
+	BatchMapScanned atomic.Uint64 // Maplog entries scanned by batch builds
+
+	// Clustered Pagelog prefetch (SnapshotReader.Prefetch).
+	ClusteredReads atomic.Uint64 // coalesced read runs issued
+	ClusteredPages atomic.Uint64 // pages fetched via clustered runs
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -18,14 +27,26 @@ type StatsSnapshot struct {
 	PagelogReads  uint64
 	CacheHits     uint64
 	SPTBuilds     uint64
+
+	SPTBatchBuilds  uint64
+	BatchSnapshots  uint64
+	BatchMapScanned uint64
+
+	ClusteredReads uint64
+	ClusteredPages uint64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Snapshots:     s.Snapshots.Load(),
-		PagelogWrites: s.PagelogWrites.Load(),
-		PagelogReads:  s.PagelogReads.Load(),
-		CacheHits:     s.CacheHits.Load(),
-		SPTBuilds:     s.SPTBuilds.Load(),
+		Snapshots:       s.Snapshots.Load(),
+		PagelogWrites:   s.PagelogWrites.Load(),
+		PagelogReads:    s.PagelogReads.Load(),
+		CacheHits:       s.CacheHits.Load(),
+		SPTBuilds:       s.SPTBuilds.Load(),
+		SPTBatchBuilds:  s.SPTBatchBuilds.Load(),
+		BatchSnapshots:  s.BatchSnapshots.Load(),
+		BatchMapScanned: s.BatchMapScanned.Load(),
+		ClusteredReads:  s.ClusteredReads.Load(),
+		ClusteredPages:  s.ClusteredPages.Load(),
 	}
 }

@@ -228,6 +228,11 @@ func (s *Server) Stats() wire.ServerStats {
 	out.SPTBuilds = rs.SPTBuilds
 	out.PagelogPages = s.db.PagelogPages()
 	out.CachedPages = uint64(s.db.CachedPages())
+	out.SPTBatchBuilds = rs.SPTBatchBuilds
+	out.BatchSnapshots = rs.BatchSnapshots
+	out.BatchMapScanned = rs.BatchMapScanned
+	out.ClusteredReads = rs.ClusteredReads
+	out.ClusteredPages = rs.ClusteredPages
 	return out
 }
 

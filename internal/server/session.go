@@ -254,14 +254,15 @@ func (ss *session) handleExec(payload []byte) error {
 	st := ss.conn.LastStats()
 	e := &wire.Enc{}
 	wire.EncodeExecStats(e, wire.ExecStats{
-		Duration:     st.Duration,
-		SPTBuildTime: st.SPTBuildTime,
-		AutoIndex:    st.AutoIndex,
-		MapScanned:   st.MapScanned,
-		PagelogReads: st.PagelogReads,
-		CacheHits:    st.CacheHits,
-		DBReads:      st.DBReads,
-		RowsReturned: st.RowsReturned,
+		Duration:       st.Duration,
+		SPTBuildTime:   st.SPTBuildTime,
+		AutoIndex:      st.AutoIndex,
+		MapScanned:     st.MapScanned,
+		PagelogReads:   st.PagelogReads,
+		CacheHits:      st.CacheHits,
+		DBReads:        st.DBReads,
+		RowsReturned:   st.RowsReturned,
+		ClusteredReads: st.ClusteredReads,
 	})
 	e.Uvarint(ss.conn.LastSnapshot())
 	e.Bool(ss.conn.InTx())
@@ -362,24 +363,28 @@ func runToWire(r *rql.RunStats) wire.RunStats {
 		ResultRows:       r.ResultRows,
 		ResultDataBytes:  r.ResultDataBytes,
 		ResultIndexBytes: r.ResultIndexBytes,
+		BatchBuilds:      r.BatchBuilds,
+		BatchMapScanned:  r.BatchMapScanned,
+		BatchBuildTime:   r.BatchBuildTime,
 		Iterations:       make([]wire.IterationCost, len(r.Iterations)),
 	}
 	for i, it := range r.Iterations {
 		out.Iterations[i] = wire.IterationCost{
-			Snapshot:      it.Snapshot,
-			SPTBuild:      it.SPTBuild,
-			IndexCreation: it.IndexCreation,
-			QueryEval:     it.QueryEval,
-			UDF:           it.UDF,
-			IOTime:        it.IOTime,
-			PagelogReads:  it.PagelogReads,
-			CacheHits:     it.CacheHits,
-			DBReads:       it.DBReads,
-			MapScanned:    it.MapScanned,
-			QqRows:        it.QqRows,
-			ResultInserts: it.ResultInserts,
-			ResultUpdates: it.ResultUpdates,
-			ResultSearch:  it.ResultSearch,
+			Snapshot:       it.Snapshot,
+			SPTBuild:       it.SPTBuild,
+			IndexCreation:  it.IndexCreation,
+			QueryEval:      it.QueryEval,
+			UDF:            it.UDF,
+			IOTime:         it.IOTime,
+			PagelogReads:   it.PagelogReads,
+			CacheHits:      it.CacheHits,
+			DBReads:        it.DBReads,
+			MapScanned:     it.MapScanned,
+			QqRows:         it.QqRows,
+			ResultInserts:  it.ResultInserts,
+			ResultUpdates:  it.ResultUpdates,
+			ResultSearch:   it.ResultSearch,
+			ClusteredReads: it.ClusteredReads,
 		}
 	}
 	return out

@@ -172,6 +172,48 @@ func TestStress32Sessions(t *testing.T) {
 		t.Error(err)
 	}
 
+	// Phase 2: an 8-worker parallel mechanism over the full snapshot
+	// set. All workers share one batch-built SPT set (one Maplog sweep)
+	// and the sharded page cache; every collated row is checked against
+	// the same shadow model the interactive readers used.
+	db.ResetSnapshotCache()
+	run, err := db.ParallelCollateData(
+		`SELECT snap_id FROM SnapIds`,
+		`SELECT COUNT(*) AS c, MIN(o_orderkey) AS mn, MAX(o_orderkey) AS mx,
+			current_snapshot() AS sid FROM orders`,
+		"StressCollate", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.BatchBuilds != 1 || run.BatchMapScanned == 0 {
+		t.Errorf("parallel run did not use the batch SPT path: %+v", run)
+	}
+	if len(run.Iterations) != steps+1 {
+		t.Errorf("parallel run covered %d snapshots, want %d", len(run.Iterations), steps+1)
+	}
+	rows, err := wconn.Query(`SELECT sid, c, mn, mx FROM StressCollate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Rows) != steps+1 {
+		t.Errorf("StressCollate has %d rows, want %d", len(rows.Rows), steps+1)
+	}
+	for _, row := range rows.Rows {
+		id := uint64(row[0].Int())
+		want, ok := shadow[id]
+		if !ok {
+			t.Errorf("StressCollate row for unknown snapshot %d", id)
+			continue
+		}
+		if row[1].Int() != want.count || row[2].Int() != want.min || row[3].Int() != want.max {
+			t.Errorf("snapshot %d collated (%d,%d,%d), want (%d,%d,%d)",
+				id, row[1].Int(), row[2].Int(), row[3].Int(), want.count, want.min, want.max)
+		}
+	}
+	if rs := db.RetroStats(); rs.SPTBatchBuilds == 0 || rs.BatchSnapshots < uint64(steps+1) {
+		t.Errorf("retro batch counters after parallel run: %+v", rs)
+	}
+
 	srv.Shutdown()
 	if err := <-served; err != ErrServerClosed {
 		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
@@ -179,5 +221,8 @@ func TestStress32Sessions(t *testing.T) {
 	st := srv.Stats()
 	if st.ConnsAccepted != readers || st.QueriesServed == 0 || st.Snapshots < steps {
 		t.Fatalf("stats after stress: %+v", st)
+	}
+	if st.SPTBatchBuilds == 0 {
+		t.Errorf("STATS reply missing batch SPT builds: %+v", st)
 	}
 }

@@ -129,14 +129,15 @@ func (db *DB) currentSchema(st *storage.Store, p storage.Pager, lsn uint64, temp
 // the remainder (query evaluation, which for RQL statements includes
 // the UDF work — the core package splits that part further).
 type ExecStats struct {
-	Duration     time.Duration // wall time of the statement
-	SPTBuildTime time.Duration // snapshot page table construction
-	AutoIndex    time.Duration // transient covering indexes for joins
-	MapScanned   int           // Maplog entries scanned for the SPT
-	PagelogReads int           // snapshot pages fetched from the Pagelog
-	CacheHits    int           // snapshot pages served from the cache
-	DBReads      int           // snapshot pages shared with the current DB
-	RowsReturned int
+	Duration       time.Duration // wall time of the statement
+	SPTBuildTime   time.Duration // snapshot page table construction
+	AutoIndex      time.Duration // transient covering indexes for joins
+	MapScanned     int           // Maplog entries scanned for the SPT
+	PagelogReads   int           // snapshot pages fetched from the Pagelog
+	CacheHits      int           // snapshot pages served from the cache
+	DBReads        int           // snapshot pages shared with the current DB
+	ClusteredReads int           // coalesced Pagelog read runs (prefetch)
+	RowsReturned   int
 }
 
 // ModeledIO converts Pagelog misses into modeled I/O time.
@@ -155,6 +156,37 @@ type Conn struct {
 	mainTx       *storage.Tx
 	lastStats    ExecStats
 	lastSnapshot uint64
+
+	// Parsed-statement cache: the RQL mechanisms execute the identical
+	// Qq text once per snapshot, so the parse is paid once. Parsed ASTs
+	// are never mutated by execution, making reuse safe. FIFO-bounded.
+	stmtCache     map[string][]Statement
+	stmtCacheKeys []string
+}
+
+// stmtCacheCap bounds the per-connection parsed-statement cache.
+const stmtCacheCap = 64
+
+// parseCached returns the parsed statements for sqlText, parsing at
+// most once per distinct text (until FIFO eviction).
+func (c *Conn) parseCached(sqlText string) ([]Statement, error) {
+	if stmts, ok := c.stmtCache[sqlText]; ok {
+		return stmts, nil
+	}
+	stmts, err := ParseAll(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if c.stmtCache == nil {
+		c.stmtCache = make(map[string][]Statement)
+	}
+	if len(c.stmtCacheKeys) >= stmtCacheCap {
+		delete(c.stmtCache, c.stmtCacheKeys[0])
+		c.stmtCacheKeys = c.stmtCacheKeys[1:]
+	}
+	c.stmtCache[sqlText] = stmts
+	c.stmtCacheKeys = append(c.stmtCacheKeys, sqlText)
+	return stmts, nil
 }
 
 // LastStats returns the statistics of the most recent statement.
@@ -170,23 +202,32 @@ func (c *Conn) InTx() bool { return c.mainTx != nil }
 // Exec parses and executes one or more semicolon-separated statements
 // against the current state, invoking cb for every result row.
 func (c *Conn) Exec(sqlText string, cb RowCallback, params ...record.Value) error {
-	return c.execAsOf(sqlText, 0, cb, params)
+	return c.execAsOf(sqlText, nil, 0, cb, params)
 }
 
 // ExecAsOf executes statements with SELECTs bound to the given snapshot
 // (equivalent to rewriting each query with "AS OF snap", the paper's §3
 // Qq rewrite). Write statements are rejected under a snapshot binding.
 func (c *Conn) ExecAsOf(sqlText string, snap uint64, cb RowCallback, params ...record.Value) error {
-	return c.execAsOf(sqlText, retro.SnapshotID(snap), cb, params)
+	return c.execAsOf(sqlText, nil, retro.SnapshotID(snap), cb, params)
 }
 
-func (c *Conn) execAsOf(sqlText string, asOf retro.SnapshotID, cb RowCallback, params []record.Value) error {
-	stmts, err := ParseAll(sqlText)
+// ExecAsOfSet is ExecAsOf against a pre-built reader set: when snap is
+// a member of set, the statement reads through the set's batch-built
+// SPT and shared pinned read transaction instead of building a fresh
+// SPT — the per-iteration path of the RQL mechanisms. Snapshots outside
+// the set fall back to a standalone OpenSnapshot.
+func (c *Conn) ExecAsOfSet(sqlText string, set *ReaderSet, snap uint64, cb RowCallback, params ...record.Value) error {
+	return c.execAsOf(sqlText, set, retro.SnapshotID(snap), cb, params)
+}
+
+func (c *Conn) execAsOf(sqlText string, set *ReaderSet, asOf retro.SnapshotID, cb RowCallback, params []record.Value) error {
+	stmts, err := c.parseCached(sqlText)
 	if err != nil {
 		return err
 	}
 	for _, stmt := range stmts {
-		if err := c.execStmt(stmt, asOf, cb, params); err != nil {
+		if err := c.execStmt(stmt, set, asOf, cb, params); err != nil {
 			return err
 		}
 	}
@@ -321,6 +362,7 @@ func (ec *execCtx) close() {
 		ec.stats.PagelogReads += ec.snapReader.Counters.PagelogReads
 		ec.stats.CacheHits += ec.snapReader.Counters.CacheHits
 		ec.stats.DBReads += ec.snapReader.Counters.DBReads
+		ec.stats.ClusteredReads += ec.snapReader.Counters.ClusteredReads
 	}
 }
 
@@ -337,7 +379,9 @@ func (ec *execCtx) resolveTable(name string) (*Table, *schema, storage.Pager, er
 }
 
 // newReadCtx builds an execution context for a read-only statement.
-func (c *Conn) newReadCtx(asOf retro.SnapshotID, params []record.Value, stats *ExecStats) (*execCtx, error) {
+// When set is non-nil and contains asOf, the snapshot is served from
+// the set's batch-built SPT (O(1) open, no fresh MVCC pin).
+func (c *Conn) newReadCtx(set *ReaderSet, asOf retro.SnapshotID, params []record.Value, stats *ExecStats) (*execCtx, error) {
 	ec := &execCtx{conn: c, asOf: asOf, params: params, stats: stats}
 
 	// Side store: always the current state.
@@ -356,7 +400,7 @@ func (c *Conn) newReadCtx(asOf retro.SnapshotID, params []record.Value, stats *E
 	// Main store: snapshot, explicit transaction, or current state.
 	switch {
 	case asOf != 0:
-		r, err := c.db.rsys.OpenSnapshot(asOf)
+		r, err := openSnapReader(c.db.rsys, set, asOf)
 		if err != nil {
 			ec.close()
 			return nil, err
@@ -395,13 +439,13 @@ func (c *Conn) newReadCtx(asOf retro.SnapshotID, params []record.Value, stats *E
 }
 
 // execStmt dispatches one parsed statement.
-func (c *Conn) execStmt(stmt Statement, asOf retro.SnapshotID, cb RowCallback, params []record.Value) error {
+func (c *Conn) execStmt(stmt Statement, set *ReaderSet, asOf retro.SnapshotID, cb RowCallback, params []record.Value) error {
 	start := time.Now()
 	stats := ExecStats{}
 	var err error
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		err = c.execSelect(s, asOf, cb, params, &stats)
+		err = c.execSelect(s, set, asOf, cb, params, &stats)
 	case *ExplainStmt:
 		err = c.execExplain(s, cb, params, &stats)
 	case *BeginStmt:
@@ -426,7 +470,7 @@ func (c *Conn) execStmt(stmt Statement, asOf retro.SnapshotID, cb RowCallback, p
 }
 
 // execSelect runs a SELECT, streaming rows to cb.
-func (c *Conn) execSelect(s *SelectStmt, asOf retro.SnapshotID, cb RowCallback, params []record.Value, stats *ExecStats) error {
+func (c *Conn) execSelect(s *SelectStmt, set *ReaderSet, asOf retro.SnapshotID, cb RowCallback, params []record.Value, stats *ExecStats) error {
 	// The statement-level AS OF clause overrides the binding.
 	if s.AsOf != nil {
 		v, err := c.constEval(s.AsOf, params)
@@ -438,7 +482,7 @@ func (c *Conn) execSelect(s *SelectStmt, asOf retro.SnapshotID, cb RowCallback, 
 		}
 		asOf = retro.SnapshotID(v.AsInt())
 	}
-	ec, err := c.newReadCtx(asOf, params, stats)
+	ec, err := c.newReadCtx(set, asOf, params, stats)
 	if err != nil {
 		return err
 	}

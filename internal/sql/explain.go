@@ -86,7 +86,7 @@ func describe(it any, depth int, out *[]string) {
 
 // execExplain plans the wrapped SELECT and streams the plan lines.
 func (c *Conn) execExplain(s *ExplainStmt, cb RowCallback, params []record.Value, stats *ExecStats) error {
-	ec, err := c.newReadCtx(0, params, stats)
+	ec, err := c.newReadCtx(nil, 0, params, stats)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,93 @@
+package sql
+
+import (
+	"time"
+
+	"rql/internal/retro"
+)
+
+// ReaderSet is a pre-built snapshot reader set: the SPT of every member
+// derived by one batch Maplog sweep and one shared pinned MVCC read
+// transaction (retro.SnapshotSet). Conn.ExecAsOfSet executes AS OF
+// queries against it with O(1) per-snapshot open cost — the batch path
+// of the RQL mechanisms' snapshot-set loop.
+//
+// A ReaderSet is immutable after construction and safe for concurrent
+// use from multiple connections (parallel mechanism workers share one).
+// Close must be called when the run is done; it releases the pinned
+// read transaction.
+type ReaderSet struct {
+	set      *retro.SnapshotSet
+	prefetch bool
+}
+
+// OpenSnapshotSet builds the SPTs of all snapshots in ids with a single
+// Maplog sweep and pins one shared MVCC read transaction. Duplicates
+// are ignored; order does not matter.
+func (c *Conn) OpenSnapshotSet(ids []uint64) (*ReaderSet, error) {
+	rids := make([]retro.SnapshotID, len(ids))
+	for i, id := range ids {
+		rids[i] = retro.SnapshotID(id)
+	}
+	set, err := c.db.rsys.OpenSnapshotSet(rids)
+	if err != nil {
+		return nil, err
+	}
+	return &ReaderSet{set: set}, nil
+}
+
+// SetPrefetch enables clustered Pagelog prefetching: when a member is
+// opened for execution, every pre-state its SPT resolves that is not
+// yet cached is bulk-loaded with sorted, coalesced reads (adjacent
+// Pagelog offsets cost one ReadAt). Off by default — prefetching can
+// fetch pages the query never touches, which changes the PagelogReads
+// accounting the paper's figures are built on.
+func (rs *ReaderSet) SetPrefetch(on bool) { rs.prefetch = on }
+
+// Snapshots returns the member snapshot ids, sorted ascending.
+func (rs *ReaderSet) Snapshots() []uint64 {
+	ids := rs.set.Snapshots()
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
+}
+
+// Contains reports whether snap is a member of the set.
+func (rs *ReaderSet) Contains(snap uint64) bool {
+	return rs.set.Contains(retro.SnapshotID(snap))
+}
+
+// Scanned returns the total Maplog entries examined by the batch sweep.
+func (rs *ReaderSet) Scanned() int { return rs.set.Scanned }
+
+// BuildTime returns the wall time of the batch sweep.
+func (rs *ReaderSet) BuildTime() time.Duration { return rs.set.BuildTime }
+
+// Close releases the set's pinned read transaction. Idempotent.
+func (rs *ReaderSet) Close() { rs.set.Close() }
+
+// openSnapReader opens a reader for asOf, from the set when it has the
+// snapshot (O(1), shared pin) and standalone otherwise.
+func openSnapReader(rsys *retro.System, set *ReaderSet, asOf retro.SnapshotID) (*retro.SnapshotReader, error) {
+	if set == nil || !set.set.Contains(asOf) {
+		return rsys.OpenSnapshot(asOf)
+	}
+	r, err := set.set.Open(asOf)
+	if err != nil {
+		return nil, err
+	}
+	if set.prefetch {
+		if _, _, err := r.Prefetch(); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// ColumnsSet is Columns executed against a reader set (see ExecAsOfSet).
+func (c *Conn) ColumnsSet(sqlText string, set *ReaderSet, asOf uint64) ([]string, error) {
+	return c.columns(sqlText, set, asOf)
+}

@@ -212,6 +212,10 @@ func (c *Conn) TableStats(name string) (TableStats, error) {
 // executing it. asOf = 0 plans against the current state. The RQL
 // mechanisms use it to create result tables shaped like Qq's output.
 func (c *Conn) Columns(sqlText string, asOf uint64) ([]string, error) {
+	return c.columns(sqlText, nil, asOf)
+}
+
+func (c *Conn) columns(sqlText string, set *ReaderSet, asOf uint64) ([]string, error) {
 	stmt, err := Parse(sqlText)
 	if err != nil {
 		return nil, err
@@ -229,7 +233,7 @@ func (c *Conn) Columns(sqlText string, asOf uint64) ([]string, error) {
 		bind = retro.SnapshotID(v.AsInt())
 	}
 	stats := ExecStats{}
-	ec, err := c.newReadCtx(bind, nil, &stats)
+	ec, err := c.newReadCtx(set, bind, nil, &stats)
 	if err != nil {
 		return nil, err
 	}

@@ -258,14 +258,15 @@ func (d *Dec) Duration() time.Duration { return time.Duration(d.Varint()) }
 // ExecStats mirrors sql.ExecStats field-for-field; wire keeps its own
 // copy so the protocol schema is explicit and self-contained.
 type ExecStats struct {
-	Duration     time.Duration
-	SPTBuildTime time.Duration
-	AutoIndex    time.Duration
-	MapScanned   int
-	PagelogReads int
-	CacheHits    int
-	DBReads      int
-	RowsReturned int
+	Duration       time.Duration
+	SPTBuildTime   time.Duration
+	AutoIndex      time.Duration
+	MapScanned     int
+	PagelogReads   int
+	CacheHits      int
+	DBReads        int
+	RowsReturned   int
+	ClusteredReads int
 }
 
 // EncodeExecStats appends an ExecStats body.
@@ -278,38 +279,41 @@ func EncodeExecStats(e *Enc, s ExecStats) {
 	e.Uvarint(uint64(s.CacheHits))
 	e.Uvarint(uint64(s.DBReads))
 	e.Uvarint(uint64(s.RowsReturned))
+	e.Uvarint(uint64(s.ClusteredReads))
 }
 
 // DecodeExecStats reads an ExecStats body.
 func DecodeExecStats(d *Dec) ExecStats {
 	return ExecStats{
-		Duration:     d.Duration(),
-		SPTBuildTime: d.Duration(),
-		AutoIndex:    d.Duration(),
-		MapScanned:   int(d.Uvarint()),
-		PagelogReads: int(d.Uvarint()),
-		CacheHits:    int(d.Uvarint()),
-		DBReads:      int(d.Uvarint()),
-		RowsReturned: int(d.Uvarint()),
+		Duration:       d.Duration(),
+		SPTBuildTime:   d.Duration(),
+		AutoIndex:      d.Duration(),
+		MapScanned:     int(d.Uvarint()),
+		PagelogReads:   int(d.Uvarint()),
+		CacheHits:      int(d.Uvarint()),
+		DBReads:        int(d.Uvarint()),
+		RowsReturned:   int(d.Uvarint()),
+		ClusteredReads: int(d.Uvarint()),
 	}
 }
 
 // IterationCost mirrors core.IterationCost on the wire.
 type IterationCost struct {
-	Snapshot      uint64
-	SPTBuild      time.Duration
-	IndexCreation time.Duration
-	QueryEval     time.Duration
-	UDF           time.Duration
-	IOTime        time.Duration
-	PagelogReads  int
-	CacheHits     int
-	DBReads       int
-	MapScanned    int
-	QqRows        int
-	ResultInserts int
-	ResultUpdates int
-	ResultSearch  int
+	Snapshot       uint64
+	SPTBuild       time.Duration
+	IndexCreation  time.Duration
+	QueryEval      time.Duration
+	UDF            time.Duration
+	IOTime         time.Duration
+	PagelogReads   int
+	CacheHits      int
+	DBReads        int
+	MapScanned     int
+	QqRows         int
+	ResultInserts  int
+	ResultUpdates  int
+	ResultSearch   int
+	ClusteredReads int
 }
 
 // RunStats mirrors core.RunStats on the wire.
@@ -319,6 +323,9 @@ type RunStats struct {
 	ResultRows       int
 	ResultDataBytes  int64
 	ResultIndexBytes int64
+	BatchBuilds      int
+	BatchMapScanned  int
+	BatchBuildTime   time.Duration
 }
 
 // EncodeRunStats appends a RunStats body.
@@ -343,7 +350,11 @@ func EncodeRunStats(e *Enc, r RunStats) {
 		e.Uvarint(uint64(it.ResultInserts))
 		e.Uvarint(uint64(it.ResultUpdates))
 		e.Uvarint(uint64(it.ResultSearch))
+		e.Uvarint(uint64(it.ClusteredReads))
 	}
+	e.Uvarint(uint64(r.BatchBuilds))
+	e.Uvarint(uint64(r.BatchMapScanned))
+	e.Duration(r.BatchBuildTime)
 }
 
 // DecodeRunStats reads a RunStats body.
@@ -361,22 +372,26 @@ func DecodeRunStats(d *Dec) RunStats {
 	r.Iterations = make([]IterationCost, 0, n)
 	for i := uint64(0); i < n && d.Err() == nil; i++ {
 		r.Iterations = append(r.Iterations, IterationCost{
-			Snapshot:      d.Uvarint(),
-			SPTBuild:      d.Duration(),
-			IndexCreation: d.Duration(),
-			QueryEval:     d.Duration(),
-			UDF:           d.Duration(),
-			IOTime:        d.Duration(),
-			PagelogReads:  int(d.Uvarint()),
-			CacheHits:     int(d.Uvarint()),
-			DBReads:       int(d.Uvarint()),
-			MapScanned:    int(d.Uvarint()),
-			QqRows:        int(d.Uvarint()),
-			ResultInserts: int(d.Uvarint()),
-			ResultUpdates: int(d.Uvarint()),
-			ResultSearch:  int(d.Uvarint()),
+			Snapshot:       d.Uvarint(),
+			SPTBuild:       d.Duration(),
+			IndexCreation:  d.Duration(),
+			QueryEval:      d.Duration(),
+			UDF:            d.Duration(),
+			IOTime:         d.Duration(),
+			PagelogReads:   int(d.Uvarint()),
+			CacheHits:      int(d.Uvarint()),
+			DBReads:        int(d.Uvarint()),
+			MapScanned:     int(d.Uvarint()),
+			QqRows:         int(d.Uvarint()),
+			ResultInserts:  int(d.Uvarint()),
+			ResultUpdates:  int(d.Uvarint()),
+			ResultSearch:   int(d.Uvarint()),
+			ClusteredReads: int(d.Uvarint()),
 		})
 	}
+	r.BatchBuilds = int(d.Uvarint())
+	r.BatchMapScanned = int(d.Uvarint())
+	r.BatchBuildTime = d.Duration()
 	return r
 }
 
@@ -455,6 +470,13 @@ type ServerStats struct {
 	SPTBuilds     uint64
 	PagelogPages  int64
 	CachedPages   uint64
+
+	// Batch SPT construction and clustered prefetch counters.
+	SPTBatchBuilds  uint64
+	BatchSnapshots  uint64
+	BatchMapScanned uint64
+	ClusteredReads  uint64
+	ClusteredPages  uint64
 }
 
 // EncodeServerStats appends a ServerStats body.
@@ -478,6 +500,11 @@ func EncodeServerStats(e *Enc, s ServerStats) {
 	e.Uvarint(s.SPTBuilds)
 	e.Varint(s.PagelogPages)
 	e.Uvarint(s.CachedPages)
+	e.Uvarint(s.SPTBatchBuilds)
+	e.Uvarint(s.BatchSnapshots)
+	e.Uvarint(s.BatchMapScanned)
+	e.Uvarint(s.ClusteredReads)
+	e.Uvarint(s.ClusteredPages)
 }
 
 // DecodeServerStats reads a ServerStats body.
@@ -505,6 +532,11 @@ func DecodeServerStats(d *Dec) ServerStats {
 	s.SPTBuilds = d.Uvarint()
 	s.PagelogPages = d.Varint()
 	s.CachedPages = d.Uvarint()
+	s.SPTBatchBuilds = d.Uvarint()
+	s.BatchSnapshots = d.Uvarint()
+	s.BatchMapScanned = d.Uvarint()
+	s.ClusteredReads = d.Uvarint()
+	s.ClusteredPages = d.Uvarint()
 	return s
 }
 

@@ -123,7 +123,7 @@ func TestCompositeRoundTrips(t *testing.T) {
 	es := ExecStats{
 		Duration: time.Millisecond, SPTBuildTime: time.Microsecond,
 		AutoIndex: time.Second, MapScanned: 1, PagelogReads: 2,
-		CacheHits: 3, DBReads: 4, RowsReturned: 5,
+		CacheHits: 3, DBReads: 4, RowsReturned: 5, ClusteredReads: 6,
 	}
 	e := &Enc{}
 	EncodeExecStats(e, es)
@@ -134,9 +134,10 @@ func TestCompositeRoundTrips(t *testing.T) {
 	rs := RunStats{
 		Mechanism: "CollateData", ResultRows: 7,
 		ResultDataBytes: 100, ResultIndexBytes: 50,
+		BatchBuilds: 1, BatchMapScanned: 123, BatchBuildTime: time.Millisecond,
 		Iterations: []IterationCost{
 			{Snapshot: 1, SPTBuild: time.Millisecond, QqRows: 9, ResultInserts: 9},
-			{Snapshot: 2, IOTime: time.Second, PagelogReads: 3, CacheHits: 1},
+			{Snapshot: 2, IOTime: time.Second, PagelogReads: 3, CacheHits: 1, ClusteredReads: 2},
 		},
 	}
 	e = &Enc{}
@@ -161,6 +162,8 @@ func TestCompositeRoundTrips(t *testing.T) {
 		Commits: 8, PagesWritten: 9, DBReads: 10, Snapshots: 11,
 		PagelogWrites: 12, PagelogReads: 13, CacheHits: 14, SPTBuilds: 15,
 		PagelogPages: -1, CachedPages: 17,
+		SPTBatchBuilds: 18, BatchSnapshots: 19, BatchMapScanned: 20,
+		ClusteredReads: 21, ClusteredPages: 22,
 	}
 	e = &Enc{}
 	EncodeServerStats(e, ss)

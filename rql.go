@@ -150,6 +150,42 @@ func (db *DB) RegisterFunc(def FuncDef) { db.inner.RegisterFunc(def) }
 // LastRun returns the statistics of the most recent mechanism run.
 func (db *DB) LastRun() *RunStats { return db.rql.LastRun() }
 
+// SetBatchSPT enables or disables batch SPT construction for the
+// Go-level mechanism API (on by default): when on, a mechanism run
+// derives the SPT of every snapshot in its Qs set with one Maplog
+// sweep; when off, each iteration builds its own SPT — the legacy path,
+// kept for comparison benchmarks.
+func (db *DB) SetBatchSPT(on bool) { db.rql.SetBatchSPT(on) }
+
+// SetPrefetch enables clustered Pagelog prefetching on batch reader
+// sets (off by default; it changes the PagelogReads accounting the
+// paper's figures are built on).
+func (db *DB) SetPrefetch(on bool) { db.rql.SetPrefetch(on) }
+
+// ParallelCollateData is CollateData with the snapshot iterations
+// spread over worker goroutines sharing one batch-built SPT set.
+func (db *DB) ParallelCollateData(qs, qq, table string, workers int) (*RunStats, error) {
+	return db.rql.ParallelCollateData(qs, qq, table, workers)
+}
+
+// ParallelAggregateDataInVariable is AggregateDataInVariable across
+// worker goroutines.
+func (db *DB) ParallelAggregateDataInVariable(qs, qq, table, aggFunc string, workers int) (*RunStats, error) {
+	return db.rql.ParallelAggregateDataInVariable(qs, qq, table, aggFunc, workers)
+}
+
+// ParallelAggregateDataInTable is AggregateDataInTable across worker
+// goroutines.
+func (db *DB) ParallelAggregateDataInTable(qs, qq, table, pairs string, workers int) (*RunStats, error) {
+	return db.rql.ParallelAggregateDataInTable(qs, qq, table, pairs, workers)
+}
+
+// ParallelCollateDataIntoIntervals is CollateDataIntoIntervals across
+// worker goroutines.
+func (db *DB) ParallelCollateDataIntoIntervals(qs, qq, table string, workers int) (*RunStats, error) {
+	return db.rql.ParallelCollateDataIntoIntervals(qs, qq, table, workers)
+}
+
 // ResetSnapshotCache empties the snapshot page cache (produces the
 // paper's "cold" starting condition for measurements).
 func (db *DB) ResetSnapshotCache() { db.inner.Retro().ResetCache() }
