@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt bench microbench
+.PHONY: all check build vet test race fmt bench bench-compare microbench
 
 all: check
 
@@ -26,11 +26,17 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# bench regenerates the machine-readable batch-SPT baseline: wall time,
-# Maplog entries scanned, and cache hit rates per mechanism, sequential
-# and parallel, legacy vs one-sweep batch construction.
+# bench appends a machine-readable batch-SPT run to BENCH_rql.json:
+# wall time, Maplog entries scanned, cache hit rates, and delta-pruning
+# outcome per mechanism, sequential and parallel, for legacy vs
+# one-sweep batch construction vs batch + delta pruning. Each run is
+# stamped with the git revision and toggle flags.
 bench:
 	$(GO) run ./cmd/rqlbench -benchjson BENCH_rql.json
+
+# bench-compare diffs the two newest runs in BENCH_rql.json.
+bench-compare:
+	$(GO) run ./cmd/rqlbench -compare BENCH_rql.json
 
 # microbench runs the Go testing benchmarks (one pass, smoke-level).
 microbench:

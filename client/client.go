@@ -516,6 +516,11 @@ func runFromWire(r wire.RunStats) rql.RunStats {
 		BatchMapScanned:  r.BatchMapScanned,
 		BatchBuildTime:   r.BatchBuildTime,
 		Iterations:       make([]rql.IterationCost, len(r.Iterations)),
+
+		PrunedIterations:   r.PrunedIterations,
+		PrunedRowsReplayed: r.PrunedRowsReplayed,
+		DeltaIntersections: r.DeltaIntersections,
+		PruneReason:        r.PruneReason,
 	}
 	for i, it := range r.Iterations {
 		out.Iterations[i] = rql.IterationCost{
@@ -534,6 +539,8 @@ func runFromWire(r wire.RunStats) rql.RunStats {
 			ResultUpdates:  it.ResultUpdates,
 			ResultSearch:   it.ResultSearch,
 			ClusteredReads: it.ClusteredReads,
+			Pruned:         it.Pruned,
+			DeltaPages:     it.DeltaPages,
 		}
 	}
 	return out

@@ -32,9 +32,18 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
 		latency = flag.Duration("latency", 0, "modeled per-Pagelog-read latency (default 100µs)")
 		seed    = flag.Int64("seed", 0, "data generation seed")
-		bjson   = flag.String("benchjson", "", "run the batch experiment and write its machine-readable report to this path")
+		bjson   = flag.String("benchjson", "", "run the batch experiment and append its machine-readable report to the runs file at this path")
+		compare = flag.String("compare", "", "diff the two newest runs in the runs file at this path and exit")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		if err := bench.Compare(*compare, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "rqlbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("experiments:")
@@ -56,11 +65,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rqlbench:", err)
 			os.Exit(1)
 		}
-		if err := rep.WriteJSON(*bjson); err != nil {
+		flags := map[string]bool{
+			"quick":                  *quick,
+			"prefetch":               false,
+			"delta_prune_side":       true,
+			"legacy_and_batch_prune": false,
+		}
+		if err := bench.AppendRun(*bjson, rep, flags); err != nil {
 			fmt.Fprintln(os.Stderr, "rqlbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *bjson)
+		fmt.Printf("appended run to %s\n", *bjson)
 	case *all:
 		if err := r.RunAll(); err != nil {
 			fmt.Fprintln(os.Stderr, "rqlbench:", err)

@@ -218,6 +218,8 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 			fmt.Printf("retro: %d SPT builds, %d batch builds (%d snapshots, %d entries scanned), %d clustered reads (%d pages)\n",
 				rs.SPTBuilds, rs.SPTBatchBuilds, rs.BatchSnapshots, rs.BatchMapScanned,
 				rs.ClusteredReads, rs.ClusteredPages)
+			fmt.Printf("deltas: %d delta set builds, %d delta pages retained\n",
+				rs.DeltaBuilds, rs.DeltaPages)
 		case env.remote != nil:
 			ss, err := env.remote.ServerStats()
 			if err != nil {
@@ -249,9 +251,23 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 			fmt.Printf("  batch SPT: %d build(s), %d maplog entries scanned in %v (one sweep for all iterations)\n",
 				run.BatchBuilds, run.BatchMapScanned, run.BatchBuildTime)
 		}
+		switch {
+		case run.PruneReason != "":
+			fmt.Printf("  delta pruning: inactive — %s\n", run.PruneReason)
+		case run.PrunedIterations > 0:
+			fmt.Printf("  delta pruning: %d/%d iterations skipped, %d rows replayed, %d delta intersections\n",
+				run.PrunedIterations, len(run.Iterations), run.PrunedRowsReplayed, run.DeltaIntersections)
+		default:
+			fmt.Printf("  delta pruning: active, nothing skipped (%d delta intersections)\n",
+				run.DeltaIntersections)
+		}
 		for _, it := range run.Iterations {
-			fmt.Printf("  snap %-4d io=%-10v spt=%-10v idx=%-10v eval=%-10v udf=%-10v rows=%d\n",
-				it.Snapshot, it.IOTime, it.SPTBuild, it.IndexCreation, it.QueryEval, it.UDF, it.QqRows)
+			mark := ""
+			if it.Pruned {
+				mark = " pruned"
+			}
+			fmt.Printf("  snap %-4d io=%-10v spt=%-10v idx=%-10v eval=%-10v udf=%-10v rows=%d%s\n",
+				it.Snapshot, it.IOTime, it.SPTBuild, it.IndexCreation, it.QueryEval, it.UDF, it.QqRows, mark)
 		}
 	default:
 		fmt.Println("unknown command; try .help")
@@ -273,4 +289,6 @@ func printServerStats(ss client.ServerStats) {
 	fmt.Printf("batch: %d batch SPT builds (%d snapshots, %d entries scanned), %d clustered reads (%d pages)\n",
 		ss.SPTBatchBuilds, ss.BatchSnapshots, ss.BatchMapScanned,
 		ss.ClusteredReads, ss.ClusteredPages)
+	fmt.Printf("deltas: %d delta set builds, %d delta pages retained\n",
+		ss.DeltaBuilds, ss.DeltaPages)
 }

@@ -148,6 +148,25 @@ func (e *Env) Extend(n int) error {
 	return nil
 }
 
+// ExtendSparse declares n snapshots of which only every refreshEvery-th
+// applies a refresh; the rest are quiet (empty-delta) snapshots. This
+// is the periodic-snapshot regime delta pruning targets.
+func (e *Env) ExtendSparse(n, refreshEvery int) error {
+	for i := 0; i < n; i++ {
+		var err error
+		if i%refreshEvery == 0 {
+			_, err = e.W.Step()
+		} else {
+			_, err = e.W.QuietStep()
+		}
+		if err != nil {
+			return err
+		}
+		e.Last++
+	}
+	return nil
+}
+
 // Close releases the environment.
 func (e *Env) Close() { e.DB.Close() }
 

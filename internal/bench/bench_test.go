@@ -182,26 +182,67 @@ func TestBatchReportQuick(t *testing.T) {
 			t.Errorf("%s/%s: batch scanned %d Maplog entries, legacy %d — batch must be strictly lower",
 				res.Mechanism, res.Mode, res.Batch.MapScanned, res.Legacy.MapScanned)
 		}
-		if res.Legacy.WallNS <= 0 || res.Batch.WallNS <= 0 {
+		if res.Legacy.WallNS <= 0 || res.Batch.WallNS <= 0 || res.Pruned.WallNS <= 0 {
 			t.Errorf("%s/%s: missing wall times: %+v", res.Mechanism, res.Mode, res)
 		}
 		if res.Snapshots != rep.SetSize {
 			t.Errorf("%s/%s: snapshots %d, want %d", res.Mechanism, res.Mode, res.Snapshots, rep.SetSize)
 		}
+		// The measured window declares quiet snapshots, so the pruned
+		// side must skip some members and do strictly less Pagelog work;
+		// the sides it is compared against must not prune.
+		if res.Pruned.PrunedIterations == 0 {
+			t.Errorf("%s/%s: pruned side skipped no iterations", res.Mechanism, res.Mode)
+		}
+		// Skipped iterations do no page fetches at all, so the pruned
+		// side must fetch strictly fewer pages in total; Pagelog reads
+		// can only shrink (the first executed iteration still pays the
+		// cold reads, later quiet members would have hit the cache).
+		pf := res.Pruned.PagelogReads + res.Pruned.CacheHits
+		bf := res.Batch.PagelogReads + res.Batch.CacheHits
+		if pf >= bf {
+			t.Errorf("%s/%s: pruned side fetched %d pages, batch %d — pruned must be strictly lower",
+				res.Mechanism, res.Mode, pf, bf)
+		}
+		if res.Pruned.PagelogReads > res.Batch.PagelogReads {
+			t.Errorf("%s/%s: pruned side did %d Pagelog reads, batch %d — pruning must not add reads",
+				res.Mechanism, res.Mode, res.Pruned.PagelogReads, res.Batch.PagelogReads)
+		}
+		if res.Legacy.PrunedIterations != 0 || res.Batch.PrunedIterations != 0 {
+			t.Errorf("%s/%s: legacy/batch sides pruned despite SetDeltaPrune(false)", res.Mechanism, res.Mode)
+		}
 	}
+	// The runs file appends instead of overwriting; a legacy flat
+	// report is wrapped as the first run, and two runs can be compared.
 	path := t.TempDir() + "/BENCH_rql.json"
-	if err := rep.WriteJSON(path); err != nil {
-		t.Fatal(err)
-	}
-	b, err := os.ReadFile(path)
+	flat, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var back BatchReport
-	if err := json.Unmarshal(b, &back); err != nil {
-		t.Fatalf("BENCH_rql.json is not valid JSON: %v", err)
+	if err := os.WriteFile(path, flat, 0o644); err != nil {
+		t.Fatal(err)
 	}
-	if len(back.Results) != len(rep.Results) {
-		t.Errorf("JSON round-trip lost results: %d vs %d", len(back.Results), len(rep.Results))
+	if err := AppendRun(path, rep, map[string]bool{"quick": true}); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := LoadBenchFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (wrapped legacy report + appended run)", len(bf.Runs))
+	}
+	if len(bf.Runs[0].Report.Results) != len(rep.Results) {
+		t.Errorf("wrapped legacy run lost results: %d vs %d", len(bf.Runs[0].Report.Results), len(rep.Results))
+	}
+	if !bf.Runs[1].Flags["quick"] {
+		t.Error("appended run lost its flags")
+	}
+	var cmp bytes.Buffer
+	if err := Compare(path, &cmp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cmp.String(), "newest run vs previous") {
+		t.Errorf("compare output:\n%s", cmp.String())
 	}
 }

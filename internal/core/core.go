@@ -38,6 +38,7 @@ type RQL struct {
 	lastRun  *RunStats
 	noBatch  bool // disable batch SPT construction (legacy per-iteration path)
 	prefetch bool // clustered Pagelog prefetch on batch-set opens
+	noPrune  bool // disable delta pruning of unchanged iterations
 }
 
 // Attach registers the four RQL mechanism UDFs on db and returns the
@@ -98,11 +99,32 @@ func (r *RQL) SetPrefetch(on bool) {
 	r.prefetch = on
 }
 
+// SetDeltaPrune enables or disables delta pruning for the Go-level
+// mechanism API (on by default): when on, a batch-set run records each
+// executed iteration's page read-set and skips any later iteration
+// whose member-to-member page delta does not intersect it, replaying
+// the cached Qq output (with current_snapshot() columns re-tagged)
+// instead of executing Qq. Pruning requires batch SPT construction
+// (SetBatchSPT) and a prune-safe Qq (see sql.PruneInfo); the SQL-form
+// UDF path never prunes, like SetBatchSPT.
+func (r *RQL) SetDeltaPrune(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noPrune = !on
+}
+
 // batchEnabled reports the current toggles.
 func (r *RQL) batchEnabled() (batch, prefetch bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return !r.noBatch, r.prefetch
+}
+
+// pruneEnabled reports whether delta pruning is on.
+func (r *RQL) pruneEnabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.noPrune
 }
 
 // openReaderSet builds the batch reader set for a run's snapshot set,
@@ -267,6 +289,13 @@ func (r *RQL) run(conn *sql.Conn, kind mechKind, qs string, args []record.Value)
 		if set != nil {
 			defer set.Close()
 			st.set = set
+		}
+		if err == nil {
+			st.setupPrune(conn, st.run)
+			if st.pruneOn {
+				conn.SetRecordReadSet(true)
+				defer conn.SetRecordReadSet(false)
+			}
 		}
 		for _, snap := range snaps {
 			if err != nil {

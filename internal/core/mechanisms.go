@@ -71,6 +71,14 @@ type mechState struct {
 	prevSnap     uint64
 	iterations   int
 
+	// Delta pruning (prune.go). pruneOn and pruneInfo are set once
+	// before the first iteration and read-only afterwards (parallel
+	// workers share them through the template); cache is the sequential
+	// path's memo — each parallel worker keeps its own.
+	pruneOn   bool
+	pruneInfo sql.PruneInfo
+	cache     pruneCache
+
 	run       *RunStats
 	iterUDF   time.Duration // UDF time accumulated in the current iteration
 	finalized bool
@@ -87,7 +95,10 @@ func (st *mechState) init(conn *sql.Conn, args []record.Value) error {
 	}
 	st.qq = qq.Text()
 	st.table = table.Text()
-	st.run = &RunStats{Mechanism: st.kind.String()}
+	// The SQL-form UDF path streams Qs rows one at a time, so there is
+	// no batch set and no pruning; the run drivers overwrite this via
+	// setupPrune when they can do better.
+	st.run = &RunStats{Mechanism: st.kind.String(), PruneReason: "SQL-form UDF path (snapshot set unknown up front)"}
 
 	switch st.kind {
 	case mechAggVar:
@@ -139,8 +150,28 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	}
 
 	st.iterUDF = 0
+
+	// Delta-prune check: when no page of the last executed iteration's
+	// read-set changed since the previous iteration, skip Qq and replay
+	// the cached output.
+	var memberIdx = -1
+	if st.pruneOn {
+		idx, intersected, prune := st.pruneCheck(&st.cache, snap, &cost)
+		memberIdx = idx
+		if intersected {
+			st.run.DeltaIntersections++
+		}
+		if prune {
+			return st.replayIteration(snap, idx, &cost)
+		}
+	}
+
+	var iterRows [][]record.Value
 	cb := func(cols []string, row []record.Value) error {
 		cost.QqRows++
+		if st.pruneOn && memberIdx >= 0 {
+			iterRows = cacheRow(iterRows, row)
+		}
 		t0 := time.Now()
 		err := st.processRecord(snap, row, &cost)
 		st.iterUDF += time.Since(t0)
@@ -150,6 +181,9 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 		return err
 	}
 	qs := conn.LastStats()
+	if st.pruneOn && memberIdx >= 0 {
+		st.cache = pruneCache{valid: true, prevIdx: memberIdx, readSet: conn.ReadSet(), rows: iterRows}
+	}
 
 	// First iteration of the table mechanisms: create the result-table
 	// index (paper §3: "at the end of the first loop-body iteration we

@@ -68,6 +68,13 @@ type chunkResult struct {
 	ivals     map[string][]*interval
 	ivalOrder []string
 
+	// Delta pruning within the chunk's contiguous range (the chunk head
+	// always executes fully — no cache crosses a chunk boundary).
+	cache         pruneCache
+	pruned        int
+	prunedRows    int
+	intersections int
+
 	err error
 }
 
@@ -128,6 +135,9 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 		defer set.Close()
 		tmpl.set = set
 	}
+	// Pruning decision is made once on the template; each worker keeps
+	// its own cache and prunes within its contiguous range.
+	tmpl.setupPrune(conn, run)
 
 	// Result-table shape comes from the first snapshot, as in the
 	// sequential mechanisms.
@@ -227,6 +237,9 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 	for _, res := range results {
 		if res != nil {
 			run.Iterations = append(run.Iterations, res.iters...)
+			run.PrunedIterations += res.pruned
+			run.PrunedRowsReplayed += res.prunedRows
+			run.DeltaIntersections += res.intersections
 		}
 	}
 	sortIterationsByQsOrder(run.Iterations, snaps)
@@ -254,13 +267,52 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		res.ivals = make(map[string][]*interval)
 	}
 	conn := r.db.Conn()
+	if tmpl.pruneOn {
+		conn.SetRecordReadSet(true)
+	}
 
 	var prev uint64
 	for ci, snap := range chunk {
 		cost := IterationCost{Snapshot: snap}
 		var udf time.Duration
+
+		memberIdx := -1
+		if tmpl.pruneOn {
+			idx, intersected, prune := tmpl.pruneCheck(&res.cache, snap, &cost)
+			memberIdx = idx
+			if intersected {
+				res.intersections++
+			}
+			if prune {
+				// Replay the cached Qq output within this chunk (ci > 0
+				// here: the cache only becomes valid after the chunk head
+				// executed fully).
+				t0 := time.Now()
+				for _, row := range res.cache.rows {
+					cost.QqRows++
+					if err := res.processRecord(tmpl, snap, prev, false,
+						tmpl.replayRow(row, snap), &cost, rowCh); err != nil {
+						res.err = err
+						return res
+					}
+				}
+				cost.Pruned = true
+				cost.UDF = time.Since(t0)
+				res.iters = append(res.iters, cost)
+				res.pruned++
+				res.prunedRows += len(res.cache.rows)
+				res.cache.prevIdx = idx
+				prev = snap
+				continue
+			}
+		}
+
+		var iterRows [][]record.Value
 		cb := func(cols []string, row []record.Value) error {
 			cost.QqRows++
+			if tmpl.pruneOn && memberIdx >= 0 {
+				iterRows = cacheRow(iterRows, row)
+			}
 			t0 := time.Now()
 			err := res.processRecord(tmpl, snap, prev, ci == 0, row, &cost, rowCh)
 			udf += time.Since(t0)
@@ -271,6 +323,9 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 			return res
 		}
 		qs := conn.LastStats()
+		if tmpl.pruneOn && memberIdx >= 0 {
+			res.cache = pruneCache{valid: true, prevIdx: memberIdx, readSet: conn.ReadSet(), rows: iterRows}
+		}
 		cost.SPTBuild = qs.SPTBuildTime
 		cost.IndexCreation = qs.AutoIndex
 		cost.UDF = udf

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"time"
+
+	"rql/internal/record"
+	"rql/internal/sql"
+)
+
+// Delta pruning: between two members of a snapshot set, only the pages
+// in the members' delta (kept by the batch SPT sweep) can differ. A
+// mechanism iteration whose Qq read-set does not intersect the delta
+// since the previous iteration would read byte-identical pages and
+// produce byte-identical records — so the iteration is skipped and the
+// previous iteration's cached Qq output is replayed through the
+// mechanism's record processing instead, with bare current_snapshot()
+// projection columns re-tagged to the new snapshot id.
+//
+// Soundness: the read-set contains every page the snapshot reader
+// served while executing Qq — data, interior, catalog, and
+// shared-with-current-DB pages alike. The query's page traversal is a
+// deterministic function of page contents starting from pages it reads,
+// so if none of those pages changed, the traversal, the pages it
+// visits, and the output rows are all identical. The read-set itself is
+// also unchanged across pruned iterations (same traversal), so one
+// recorded set stays exact until the next full execution refreshes it.
+
+// pruneCache is the memo of the last fully-executed iteration: its
+// page read-set, its Qq output rows, and the member index the run has
+// advanced to (pruned iterations advance prevIdx without touching the
+// read-set or rows — identical pages mean both stay exact).
+type pruneCache struct {
+	valid   bool
+	prevIdx int              // member index of the previous iteration
+	readSet sql.PageSet      // read-set of the last executed iteration
+	rows    [][]record.Value // Qq output of the last executed iteration
+}
+
+// setupPrune decides whether this run can prune: the toggle must be
+// on, the run must have a batch reader set (the deltas live on it),
+// and Qq must be statically prune-safe. The blocking reason is
+// recorded on the run either way.
+func (st *mechState) setupPrune(conn *sql.Conn, run *RunStats) {
+	if st.set == nil {
+		run.PruneReason = "no batch reader set (SetBatchSPT off)"
+		return
+	}
+	if !st.rql.pruneEnabled() {
+		run.PruneReason = "delta pruning off (SetDeltaPrune)"
+		return
+	}
+	info := conn.PruneInfo(st.qq)
+	if !info.OK {
+		run.PruneReason = "Qq not prune-safe: " + info.Reason
+		return
+	}
+	st.pruneOn = true
+	st.pruneInfo = info
+	run.PruneReason = ""
+}
+
+// pruneCheck runs the delta × read-set intersection for the iteration
+// about to run on snap. It reports whether the iteration can be
+// replayed from the cache, recording the intersection work on cost.
+// intersected is false when no intersection was computed (snap outside
+// the set, or no cache yet). Safe for concurrent workers: it only
+// touches the shared template's immutable set and the caller's cache.
+func (st *mechState) pruneCheck(cache *pruneCache, snap uint64, cost *IterationCost) (idx int, intersected, prune bool) {
+	idx, member := st.set.MemberIndex(snap)
+	if !member {
+		return -1, false, false
+	}
+	if !cache.valid {
+		return idx, false, false
+	}
+	disjoint, examined := st.set.DeltaDisjoint(cache.prevIdx, idx, cache.readSet)
+	cost.DeltaPages = examined
+	return idx, true, disjoint
+}
+
+// replayRow prepares one cached row for replay at snap: when Qq
+// projects bare current_snapshot() columns, those are rewritten to the
+// new snapshot id (the only snapshot-dependent values a prune-safe Qq
+// can emit).
+func (st *mechState) replayRow(row []record.Value, snap uint64) []record.Value {
+	if len(st.pruneInfo.SnapCols) == 0 {
+		return row
+	}
+	out := append([]record.Value(nil), row...)
+	for _, ci := range st.pruneInfo.SnapCols {
+		if ci < len(out) {
+			out[ci] = record.Int(int64(snap))
+		}
+	}
+	return out
+}
+
+// replayIteration is the sequential skip path: the cached rows pass
+// through the mechanism's processRecord exactly as Qq output would,
+// with no Qq execution, no page reads, and no SPT work. The read-set
+// and cached rows stay valid (identical pages ⇒ identical traversal ⇒
+// identical output); only the member cursor advances.
+func (st *mechState) replayIteration(snap uint64, idx int, cost *IterationCost) error {
+	t0 := time.Now()
+	for _, row := range st.cache.rows {
+		cost.QqRows++
+		if err := st.processRecord(snap, st.replayRow(row, snap), cost); err != nil {
+			return err
+		}
+	}
+	cost.Pruned = true
+	cost.UDF = time.Since(t0)
+	st.run.Iterations = append(st.run.Iterations, *cost)
+	st.run.PrunedIterations++
+	st.run.PrunedRowsReplayed += len(st.cache.rows)
+	st.cache.prevIdx = idx
+	st.prevSnap = snap
+	st.iterations++
+	return nil
+}
+
+// cacheRow stores a copy of one executed iteration's output row.
+func cacheRow(rows [][]record.Value, row []record.Value) [][]record.Value {
+	return append(rows, append([]record.Value(nil), row...))
+}

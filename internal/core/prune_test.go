@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"rql/internal/record"
+	"rql/internal/sql"
+)
+
+// pruneHistory builds a randomized RF1/RF2-style refresh history with
+// the shapes that stress delta pruning: snapshots with zero intervening
+// writes (empty deltas), back-to-back heavy refreshes, and quiet
+// stretches touching only keys outside the usual query ranges.
+func pruneHistory(t *testing.T, seed int64, snapshots int) (*RQL, *sql.Conn) {
+	t.Helper()
+	db, err := sql.Open(sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	r := Attach(db)
+	c := db.Conn()
+	mustExec(t, c, `CREATE TABLE m (k INTEGER, grp TEXT, v INTEGER)`)
+	if err := EnsureSnapIds(c); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	present := map[int]bool{}
+	for s := 0; s < snapshots; s++ {
+		mustExec(t, c, `BEGIN`)
+		var writes int
+		switch rng.Intn(4) {
+		case 0:
+			writes = 0 // zero-write snapshot: empty delta
+		case 1:
+			writes = 12 + rng.Intn(8) // heavy refresh burst
+		default:
+			writes = 1 + rng.Intn(4)
+		}
+		for n := 0; n < writes; n++ {
+			k := rng.Intn(14)
+			if present[k] && rng.Intn(3) == 0 {
+				mustExec(t, c, fmt.Sprintf(`DELETE FROM m WHERE k = %d`, k))
+				present[k] = false
+			} else if !present[k] {
+				mustExec(t, c, fmt.Sprintf(`INSERT INTO m VALUES (%d, 'g%d', %d)`,
+					k, k%3, rng.Intn(100)))
+				present[k] = true
+			} else {
+				mustExec(t, c, fmt.Sprintf(`UPDATE m SET v = %d WHERE k = %d`, rng.Intn(100), k))
+			}
+		}
+		id, err := c.CommitWithSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := RecordSnapshot(c, id, time.Unix(int64(s), 0), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, c
+}
+
+// runMech drives one mechanism (sequential or parallel) into table.
+func runMech(t *testing.T, r *RQL, c *sql.Conn, kind mechKind, qs, qq, table string, parallel bool) *RunStats {
+	t.Helper()
+	var (
+		rs  *RunStats
+		err error
+	)
+	const workers = 4
+	switch kind {
+	case mechCollate:
+		if parallel {
+			rs, err = r.ParallelCollateData(qs, qq, table, workers)
+		} else {
+			rs, err = r.CollateData(c, qs, qq, table)
+		}
+	case mechAggVar:
+		if parallel {
+			rs, err = r.ParallelAggregateDataInVariable(qs, qq, table, "sum", workers)
+		} else {
+			rs, err = r.AggregateDataInVariable(c, qs, qq, table, "sum")
+		}
+	case mechAggTable:
+		if parallel {
+			rs, err = r.ParallelAggregateDataInTable(qs, qq, table, "(c,max):(av,avg)", workers)
+		} else {
+			rs, err = r.AggregateDataInTable(c, qs, qq, table, "(c,max):(av,avg)")
+		}
+	case mechIntervals:
+		if parallel {
+			rs, err = r.ParallelCollateDataIntoIntervals(qs, qq, table, workers)
+		} else {
+			rs, err = r.CollateDataIntoIntervals(c, qs, qq, table)
+		}
+	}
+	if err != nil {
+		t.Fatalf("%s (parallel=%v): %v", kind, parallel, err)
+	}
+	return rs
+}
+
+// The tentpole property: with delta pruning on, every mechanism
+// produces byte-identical results to the unpruned run over randomized
+// refresh schedules — and actually prunes (the zero-write snapshots
+// guarantee empty deltas).
+func TestDeltaPruneEquivalence(t *testing.T) {
+	qqs := map[mechKind]string{
+		mechCollate:   `SELECT k, grp, current_snapshot() AS sid FROM m`,
+		mechAggVar:    `SELECT COUNT(*) FROM m`,
+		mechAggTable:  `SELECT grp, COUNT(*) AS c, AVG(v) AS av FROM m GROUP BY grp`,
+		mechIntervals: `SELECT k FROM m`,
+	}
+	sel := map[mechKind]string{
+		mechCollate:   `SELECT k, grp, sid FROM %s`,
+		mechAggVar:    `SELECT * FROM %s`,
+		mechAggTable:  `SELECT grp, c, round(av, 6) FROM %s`,
+		mechIntervals: `SELECT k, start_snapshot, end_snapshot FROM %s`,
+	}
+	for seed := int64(40); seed < 44; seed++ {
+		r, c := pruneHistory(t, seed, 30)
+		qs := `SELECT snap_id FROM SnapIds`
+		for _, kind := range []mechKind{mechCollate, mechAggVar, mechAggTable, mechIntervals} {
+			for _, parallel := range []bool{false, true} {
+				label := fmt.Sprintf("%s_p%v_s%d", kind, parallel, seed)
+				onT, offT := "On_"+label, "Off_"+label
+
+				r.SetDeltaPrune(true)
+				prs := runMech(t, r, c, kind, qs, qqs[kind], onT, parallel)
+				r.SetDeltaPrune(false)
+				urs := runMech(t, r, c, kind, qs, qqs[kind], offT, parallel)
+
+				a := sortedRows(t, c, fmt.Sprintf(sel[kind], onT))
+				b := sortedRows(t, c, fmt.Sprintf(sel[kind], offT))
+				if strings.Join(a, ";") != strings.Join(b, ";") {
+					t.Fatalf("%s: pruned result differs from unpruned\npruned:   %v\nunpruned: %v", label, a, b)
+				}
+				if prs.PrunedIterations == 0 {
+					t.Errorf("%s: pruned run skipped no iterations (reason=%q)", label, prs.PruneReason)
+				}
+				if prs.PruneReason != "" {
+					t.Errorf("%s: pruning unexpectedly disabled: %s", label, prs.PruneReason)
+				}
+				if urs.PrunedIterations != 0 || urs.PruneReason == "" {
+					t.Errorf("%s: unpruned run stats inconsistent: %+v", label, urs)
+				}
+				// Pruned iterations must be free of page I/O and carry
+				// replayed rows in QqRows.
+				for _, it := range prs.Iterations {
+					if it.Pruned && (it.PagelogReads != 0 || it.CacheHits != 0 || it.DBReads != 0 || it.MapScanned != 0) {
+						t.Errorf("%s: pruned iteration %d did page work: %+v", label, it.Snapshot, it)
+					}
+				}
+			}
+		}
+		r.SetDeltaPrune(true)
+	}
+}
+
+// Pruning must also agree when the Qs order is descending (the delta
+// range between two members is direction-independent).
+func TestDeltaPruneDescendingQs(t *testing.T) {
+	r, c := pruneHistory(t, 50, 25)
+	qs := `SELECT snap_id FROM SnapIds ORDER BY snap_id DESC`
+	qq := `SELECT k, grp, current_snapshot() AS sid FROM m`
+	r.SetDeltaPrune(true)
+	prs := runMech(t, r, c, mechCollate, qs, qq, "DescOn", false)
+	r.SetDeltaPrune(false)
+	runMech(t, r, c, mechCollate, qs, qq, "DescOff", false)
+	r.SetDeltaPrune(true)
+	a := sortedRows(t, c, `SELECT k, grp, sid FROM DescOn`)
+	b := sortedRows(t, c, `SELECT k, grp, sid FROM DescOff`)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Fatalf("descending Qs: pruned differs\npruned:   %v\nunpruned: %v", a, b)
+	}
+	if prs.PrunedIterations == 0 {
+		t.Error("descending Qs: no iterations pruned")
+	}
+}
+
+// Duplicate Qs members are trivially prunable (same member, empty
+// delta range), and results must still match the unpruned run.
+func TestDeltaPruneDuplicateQsMembers(t *testing.T) {
+	r, c := pruneHistory(t, 51, 10)
+	mustExec(t, c, `CREATE TEMP TABLE QsDup (snap_id INTEGER)`)
+	rows := queryRows(t, c, `SELECT snap_id FROM SnapIds`)
+	for _, row := range rows {
+		mustExec(t, c, fmt.Sprintf(`INSERT INTO QsDup VALUES (%s)`, row))
+		mustExec(t, c, fmt.Sprintf(`INSERT INTO QsDup VALUES (%s)`, row))
+	}
+	qs := `SELECT snap_id FROM QsDup`
+	qq := `SELECT k, current_snapshot() AS sid FROM m`
+	r.SetDeltaPrune(true)
+	prs := runMech(t, r, c, mechCollate, qs, qq, "DupOn", false)
+	r.SetDeltaPrune(false)
+	runMech(t, r, c, mechCollate, qs, qq, "DupOff", false)
+	r.SetDeltaPrune(true)
+	a := sortedRows(t, c, `SELECT k, sid FROM DupOn`)
+	b := sortedRows(t, c, `SELECT k, sid FROM DupOff`)
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Fatalf("duplicate Qs: pruned differs\npruned:   %v\nunpruned: %v", a, b)
+	}
+	if prs.PrunedIterations < len(rows) {
+		t.Errorf("duplicate Qs: pruned %d iterations, want >= %d (every duplicate)", prs.PrunedIterations, len(rows))
+	}
+}
+
+// A Qq the analyzer cannot prove prune-safe must run unpruned — and
+// say why.
+func TestDeltaPruneUnsafeQqFallsBack(t *testing.T) {
+	r, c := pruneHistory(t, 52, 8)
+	qs := `SELECT snap_id FROM SnapIds`
+	cases := []struct {
+		qq     string
+		reason string
+	}{
+		{`SELECT AS OF 1 k FROM m`, "AS OF"},
+		{`SELECT k FROM m WHERE v < current_snapshot()`, "current_snapshot"},
+		{`SELECT snap_id FROM SnapIds`, "non-snapshotable"},
+	}
+	for i, tc := range cases {
+		rs, err := r.CollateData(c, qs, tc.qq, fmt.Sprintf("Unsafe%d", i))
+		if err != nil {
+			t.Fatalf("%q: %v", tc.qq, err)
+		}
+		if rs.PrunedIterations != 0 {
+			t.Errorf("%q: pruned despite unsafe Qq", tc.qq)
+		}
+		if !strings.Contains(rs.PruneReason, tc.reason) {
+			t.Errorf("%q: reason = %q, want mention of %q", tc.qq, rs.PruneReason, tc.reason)
+		}
+	}
+}
+
+// The analyzer's accept/reject matrix.
+func TestPruneInfoAnalyzer(t *testing.T) {
+	db, err := sql.Open(sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c := db.Conn()
+	mustExec(t, c, `CREATE TABLE m (k INTEGER, v INTEGER)`)
+	mustExec(t, c, `CREATE TEMP TABLE side_t (x INTEGER)`)
+	db.RegisterFunc(sql.FuncDef{Name: "myudf", MinArgs: 1, MaxArgs: 1,
+		Fn: func(_ *sql.FuncContext, a []record.Value) (record.Value, error) { return a[0], nil }})
+
+	safe := []string{
+		`SELECT k FROM m`,
+		`SELECT k, current_snapshot() FROM m`,
+		`SELECT upper(v), abs(k) FROM m WHERE k BETWEEN 1 AND 5`,
+		`SELECT grp.k FROM (SELECT k FROM m) grp`,
+		`SELECT COUNT(*), MAX(v) FROM m GROUP BY k HAVING COUNT(*) > 1`,
+	}
+	for _, q := range safe {
+		if info := c.PruneInfo(q); !info.OK {
+			t.Errorf("%q rejected: %s", q, info.Reason)
+		}
+	}
+	unsafe := []string{
+		`SELECT AS OF 3 k FROM m`,
+		`SELECT k FROM m WHERE v = current_snapshot()`,
+		`SELECT current_snapshot() + 1 FROM m`,
+		`SELECT k FROM side_t`,
+		`SELECT myudf(k) FROM m`,
+		`SELECT k FROM m; SELECT v FROM m`,
+		`INSERT INTO m VALUES (1, 2)`,
+		`SELECT k FROM (SELECT AS OF 2 k FROM m) sub`,
+	}
+	for _, q := range unsafe {
+		if info := c.PruneInfo(q); info.OK {
+			t.Errorf("%q accepted, want rejection", q)
+		}
+	}
+	// Snap columns are located for replay re-tagging.
+	info := c.PruneInfo(`SELECT k, current_snapshot(), v, current_snapshot() FROM m`)
+	if !info.OK || len(info.SnapCols) != 2 || info.SnapCols[0] != 1 || info.SnapCols[1] != 3 {
+		t.Errorf("SnapCols = %+v", info)
+	}
+}

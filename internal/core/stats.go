@@ -38,6 +38,12 @@ type IterationCost struct {
 	ResultInserts int
 	ResultUpdates int
 	ResultSearch  int
+
+	// Delta pruning: Pruned marks a skipped iteration whose cached
+	// output was replayed; DeltaPages counts the delta pages tested
+	// against the read-set deciding this iteration.
+	Pruned     bool
+	DeltaPages int
 }
 
 // Total is the modeled total cost of the iteration.
@@ -58,6 +64,15 @@ type RunStats struct {
 	BatchBuilds     int
 	BatchMapScanned int
 	BatchBuildTime  time.Duration
+
+	// Delta pruning, when the run used a batch reader set and a
+	// prune-safe Qq: iterations skipped, cached rows replayed by them,
+	// and delta × read-set intersections computed. PruneReason is empty
+	// when pruning was active, else why it was not.
+	PrunedIterations   int
+	PrunedRowsReplayed int
+	DeltaIntersections int
+	PruneReason        string
 
 	// Result-table footprint after the run (§5.3 memory experiments).
 	ResultRows       int
@@ -83,6 +98,7 @@ func (r *RunStats) Total() IterationCost {
 		t.ResultInserts += c.ResultInserts
 		t.ResultUpdates += c.ResultUpdates
 		t.ResultSearch += c.ResultSearch
+		t.DeltaPages += c.DeltaPages
 	}
 	return t
 }
@@ -118,6 +134,7 @@ func (r *RunStats) Hot() IterationCost {
 		t.ResultInserts += c.ResultInserts
 		t.ResultUpdates += c.ResultUpdates
 		t.ResultSearch += c.ResultSearch
+		t.DeltaPages += c.DeltaPages
 	}
 	d := time.Duration(n)
 	t.SPTBuild /= d
@@ -134,5 +151,6 @@ func (r *RunStats) Hot() IterationCost {
 	t.ResultInserts /= n
 	t.ResultUpdates /= n
 	t.ResultSearch /= n
+	t.DeltaPages /= n
 	return t
 }

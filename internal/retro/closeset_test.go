@@ -1,0 +1,67 @@
+package retro
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"rql/internal/storage"
+)
+
+// Close must be idempotent: a second (or concurrent) Close must not
+// decrement the system's open-reader count again, or Compact would be
+// blocked forever by a phantom reader (or a negative count).
+func TestSnapshotSetCloseIdempotent(t *testing.T) {
+	e := newEnv(t, Options{})
+	s1, ids := e.writePages(t, []storage.PageID{0}, []byte{1}, true)
+	s2, _ := e.writePages(t, ids, []byte{2}, true)
+
+	set, err := e.sys.OpenSnapshotSet([]SnapshotID{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Close()
+	set.Close()
+	set.Close()
+	if _, err := e.sys.Compact(); err != nil {
+		t.Fatalf("Compact after repeated Close: %v", err)
+	}
+}
+
+func TestSnapshotSetCloseConcurrent(t *testing.T) {
+	e := newEnv(t, Options{})
+	s1, ids := e.writePages(t, []storage.PageID{0}, []byte{1}, true)
+	s2, _ := e.writePages(t, ids, []byte{2}, true)
+
+	set, err := e.sys.OpenSnapshotSet([]SnapshotID{s1, s2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			set.Close()
+		}()
+	}
+	wg.Wait()
+	if _, err := e.sys.Compact(); err != nil {
+		t.Fatalf("Compact after concurrent Close: %v", err)
+	}
+}
+
+// A failed OpenSnapshotSet must leave no trace: no reader counted, no
+// pinned read transaction. Compact (which requires zero open readers)
+// must still succeed afterwards.
+func TestSnapshotSetOpenFailureLeavesNoReader(t *testing.T) {
+	e := newEnv(t, Options{})
+	s1, _ := e.writePages(t, []storage.PageID{0}, []byte{1}, true)
+
+	if _, err := e.sys.OpenSnapshotSet([]SnapshotID{s1, s1 + 99}); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("OpenSnapshotSet with unknown member: err = %v, want ErrNoSnapshot", err)
+	}
+	if _, err := e.sys.Compact(); err != nil {
+		t.Fatalf("Compact after failed open: %v", err)
+	}
+}

@@ -230,21 +230,30 @@ func (m *maplog) buildSPT(s SnapshotID, upto int) (*SPT, error) {
 // set members are walked once instead of once per member. The returned
 // tables are aligned with ids.
 //
+// The second return value keeps the per-member delta page sets the
+// sweep already enumerates: deltas[i] is the set of pages whose content
+// as of ids[i] differs from their content as of ids[i-1] — exactly the
+// distinct pages with a Maplog tag in [ids[i-1], ids[i]), which is the
+// key set of member i-1's delta-range scan (skip-merge segments keep
+// the first mapping per page but preserve the distinct-page set).
+// deltas[0] is nil: the first member has no predecessor in the set.
+//
 // A naive chain makes every Lookup walk O(n) links, which for large
 // sets costs more than the sweep saves. Every k-th member (k ≈ √n) is
 // therefore a checkpoint: its own table holds the cumulative delta from
 // itself to the base and its next pointer skips straight to the base,
 // bounding the walk at ~√n links for the ~n/√n extra tables' memory.
-func (m *maplog) buildSPTBatch(ids []SnapshotID, upto int) ([]*SPT, error) {
+func (m *maplog) buildSPTBatch(ids []SnapshotID, upto int) ([]*SPT, []map[storage.PageID]struct{}, error) {
 	for _, s := range ids {
 		if err := m.checkOpenable(s); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	if len(ids) == 0 {
-		return nil, fmt.Errorf("%w: empty snapshot set", ErrNoSnapshot)
+		return nil, nil, fmt.Errorf("%w: empty snapshot set", ErrNoSnapshot)
 	}
 	out := make([]*SPT, len(ids))
+	deltas := make([]map[storage.PageID]struct{}, len(ids))
 	n := len(ids)
 	base := &SPT{Snap: ids[n-1], loc: make(map[storage.PageID]int64)}
 	m.cover(ids[n-1], m.lastSnap(), upto, func(es []mapEntry) {
@@ -276,6 +285,14 @@ func (m *maplog) buildSPTBatch(ids []SnapshotID, upto int) ([]*SPT, error) {
 				}
 			}
 		})
+		// The delta scan's key set is the set of pages differing between
+		// members i and i+1. Captured before any checkpoint substitution
+		// below replaces t.loc with the cumulative table.
+		d := make(map[storage.PageID]struct{}, len(t.loc))
+		for page := range t.loc {
+			d[page] = struct{}{}
+		}
+		deltas[i+1] = d
 		for page, off := range t.loc {
 			cum[page] = off
 		}
@@ -299,7 +316,7 @@ func (m *maplog) buildSPTBatch(ids []SnapshotID, upto int) ([]*SPT, error) {
 		}
 		out[i] = t
 	}
-	return out, nil
+	return out, deltas, nil
 }
 
 // len0 returns the raw Maplog length (level-0 entries).

@@ -207,7 +207,13 @@ type SnapshotSet struct {
 	sys  *System
 	rt   *storage.ReadTx
 	spts map[SnapshotID]*SPT
-	ids  []SnapshotID // sorted ascending, unique
+	ids  []SnapshotID       // sorted ascending, unique
+	idx  map[SnapshotID]int // member id -> position in ids
+
+	// deltas[i] is the set of pages whose content as of member i
+	// differs from member i-1 (nil for i = 0) — the by-product of the
+	// batch sweep's delta-range scans, kept for read-set pruning.
+	deltas []map[storage.PageID]struct{}
 
 	// Scanned is the total number of Maplog entries examined by the
 	// single sweep; BuildTime is its wall time. Compare with the sum of
@@ -248,7 +254,7 @@ func (s *System) OpenSnapshotSet(ids []SnapshotID) (*SnapshotSet, error) {
 		return nil, ErrClosed
 	}
 	start := time.Now()
-	spts, err := s.ml.buildSPTBatch(sorted, s.ml.len0())
+	spts, deltas, err := s.ml.buildSPTBatch(sorted, s.ml.len0())
 	buildTime := time.Since(start)
 	if err == nil {
 		s.openReaders++ // the set counts as one open reader (Compact safety)
@@ -258,15 +264,76 @@ func (s *System) OpenSnapshotSet(ids []SnapshotID) (*SnapshotSet, error) {
 		rt.Close()
 		return nil, err
 	}
-	set := &SnapshotSet{sys: s, rt: rt, spts: make(map[SnapshotID]*SPT, len(sorted)), ids: sorted, BuildTime: buildTime}
+	set := &SnapshotSet{
+		sys:       s,
+		rt:        rt,
+		spts:      make(map[SnapshotID]*SPT, len(sorted)),
+		ids:       sorted,
+		idx:       make(map[SnapshotID]int, len(sorted)),
+		deltas:    deltas,
+		BuildTime: buildTime,
+	}
+	deltaPages := 0
 	for i, id := range sorted {
 		set.spts[id] = spts[i]
+		set.idx[id] = i
 		set.Scanned += spts[i].Scanned
+		deltaPages += len(deltas[i])
 	}
 	s.stats.SPTBatchBuilds.Add(1)
 	s.stats.BatchSnapshots.Add(uint64(len(sorted)))
 	s.stats.BatchMapScanned.Add(uint64(set.Scanned))
+	s.stats.DeltaBuilds.Add(1)
+	s.stats.DeltaPages.Add(uint64(deltaPages))
 	return set, nil
+}
+
+// MemberIndex returns the position of a member snapshot within the
+// set's ascending member order, or false if id is not a member.
+func (ss *SnapshotSet) MemberIndex(id SnapshotID) (int, bool) {
+	i, ok := ss.idx[id]
+	return i, ok
+}
+
+// Delta returns the set of pages whose content as of member i differs
+// from member i-1, by position in the set's ascending member order.
+// Delta(0) is nil: the first member has no in-set predecessor. The
+// returned map is shared and must not be mutated.
+func (ss *SnapshotSet) Delta(i int) map[storage.PageID]struct{} {
+	if i < 0 || i >= len(ss.deltas) {
+		return nil
+	}
+	return ss.deltas[i]
+}
+
+// DeltaDisjoint reports whether the pages differing between members at
+// positions a and b (in the set's ascending order) are disjoint from
+// readSet. The differing pages are the union of Delta(i) for i in
+// (min(a,b), max(a,b)] — the direction of travel between the two
+// members does not matter, only the range between them. examined is
+// the number of delta pages tested against readSet before deciding
+// (the whole union when disjoint, fewer on an early hit).
+//
+// A true result proves every page in readSet has identical content as
+// of both members: pages outside every delta resolve to the same
+// Pagelog pre-state (or to the same current-database version through
+// the set's single pinned read transaction) for both.
+func (ss *SnapshotSet) DeltaDisjoint(a, b int, readSet map[storage.PageID]struct{}) (disjoint bool, examined int) {
+	if a > b {
+		a, b = b, a
+	}
+	if a < 0 || b >= len(ss.deltas) {
+		return false, 0
+	}
+	for i := a + 1; i <= b; i++ {
+		for page := range ss.deltas[i] {
+			examined++
+			if _, hit := readSet[page]; hit {
+				return false, examined
+			}
+		}
+	}
+	return true, examined
 }
 
 // Snapshots returns the set's members, sorted ascending.
@@ -361,7 +428,18 @@ type SnapshotReader struct {
 	// concurrent readers sharing one SnapshotReader.
 	Counters Counters
 
+	// readSet, when non-nil, records every page id served by Get —
+	// whether from the Pagelog, the snapshot cache, or the shared
+	// current database. Same single-owner rule as Counters.
+	readSet map[storage.PageID]struct{}
+
 	closed bool
+}
+
+// RecordReadSet makes Get record every page it serves into set (pass
+// nil to stop recording). The caller owns the map.
+func (r *SnapshotReader) RecordReadSet(set map[storage.PageID]struct{}) {
+	r.readSet = set
 }
 
 // Snapshot returns the snapshot id the reader serves.
@@ -382,6 +460,9 @@ func (r *SnapshotReader) SPTLen() int { return r.spt.Len() }
 func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
 	if r.closed {
 		return nil, ErrReaderClosed
+	}
+	if r.readSet != nil {
+		r.readSet[id] = struct{}{}
 	}
 	off, ok := r.spt.Lookup(id)
 	if !ok {

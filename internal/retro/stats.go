@@ -18,6 +18,10 @@ type Stats struct {
 	// Clustered Pagelog prefetch (SnapshotReader.Prefetch).
 	ClusteredReads atomic.Uint64 // coalesced read runs issued
 	ClusteredPages atomic.Uint64 // pages fetched via clustered runs
+
+	// Per-member delta page sets (OpenSnapshotSet, read-set pruning).
+	DeltaBuilds atomic.Uint64 // batch builds that retained delta sets
+	DeltaPages  atomic.Uint64 // delta pages retained across those builds
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -34,6 +38,9 @@ type StatsSnapshot struct {
 
 	ClusteredReads uint64
 	ClusteredPages uint64
+
+	DeltaBuilds uint64
+	DeltaPages  uint64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -48,5 +55,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		BatchMapScanned: s.BatchMapScanned.Load(),
 		ClusteredReads:  s.ClusteredReads.Load(),
 		ClusteredPages:  s.ClusteredPages.Load(),
+		DeltaBuilds:     s.DeltaBuilds.Load(),
+		DeltaPages:      s.DeltaPages.Load(),
 	}
 }

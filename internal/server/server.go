@@ -233,6 +233,8 @@ func (s *Server) Stats() wire.ServerStats {
 	out.BatchMapScanned = rs.BatchMapScanned
 	out.ClusteredReads = rs.ClusteredReads
 	out.ClusteredPages = rs.ClusteredPages
+	out.DeltaBuilds = rs.DeltaBuilds
+	out.DeltaPages = rs.DeltaPages
 	return out
 }
 

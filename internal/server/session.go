@@ -367,6 +367,11 @@ func runToWire(r *rql.RunStats) wire.RunStats {
 		BatchMapScanned:  r.BatchMapScanned,
 		BatchBuildTime:   r.BatchBuildTime,
 		Iterations:       make([]wire.IterationCost, len(r.Iterations)),
+
+		PrunedIterations:   r.PrunedIterations,
+		PrunedRowsReplayed: r.PrunedRowsReplayed,
+		DeltaIntersections: r.DeltaIntersections,
+		PruneReason:        r.PruneReason,
 	}
 	for i, it := range r.Iterations {
 		out.Iterations[i] = wire.IterationCost{
@@ -385,6 +390,8 @@ func runToWire(r *rql.RunStats) wire.RunStats {
 			ResultUpdates:  it.ResultUpdates,
 			ResultSearch:   it.ResultSearch,
 			ClusteredReads: it.ClusteredReads,
+			Pruned:         it.Pruned,
+			DeltaPages:     it.DeltaPages,
 		}
 	}
 	return out

@@ -157,12 +157,37 @@ type Conn struct {
 	lastStats    ExecStats
 	lastSnapshot uint64
 
+	// Read-set recording (SetRecordReadSet): while on, every
+	// snapshot-bound statement records the page ids its SnapshotReader
+	// served — the statement's page read-set, the left operand of the
+	// delta-pruning intersection.
+	recordReads bool
+	lastReadSet PageSet
+
 	// Parsed-statement cache: the RQL mechanisms execute the identical
 	// Qq text once per snapshot, so the parse is paid once. Parsed ASTs
 	// are never mutated by execution, making reuse safe. FIFO-bounded.
 	stmtCache     map[string][]Statement
 	stmtCacheKeys []string
 }
+
+// SetRecordReadSet toggles page read-set recording for snapshot-bound
+// statements on this connection. While on, each such statement replaces
+// the connection's read-set with a freshly recorded one; previously
+// returned ReadSet maps are never mutated afterwards.
+func (c *Conn) SetRecordReadSet(on bool) {
+	c.recordReads = on
+	if !on {
+		c.lastReadSet = nil
+	}
+}
+
+// ReadSet returns the page read-set recorded for the most recent
+// snapshot-bound statement (nil when recording is off or no snapshot
+// statement has run). The map includes every page the snapshot reader
+// served — Pagelog pre-states, cached pages, and pages shared with the
+// current database, catalog pages included.
+func (c *Conn) ReadSet() PageSet { return c.lastReadSet }
 
 // stmtCacheCap bounds the per-connection parsed-statement cache.
 const stmtCacheCap = 64
@@ -321,6 +346,7 @@ type execCtx struct {
 
 	asOf       retro.SnapshotID
 	snapReader *retro.SnapshotReader
+	readSet    PageSet // recorded by snapReader when non-nil
 
 	params []record.Value
 	aux    map[*FuncCall]any
@@ -363,6 +389,9 @@ func (ec *execCtx) close() {
 		ec.stats.CacheHits += ec.snapReader.Counters.CacheHits
 		ec.stats.DBReads += ec.snapReader.Counters.DBReads
 		ec.stats.ClusteredReads += ec.snapReader.Counters.ClusteredReads
+	}
+	if ec.readSet != nil {
+		ec.conn.lastReadSet = ec.readSet
 	}
 }
 
@@ -408,6 +437,13 @@ func (c *Conn) newReadCtx(set *ReaderSet, asOf retro.SnapshotID, params []record
 		ec.snapReader = r
 		ec.closers = append(ec.closers, r.Close)
 		ec.mainPager = r
+		if c.recordReads {
+			// Recording starts before the catalog load below, so schema
+			// pages are part of the read-set too (a schema change between
+			// members must defeat pruning like any other page change).
+			ec.readSet = make(PageSet)
+			r.RecordReadSet(ec.readSet)
+		}
 		// The snapshot's own catalog: schema as of the snapshot.
 		ec.mainSchema, err = loadSchema(r, false)
 		if err != nil {

@@ -4,7 +4,13 @@ import (
 	"time"
 
 	"rql/internal/retro"
+	"rql/internal/storage"
 )
+
+// PageSet is a set of page ids — a statement's page read-set or a
+// member's delta page set. It aliases the underlying storage map type
+// so retro-level sets convert freely without copying.
+type PageSet = map[storage.PageID]struct{}
 
 // ReaderSet is a pre-built snapshot reader set: the SPT of every member
 // derived by one batch Maplog sweep and one shared pinned MVCC read
@@ -57,6 +63,25 @@ func (rs *ReaderSet) Snapshots() []uint64 {
 // Contains reports whether snap is a member of the set.
 func (rs *ReaderSet) Contains(snap uint64) bool {
 	return rs.set.Contains(retro.SnapshotID(snap))
+}
+
+// MemberIndex returns snap's position in the set's ascending member
+// order (false if snap is not a member).
+func (rs *ReaderSet) MemberIndex(snap uint64) (int, bool) {
+	return rs.set.MemberIndex(retro.SnapshotID(snap))
+}
+
+// DeltaLen returns the number of pages differing between the members
+// at positions i-1 and i of the ascending member order (0 for i = 0).
+func (rs *ReaderSet) DeltaLen(i int) int { return len(rs.set.Delta(i)) }
+
+// DeltaDisjoint reports whether every page differing between the
+// members at positions a and b of the ascending member order is absent
+// from readSet — the proof obligation of delta pruning: when true, a
+// statement whose read-set is readSet returns identical results on
+// both members. examined counts the delta pages tested.
+func (rs *ReaderSet) DeltaDisjoint(a, b int, readSet PageSet) (disjoint bool, examined int) {
+	return rs.set.DeltaDisjoint(a, b, readSet)
 }
 
 // Scanned returns the total Maplog entries examined by the batch sweep.

@@ -156,3 +156,22 @@ func (w *Workload) Run(n int) error {
 	}
 	return nil
 }
+
+// QuietStep declares one snapshot without applying a refresh — the
+// periodic-snapshot idiom where the schedule fires whether or not the
+// data changed. Quiet snapshots have empty page deltas.
+func (w *Workload) QuietStep() (uint64, error) {
+	if err := w.Conn.Exec(`BEGIN`, nil); err != nil {
+		return 0, err
+	}
+	id, err := w.Conn.CommitWithSnapshot()
+	if err != nil {
+		w.Conn.Rollback()
+		return 0, err
+	}
+	w.clock = w.clock.Add(24 * time.Hour)
+	if err := core.RecordSnapshot(w.Conn, id, w.clock, fmt.Sprintf("quiet-%d", id)); err != nil {
+		return 0, err
+	}
+	return id, nil
+}

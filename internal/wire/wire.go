@@ -314,6 +314,8 @@ type IterationCost struct {
 	ResultUpdates  int
 	ResultSearch   int
 	ClusteredReads int
+	Pruned         bool
+	DeltaPages     int
 }
 
 // RunStats mirrors core.RunStats on the wire.
@@ -326,6 +328,12 @@ type RunStats struct {
 	BatchBuilds      int
 	BatchMapScanned  int
 	BatchBuildTime   time.Duration
+
+	// Delta pruning outcome.
+	PrunedIterations   int
+	PrunedRowsReplayed int
+	DeltaIntersections int
+	PruneReason        string
 }
 
 // EncodeRunStats appends a RunStats body.
@@ -351,10 +359,16 @@ func EncodeRunStats(e *Enc, r RunStats) {
 		e.Uvarint(uint64(it.ResultUpdates))
 		e.Uvarint(uint64(it.ResultSearch))
 		e.Uvarint(uint64(it.ClusteredReads))
+		e.Bool(it.Pruned)
+		e.Uvarint(uint64(it.DeltaPages))
 	}
 	e.Uvarint(uint64(r.BatchBuilds))
 	e.Uvarint(uint64(r.BatchMapScanned))
 	e.Duration(r.BatchBuildTime)
+	e.Uvarint(uint64(r.PrunedIterations))
+	e.Uvarint(uint64(r.PrunedRowsReplayed))
+	e.Uvarint(uint64(r.DeltaIntersections))
+	e.String(r.PruneReason)
 }
 
 // DecodeRunStats reads a RunStats body.
@@ -387,11 +401,17 @@ func DecodeRunStats(d *Dec) RunStats {
 			ResultUpdates:  int(d.Uvarint()),
 			ResultSearch:   int(d.Uvarint()),
 			ClusteredReads: int(d.Uvarint()),
+			Pruned:         d.Bool(),
+			DeltaPages:     int(d.Uvarint()),
 		})
 	}
 	r.BatchBuilds = int(d.Uvarint())
 	r.BatchMapScanned = int(d.Uvarint())
 	r.BatchBuildTime = d.Duration()
+	r.PrunedIterations = int(d.Uvarint())
+	r.PrunedRowsReplayed = int(d.Uvarint())
+	r.DeltaIntersections = int(d.Uvarint())
+	r.PruneReason = d.String()
 	return r
 }
 
@@ -477,6 +497,10 @@ type ServerStats struct {
 	BatchMapScanned uint64
 	ClusteredReads  uint64
 	ClusteredPages  uint64
+
+	// Delta-set retention counters.
+	DeltaBuilds uint64
+	DeltaPages  uint64
 }
 
 // EncodeServerStats appends a ServerStats body.
@@ -505,6 +529,8 @@ func EncodeServerStats(e *Enc, s ServerStats) {
 	e.Uvarint(s.BatchMapScanned)
 	e.Uvarint(s.ClusteredReads)
 	e.Uvarint(s.ClusteredPages)
+	e.Uvarint(s.DeltaBuilds)
+	e.Uvarint(s.DeltaPages)
 }
 
 // DecodeServerStats reads a ServerStats body.
@@ -537,6 +563,8 @@ func DecodeServerStats(d *Dec) ServerStats {
 	s.BatchMapScanned = d.Uvarint()
 	s.ClusteredReads = d.Uvarint()
 	s.ClusteredPages = d.Uvarint()
+	s.DeltaBuilds = d.Uvarint()
+	s.DeltaPages = d.Uvarint()
 	return s
 }
 

@@ -135,9 +135,12 @@ func TestCompositeRoundTrips(t *testing.T) {
 		Mechanism: "CollateData", ResultRows: 7,
 		ResultDataBytes: 100, ResultIndexBytes: 50,
 		BatchBuilds: 1, BatchMapScanned: 123, BatchBuildTime: time.Millisecond,
+		PrunedIterations: 1, PrunedRowsReplayed: 9, DeltaIntersections: 2,
+		PruneReason: "Qq not prune-safe: non-builtin function f()",
 		Iterations: []IterationCost{
 			{Snapshot: 1, SPTBuild: time.Millisecond, QqRows: 9, ResultInserts: 9},
 			{Snapshot: 2, IOTime: time.Second, PagelogReads: 3, CacheHits: 1, ClusteredReads: 2},
+			{Snapshot: 3, QqRows: 9, Pruned: true, DeltaPages: 4},
 		},
 	}
 	e = &Enc{}
@@ -164,6 +167,7 @@ func TestCompositeRoundTrips(t *testing.T) {
 		PagelogPages: -1, CachedPages: 17,
 		SPTBatchBuilds: 18, BatchSnapshots: 19, BatchMapScanned: 20,
 		ClusteredReads: 21, ClusteredPages: 22,
+		DeltaBuilds: 23, DeltaPages: 24,
 	}
 	e = &Enc{}
 	EncodeServerStats(e, ss)

@@ -162,6 +162,14 @@ func (db *DB) SetBatchSPT(on bool) { db.rql.SetBatchSPT(on) }
 // paper's figures are built on).
 func (db *DB) SetPrefetch(on bool) { db.rql.SetPrefetch(on) }
 
+// SetDeltaPrune enables or disables delta pruning for the Go-level
+// mechanism API (on by default): when on, a batch-mode mechanism run
+// whose Qq is statically prune-safe records the page read-set of each
+// executed iteration and skips any iteration whose member delta does
+// not intersect it, replaying the previous iteration's cached Qq
+// output instead.
+func (db *DB) SetDeltaPrune(on bool) { db.rql.SetDeltaPrune(on) }
+
 // ParallelCollateData is CollateData with the snapshot iterations
 // spread over worker goroutines sharing one batch-built SPT set.
 func (db *DB) ParallelCollateData(qs, qq, table string, workers int) (*RunStats, error) {
