@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt bench bench-compare microbench
+.PHONY: all check build vet test race fmt bench bench-smoke bench-compare microbench
 
 all: check
 
@@ -34,7 +34,14 @@ fmt:
 bench:
 	$(GO) run ./cmd/rqlbench -benchjson BENCH_rql.json
 
-# bench-compare diffs the two newest runs in BENCH_rql.json.
+# bench-smoke prints the batch + pipeline tables at quick scale
+# (finishes well under a minute; appends nothing, so BENCH_rql.json
+# keeps only full-scale, comparable runs).
+bench-smoke:
+	$(GO) run ./cmd/rqlbench -quick -exp batch
+
+# bench-compare diffs the two newest runs in BENCH_rql.json and exits
+# non-zero when any side's wall time regressed by more than 10%.
 bench-compare:
 	$(GO) run ./cmd/rqlbench -compare BENCH_rql.json
 

@@ -232,6 +232,8 @@ func (c *Conn) exec(sqlText string, asOf uint64, cb rql.RowCallback, params []rq
 				DBReads:        st.DBReads,
 				RowsReturned:   st.RowsReturned,
 				ClusteredReads: st.ClusteredReads,
+				ClusteredPages: st.ClusteredPages,
+				PrefetchHits:   st.PrefetchHits,
 			}
 			return true, nil
 		case wire.RespError:
@@ -521,6 +523,10 @@ func runFromWire(r wire.RunStats) rql.RunStats {
 		PrunedRowsReplayed: r.PrunedRowsReplayed,
 		DeltaIntersections: r.DeltaIntersections,
 		PruneReason:        r.PruneReason,
+
+		PipelinedPrefetches: r.PipelinedPrefetches,
+		PrefetchHits:        r.PrefetchHits,
+		PrefetchWasted:      r.PrefetchWasted,
 	}
 	for i, it := range r.Iterations {
 		out.Iterations[i] = rql.IterationCost{
@@ -541,6 +547,9 @@ func runFromWire(r wire.RunStats) rql.RunStats {
 			ClusteredReads: it.ClusteredReads,
 			Pruned:         it.Pruned,
 			DeltaPages:     it.DeltaPages,
+			ClusteredPages: it.ClusteredPages,
+			PrefetchHits:   it.PrefetchHits,
+			OverlapTime:    it.OverlapTime,
 		}
 	}
 	return out

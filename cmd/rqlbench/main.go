@@ -70,6 +70,7 @@ func main() {
 			"prefetch":               false,
 			"delta_prune_side":       true,
 			"legacy_and_batch_prune": false,
+			"pipelined_side":         true,
 		}
 		if err := bench.AppendRun(*bjson, rep, flags); err != nil {
 			fmt.Fprintln(os.Stderr, "rqlbench:", err)

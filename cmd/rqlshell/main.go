@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"rql"
 	"rql/client"
@@ -209,8 +210,8 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 		}
 	case ".stats":
 		st := conn.LastStats()
-		fmt.Printf("last statement: duration=%v rows=%d pagelog_reads=%d cache_hits=%d db_reads=%d spt=%v auto_index=%v\n",
-			st.Duration, st.RowsReturned, st.PagelogReads, st.CacheHits, st.DBReads, st.SPTBuildTime, st.AutoIndex)
+		fmt.Printf("last statement: duration=%v rows=%d pagelog_reads=%d cache_hits=%d db_reads=%d prefetch_hits=%d spt=%v auto_index=%v\n",
+			st.Duration, st.RowsReturned, st.PagelogReads, st.CacheHits, st.DBReads, st.PrefetchHits, st.SPTBuildTime, st.AutoIndex)
 		switch {
 		case env.db != nil:
 			fmt.Printf("pagelog: %d archived pages\n", env.db.PagelogPages())
@@ -220,6 +221,9 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 				rs.ClusteredReads, rs.ClusteredPages)
 			fmt.Printf("deltas: %d delta set builds, %d delta pages retained\n",
 				rs.DeltaBuilds, rs.DeltaPages)
+			fmt.Printf("device: queue depth %d, %d commands (%d overlapped), busy %v\n",
+				rs.DeviceQueueDepth, rs.DeviceReads, rs.OverlappedReads,
+				time.Duration(rs.DeviceBusyNS))
 		case env.remote != nil:
 			ss, err := env.remote.ServerStats()
 			if err != nil {
@@ -261,10 +265,17 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 			fmt.Printf("  delta pruning: active, nothing skipped (%d delta intersections)\n",
 				run.DeltaIntersections)
 		}
+		if run.PipelinedPrefetches > 0 || run.PrefetchHits > 0 {
+			fmt.Printf("  pipelined I/O: %d pages warmed, %d prefetch hits, %d wasted\n",
+				run.PipelinedPrefetches, run.PrefetchHits, run.PrefetchWasted)
+		}
 		for _, it := range run.Iterations {
 			mark := ""
 			if it.Pruned {
 				mark = " pruned"
+			}
+			if it.OverlapTime > 0 {
+				mark += fmt.Sprintf(" overlap=%v", it.OverlapTime)
 			}
 			fmt.Printf("  snap %-4d io=%-10v spt=%-10v idx=%-10v eval=%-10v udf=%-10v rows=%d%s\n",
 				it.Snapshot, it.IOTime, it.SPTBuild, it.IndexCreation, it.QueryEval, it.UDF, it.QqRows, mark)
@@ -291,4 +302,7 @@ func printServerStats(ss client.ServerStats) {
 		ss.ClusteredReads, ss.ClusteredPages)
 	fmt.Printf("deltas: %d delta set builds, %d delta pages retained\n",
 		ss.DeltaBuilds, ss.DeltaPages)
+	fmt.Printf("device: queue depth %d, %d commands (%d overlapped), busy %v\n",
+		ss.DeviceQueueDepth, ss.DeviceReads, ss.OverlappedReads,
+		time.Duration(ss.DeviceBusyNS))
 }

@@ -62,6 +62,13 @@ type Config struct {
 	SF float64
 	// ReadLatency is the modeled per-Pagelog-read cost.
 	ReadLatency time.Duration
+	// SleepOnRead makes cache-missing Pagelog reads actually sleep for
+	// ReadLatency (wall-clock device time instead of modeled time); the
+	// pipeline experiment uses it to measure real fetch/compute overlap.
+	SleepOnRead bool
+	// DeviceQueueDepth is the device pool's concurrency (0 = default 8;
+	// 1 = the strictly serial device of paper-replication mode).
+	DeviceQueueDepth int
 	// CachePages bounds the snapshot page cache.
 	CachePages int
 	// Seed makes data generation deterministic.
@@ -101,6 +108,8 @@ func NewEnv(uw UW, history int, cfg Config) (*Env, error) {
 	cfg = cfg.withDefaults()
 	db, err := sql.Open(sql.Options{Retro: retro.Options{
 		SimulatedReadLatency: cfg.ReadLatency,
+		SleepOnRead:          cfg.SleepOnRead,
+		DeviceQueueDepth:     cfg.DeviceQueueDepth,
 		CachePages:           cfg.CachePages,
 	}})
 	if err != nil {

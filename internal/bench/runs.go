@@ -85,9 +85,15 @@ func gitRevision() string {
 	return strings.TrimSpace(string(out))
 }
 
+// regressionLimit is the relative wall-time increase on any matched
+// side beyond which Compare reports an error (so `make bench-compare`
+// exits non-zero).
+const regressionLimit = 0.10
+
 // Compare prints a per-mechanism diff of the two newest runs in the
 // file at path: wall-time and Pagelog-read deltas for every side, plus
-// the pruning outcome.
+// the pruning outcome. It returns an error when any matched side's
+// wall time regressed by more than regressionLimit.
 func Compare(path string, out io.Writer) error {
 	bf, err := LoadBenchFile(path)
 	if err != nil {
@@ -110,12 +116,22 @@ func Compare(path string, out io.Writer) error {
 			"pruned wall", "skipped", "pagelog Δ"},
 	}
 	matched := 0
+	var regressions []string
+	check := func(mech, side string, old, cur BatchSide) {
+		if d, ok := relDelta(old.WallNS, cur.WallNS); ok && d > regressionLimit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s %s %+.1f%%", mech, side, 100*d))
+		}
+	}
 	for _, res := range cur.Report.Results {
 		p, ok := prev[res.Mechanism+"/"+res.Mode]
 		if !ok {
 			continue
 		}
 		matched++
+		check(res.Mechanism+"/"+res.Mode, "legacy", p.Legacy, res.Legacy)
+		check(res.Mechanism+"/"+res.Mode, "batch", p.Batch, res.Batch)
+		check(res.Mechanism+"/"+res.Mode, "pruned", p.Pruned, res.Pruned)
 		tab.Add(res.Mechanism, res.Mode,
 			wallDelta(p.Legacy, res.Legacy),
 			wallDelta(p.Batch, res.Batch),
@@ -129,7 +145,55 @@ func Compare(path string, out io.Writer) error {
 		fmt.Fprintf(out, "%d result(s) in the newest run had no counterpart in the previous run\n",
 			len(cur.Report.Results)-matched)
 	}
+	comparePipeline(old.Report, cur.Report, out, check)
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench: wall time regressed >%.0f%% on %d side(s): %s",
+			100*regressionLimit, len(regressions), strings.Join(regressions, ", "))
+	}
 	return nil
+}
+
+// comparePipeline diffs the pipelined-I/O phase of two reports, feeding
+// each matched side through the same regression check as the batch
+// sides. Runs predating the pipeline phase simply have nothing to
+// match.
+func comparePipeline(old, cur *BatchReport, out io.Writer, check func(mech, side string, old, cur BatchSide)) {
+	if len(old.Pipeline) == 0 || len(cur.Pipeline) == 0 {
+		return
+	}
+	prev := map[string]PipelineResult{}
+	for _, res := range old.Pipeline {
+		prev[res.Mechanism] = res
+	}
+	tab := &Table{
+		Title:   "Pipelined I/O: newest run vs previous",
+		Headers: []string{"mechanism", "serial Δ", "pipelined Δ", "speedup", "pagelog Δ"},
+	}
+	for _, res := range cur.Pipeline {
+		p, ok := prev[res.Mechanism]
+		if !ok {
+			continue
+		}
+		check(res.Mechanism, "serial",
+			BatchSide{WallNS: p.Serial.WallNS}, BatchSide{WallNS: res.Serial.WallNS})
+		check(res.Mechanism, "pipelined",
+			BatchSide{WallNS: p.Pipelined.WallNS}, BatchSide{WallNS: res.Pipelined.WallNS})
+		tab.Add(res.Mechanism,
+			wallDelta(BatchSide{WallNS: p.Serial.WallNS}, BatchSide{WallNS: res.Serial.WallNS}),
+			wallDelta(BatchSide{WallNS: p.Pipelined.WallNS}, BatchSide{WallNS: res.Pipelined.WallNS}),
+			fmt.Sprintf("%.2fx", res.Speedup),
+			fmt.Sprintf("%+d", res.Pipelined.PagelogReads-p.Pipelined.PagelogReads))
+	}
+	tab.Fprint(out)
+}
+
+// relDelta returns (cur-old)/old, reporting ok=false when either side
+// is absent.
+func relDelta(old, cur int64) (float64, bool) {
+	if old == 0 || cur == 0 {
+		return 0, false
+	}
+	return float64(cur-old) / float64(old), true
 }
 
 func runLabel(r BenchRun) string {

@@ -34,11 +34,12 @@ import (
 type RQL struct {
 	db *sql.DB
 
-	mu       sync.Mutex
-	lastRun  *RunStats
-	noBatch  bool // disable batch SPT construction (legacy per-iteration path)
-	prefetch bool // clustered Pagelog prefetch on batch-set opens
-	noPrune  bool // disable delta pruning of unchanged iterations
+	mu         sync.Mutex
+	lastRun    *RunStats
+	noBatch    bool // disable batch SPT construction (legacy per-iteration path)
+	prefetch   bool // clustered Pagelog prefetch on batch-set opens
+	noPrune    bool // disable delta pruning of unchanged iterations
+	noPipeline bool // disable cross-iteration read-ahead pipelining
 }
 
 // Attach registers the four RQL mechanism UDFs on db and returns the
@@ -111,6 +112,29 @@ func (r *RQL) SetDeltaPrune(on bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.noPrune = !on
+}
+
+// SetPipelinedIO enables or disables cross-iteration read-ahead (on by
+// default): while iteration i evaluates, the pages iteration i+1 is
+// likely to demand — the previous read-set intersected with S_{i+1}'s
+// SPT, or the whole SPT on the first iteration — are warmed into the
+// snapshot page cache through the asynchronous device pool. Warmed
+// pages are billed lazily on first demand touch, so PagelogReads and
+// the paper's per-read counter series are identical with pipelining on
+// or off; only wall time changes. Requires batch SPT construction
+// (SetBatchSPT); the SQL-form UDF path never pipelines (the snapshot
+// set is not known up front).
+func (r *RQL) SetPipelinedIO(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noPipeline = !on
+}
+
+// pipelineEnabled reports whether read-ahead pipelining is on.
+func (r *RQL) pipelineEnabled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.noPipeline
 }
 
 // batchEnabled reports the current toggles.
@@ -292,14 +316,21 @@ func (r *RQL) run(conn *sql.Conn, kind mechKind, qs string, args []record.Value)
 		}
 		if err == nil {
 			st.setupPrune(conn, st.run)
-			if st.pruneOn {
+			st.pipeOn = st.set != nil && r.pipelineEnabled()
+			if st.pruneOn || st.pipeOn {
+				// Both pruning and pipelining steer by the last executed
+				// iteration's page read-set.
 				conn.SetRecordReadSet(true)
 				defer conn.SetRecordReadSet(false)
 			}
 		}
-		for _, snap := range snaps {
+		for i, snap := range snaps {
 			if err != nil {
 				break
+			}
+			st.next = 0
+			if i+1 < len(snaps) {
+				st.next = snaps[i+1]
 			}
 			err = st.iterate(conn, snap)
 		}

@@ -79,6 +79,15 @@ type mechState struct {
 	pruneInfo sql.PruneInfo
 	cache     pruneCache
 
+	// Cross-iteration read-ahead pipelining (pipeline.go). pipeOn is set
+	// once by the run driver and read-only afterwards (parallel workers
+	// share it through the template and keep their own pipeState). next
+	// is the snapshot the run loop will iterate after the current one —
+	// the sequential pipeline's warm target.
+	pipeOn bool
+	next   uint64
+	pipe   pipeState
+
 	run       *RunStats
 	iterUDF   time.Duration // UDF time accumulated in the current iteration
 	finalized bool
@@ -151,6 +160,14 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 
 	st.iterUDF = 0
 
+	// Pipelined read-ahead: settle the warm targeting this iteration
+	// (crediting hidden device time), then start warming the next
+	// member's likely pages so its fetches overlap this evaluation.
+	if st.pipeOn {
+		st.pipe.await(snap, &cost)
+		st.pipe.launch(st.set, st.next)
+	}
+
 	// Delta-prune check: when no page of the last executed iteration's
 	// read-set changed since the previous iteration, skip Qq and replay
 	// the cached output.
@@ -184,6 +201,9 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	if st.pruneOn && memberIdx >= 0 {
 		st.cache = pruneCache{valid: true, prevIdx: memberIdx, readSet: conn.ReadSet(), rows: iterRows}
 	}
+	if st.pipeOn {
+		st.pipe.prevRS = conn.ReadSet()
+	}
 
 	// First iteration of the table mechanisms: create the result-table
 	// index (paper §3: "at the end of the first loop-body iteration we
@@ -211,6 +231,8 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	cost.DBReads = qs.DBReads
 	cost.MapScanned = qs.MapScanned
 	cost.ClusteredReads = qs.ClusteredReads
+	cost.ClusteredPages = qs.ClusteredPages
+	cost.PrefetchHits = qs.PrefetchHits
 
 	st.run.Iterations = append(st.run.Iterations, cost)
 	st.prevSnap = snap
@@ -483,6 +505,12 @@ func (st *mechState) FinalizeStmt(commit bool) error {
 	if !st.inited {
 		return nil
 	}
+	// Settle any in-flight warm and derive the run-level prefetch
+	// summary (a failed run still drains, so no fetch outlives it).
+	st.pipe.drain()
+	st.run.PipelinedPrefetches += st.pipe.pages
+	st.pipe.pages = 0
+	finishPipelineStats(st.run)
 	conn := st.finalConn
 	if st.writer != nil {
 		if commit {

@@ -75,6 +75,10 @@ type chunkResult struct {
 	prunedRows    int
 	intersections int
 
+	// Pages warmed by the chunk's read-ahead pipeline (warms never
+	// cross a chunk boundary, like the prune cache).
+	pipelined int
+
 	err error
 }
 
@@ -136,8 +140,11 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 		tmpl.set = set
 	}
 	// Pruning decision is made once on the template; each worker keeps
-	// its own cache and prunes within its contiguous range.
+	// its own cache and prunes within its contiguous range. Likewise the
+	// pipelining decision: each worker read-aheads within its own chunk,
+	// all sharing one device pool and one snapshot cache.
 	tmpl.setupPrune(conn, run)
+	tmpl.pipeOn = tmpl.set != nil && r.pipelineEnabled()
 
 	// Result-table shape comes from the first snapshot, as in the
 	// sequential mechanisms.
@@ -240,10 +247,12 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 			run.PrunedIterations += res.pruned
 			run.PrunedRowsReplayed += res.prunedRows
 			run.DeltaIntersections += res.intersections
+			run.PipelinedPrefetches += res.pipelined
 		}
 	}
 	sortIterationsByQsOrder(run.Iterations, snaps)
 	billBatch(run, set)
+	finishPipelineStats(run)
 
 	ts, err := conn.TableStats(table)
 	if err != nil {
@@ -267,14 +276,29 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		res.ivals = make(map[string][]*interval)
 	}
 	conn := r.db.Conn()
-	if tmpl.pruneOn {
+	if tmpl.pruneOn || tmpl.pipeOn {
 		conn.SetRecordReadSet(true)
 	}
+
+	// Chunk-local read-ahead lane; drained on every exit so no fetch
+	// outlives the run.
+	var pipe pipeState
+	defer func() {
+		pipe.drain()
+		res.pipelined = pipe.pages
+	}()
 
 	var prev uint64
 	for ci, snap := range chunk {
 		cost := IterationCost{Snapshot: snap}
 		var udf time.Duration
+
+		if tmpl.pipeOn {
+			pipe.await(snap, &cost)
+			if ci+1 < len(chunk) {
+				pipe.launch(tmpl.set, chunk[ci+1])
+			}
+		}
 
 		memberIdx := -1
 		if tmpl.pruneOn {
@@ -326,6 +350,9 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		if tmpl.pruneOn && memberIdx >= 0 {
 			res.cache = pruneCache{valid: true, prevIdx: memberIdx, readSet: conn.ReadSet(), rows: iterRows}
 		}
+		if tmpl.pipeOn {
+			pipe.prevRS = conn.ReadSet()
+		}
 		cost.SPTBuild = qs.SPTBuildTime
 		cost.IndexCreation = qs.AutoIndex
 		cost.UDF = udf
@@ -339,6 +366,8 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		cost.DBReads = qs.DBReads
 		cost.MapScanned = qs.MapScanned
 		cost.ClusteredReads = qs.ClusteredReads
+		cost.ClusteredPages = qs.ClusteredPages
+		cost.PrefetchHits = qs.PrefetchHits
 		res.iters = append(res.iters, cost)
 		prev = snap
 	}

@@ -26,6 +26,10 @@ type IterationCost struct {
 	// IOTime is the modeled Pagelog read cost (PagelogReads × the
 	// configured per-read latency).
 	IOTime time.Duration
+	// OverlapTime is device service time for this iteration's pages that
+	// was hidden behind the previous iteration's evaluation by the
+	// cross-iteration read-ahead pipeline (zero when pipelining is off).
+	OverlapTime time.Duration
 
 	// Raw counters, device-independent.
 	PagelogReads   int
@@ -33,6 +37,8 @@ type IterationCost struct {
 	DBReads        int
 	MapScanned     int
 	ClusteredReads int // coalesced Pagelog read runs (prefetch)
+	ClusteredPages int // pages loaded by those runs
+	PrefetchHits   int // logical reads satisfied early by a warmed page
 
 	QqRows        int
 	ResultInserts int
@@ -74,6 +80,16 @@ type RunStats struct {
 	DeltaIntersections int
 	PruneReason        string
 
+	// Pipelined I/O, when the run overlapped the next iteration's page
+	// fetches with the current iteration's evaluation:
+	// PipelinedPrefetches counts pages the pipeline warmed into the
+	// snapshot cache, PrefetchHits the logical reads satisfied early by
+	// a warmed page (from the pipeline or clustered prefetch), and
+	// PrefetchWasted the warmed pages never demanded.
+	PipelinedPrefetches int
+	PrefetchHits        int
+	PrefetchWasted      int
+
 	// Result-table footprint after the run (§5.3 memory experiments).
 	ResultRows       int
 	ResultDataBytes  int64
@@ -89,11 +105,14 @@ func (r *RunStats) Total() IterationCost {
 		t.QueryEval += c.QueryEval
 		t.UDF += c.UDF
 		t.IOTime += c.IOTime
+		t.OverlapTime += c.OverlapTime
 		t.PagelogReads += c.PagelogReads
 		t.CacheHits += c.CacheHits
 		t.DBReads += c.DBReads
 		t.MapScanned += c.MapScanned
 		t.ClusteredReads += c.ClusteredReads
+		t.ClusteredPages += c.ClusteredPages
+		t.PrefetchHits += c.PrefetchHits
 		t.QqRows += c.QqRows
 		t.ResultInserts += c.ResultInserts
 		t.ResultUpdates += c.ResultUpdates
@@ -125,11 +144,14 @@ func (r *RunStats) Hot() IterationCost {
 		t.QueryEval += c.QueryEval
 		t.UDF += c.UDF
 		t.IOTime += c.IOTime
+		t.OverlapTime += c.OverlapTime
 		t.PagelogReads += c.PagelogReads
 		t.CacheHits += c.CacheHits
 		t.DBReads += c.DBReads
 		t.MapScanned += c.MapScanned
 		t.ClusteredReads += c.ClusteredReads
+		t.ClusteredPages += c.ClusteredPages
+		t.PrefetchHits += c.PrefetchHits
 		t.QqRows += c.QqRows
 		t.ResultInserts += c.ResultInserts
 		t.ResultUpdates += c.ResultUpdates
@@ -142,11 +164,14 @@ func (r *RunStats) Hot() IterationCost {
 	t.QueryEval /= d
 	t.UDF /= d
 	t.IOTime /= d
+	t.OverlapTime /= d
 	t.PagelogReads /= n
 	t.CacheHits /= n
 	t.DBReads /= n
 	t.MapScanned /= n
 	t.ClusteredReads /= n
+	t.ClusteredPages /= n
+	t.PrefetchHits /= n
 	t.QqRows /= n
 	t.ResultInserts /= n
 	t.ResultUpdates /= n

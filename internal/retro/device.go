@@ -1,0 +1,228 @@
+package retro
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rql/internal/storage"
+)
+
+// The device model replaces the old inline per-read sleep with a
+// bounded pool of device workers, the software analogue of an NVMe /
+// SATA NCQ command queue: up to DeviceQueueDepth read operations are in
+// service concurrently, so K outstanding reads cost ~1 service latency
+// instead of K. One operation is one device command — a single page
+// read or one clustered run of consecutively-archived pages — and pays
+// the configured SimulatedReadLatency exactly once when SleepOnRead is
+// set, regardless of queue depth.
+//
+// Accounting stays device-independent: PagelogReads counts *logical*
+// cache-missing reads wherever they are serviced (inline, overlapped,
+// or satisfied early by a prefetched page), so the paper's per-read
+// counter series is identical at any queue depth. The device-level view
+// lives in its own counters (DeviceReads, OverlappedReads,
+// DeviceBusyTime).
+
+// DefaultQueueDepth is the device pool's default concurrency. Eight
+// matches the queue depth at which commodity SSDs saturate on 4 KiB
+// random reads; depth 1 degenerates to the strictly serial device of
+// the paper-replication mode.
+const DefaultQueueDepth = 8
+
+// devReq is one device command: read n consecutively-archived pages
+// starting at Pagelog offset off.
+type devReq struct {
+	off    int64
+	n      int
+	cancel <-chan struct{} // non-nil: skip service once closed
+	done   chan devResult  // buffered (cap 1); always receives exactly once
+}
+
+// devResult is the completion of one device command.
+type devResult struct {
+	pages    []*storage.PageData
+	err      error
+	canceled bool
+}
+
+// devicePool services Pagelog read commands with depth worker
+// goroutines pulling from one FIFO queue (Go channels wake blocked
+// receivers in FIFO order, which is what the fairness test pins down).
+type devicePool struct {
+	// pl is the current Pagelog. Atomic because Compact swaps in the
+	// rewritten log; the swap happens with zero open readers and all
+	// fetches drained, so no command is in service across it.
+	pl      atomic.Pointer[pagelog]
+	latency time.Duration
+	sleep   bool
+	depth   int
+	stats   *Stats
+
+	reqs chan *devReq
+	wg   sync.WaitGroup // workers
+
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup // submitted but not yet completed commands
+
+	inFlight atomic.Int64
+}
+
+func newDevicePool(pl *pagelog, depth int, latency time.Duration, sleep bool, stats *Stats) *devicePool {
+	if depth < 1 {
+		depth = DefaultQueueDepth
+	}
+	p := &devicePool{
+		latency: latency,
+		sleep:   sleep,
+		depth:   depth,
+		stats:   stats,
+		// A small buffer decouples submitters from worker scheduling;
+		// fairness comes from the channel's FIFO semantics, not the
+		// buffer size.
+		reqs: make(chan *devReq, 4*depth),
+	}
+	p.pl.Store(pl)
+	for i := 0; i < depth; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// submit enqueues one command. The pool guarantees exactly one send on
+// req.done unless submit returns an error.
+func (p *devicePool) submit(req *devReq) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.pending.Add(1)
+	p.mu.Unlock()
+	p.reqs <- req
+	return nil
+}
+
+// read is the synchronous demand path: one page through the device,
+// waiting in queue order behind any outstanding commands.
+func (p *devicePool) read(off int64) (*storage.PageData, error) {
+	done := make(chan devResult, 1)
+	if err := p.submit(&devReq{off: off, n: 1, done: done}); err != nil {
+		return nil, err
+	}
+	res := <-done
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.pages[0], nil
+}
+
+func (p *devicePool) worker() {
+	defer p.wg.Done()
+	for req := range p.reqs {
+		p.serve(req)
+		p.pending.Done()
+	}
+}
+
+func (p *devicePool) serve(req *devReq) {
+	if req.cancel != nil {
+		select {
+		case <-req.cancel:
+			req.done <- devResult{canceled: true}
+			return
+		default:
+		}
+	}
+	if p.inFlight.Add(1) > 1 {
+		p.stats.OverlappedReads.Add(1)
+	}
+	start := time.Now()
+	pl := p.pl.Load()
+	var res devResult
+	if req.n == 1 {
+		data := new(storage.PageData)
+		if err := pl.read(req.off, data); err != nil {
+			res.err = err
+		} else {
+			res.pages = []*storage.PageData{data}
+		}
+	} else {
+		res.pages, res.err = pl.readRun(req.off, req.n)
+	}
+	if res.err == nil && p.sleep && p.latency > 0 {
+		time.Sleep(p.latency) // one command, one service latency
+	}
+	p.inFlight.Add(-1)
+	p.stats.DeviceReads.Add(1)
+	p.stats.DeviceBusyNS.Add(uint64(time.Since(start)))
+	req.done <- res
+}
+
+// close stops accepting commands, drains the queue, and stops the
+// workers. Safe to call more than once.
+func (p *devicePool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.pending.Wait()
+	close(p.reqs)
+	p.wg.Wait()
+}
+
+// Fetch is an asynchronous batch of device commands issued by
+// FetchAsync / FetchBatch / PrefetchAsync. Wait blocks until every
+// command completed (or was canceled by the owning set's Close) and
+// returns the number of pages actually installed in the snapshot cache.
+type Fetch struct {
+	pages int // pages planned (mapped, uncached at planning time)
+	runs  int // coalesced device commands issued
+
+	done     chan struct{}
+	fetched  int
+	err      error
+	canceled bool
+	dur      time.Duration
+}
+
+// emptyFetch is the completed no-op fetch returned when nothing needs
+// fetching.
+func emptyFetch() *Fetch {
+	f := &Fetch{done: make(chan struct{})}
+	close(f.done)
+	return f
+}
+
+// Pages returns the number of pages the fetch planned to load.
+func (f *Fetch) Pages() int { return f.pages }
+
+// Runs returns the number of coalesced device commands issued.
+func (f *Fetch) Runs() int { return f.runs }
+
+// Wait blocks until the fetch completed and returns the number of
+// pages installed in the snapshot cache (fewer than Pages when the
+// fetch was canceled mid-flight) and the first device error.
+func (f *Fetch) Wait() (fetched int, err error) {
+	<-f.done
+	return f.fetched, f.err
+}
+
+// Canceled reports whether the owning set was closed mid-fetch. Only
+// meaningful after Wait returned.
+func (f *Fetch) Canceled() bool {
+	<-f.done
+	return f.canceled
+}
+
+// Duration is the fetch's wall time, issue to last completion. Only
+// meaningful after Wait returned.
+func (f *Fetch) Duration() time.Duration {
+	<-f.done
+	return f.dur
+}

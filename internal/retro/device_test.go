@@ -1,0 +1,237 @@
+package retro
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rql/internal/storage"
+)
+
+// archiveScattered commits one snapshot over 2n fresh pages and then
+// overwrites all of them, so every pre-state is archived. Pages are
+// archived in order, giving contiguous Pagelog offsets; callers that
+// need fragmented device commands (one per page instead of one
+// coalesced run) fetch every other page.
+func archiveScattered(t *testing.T, e *env, n int) (SnapshotID, []storage.PageID) {
+	t.Helper()
+	ids := make([]storage.PageID, 2*n)
+	vals := make([]byte, 2*n)
+	for i := range vals {
+		vals[i] = byte(i + 1)
+	}
+	snap, out := e.writePages(t, ids, vals, true)
+	for i := range vals {
+		vals[i] = byte(i + 101)
+	}
+	e.writePages(t, out, vals, false)
+	every := make([]storage.PageID, 0, n)
+	for i := 0; i < 2*n; i += 2 {
+		every = append(every, out[i])
+	}
+	return snap, every
+}
+
+// At queue depth K, K concurrent demand reads overlap their service
+// latency: total wall time is a small multiple of one latency, not K
+// of them, and the device counters record the overlap.
+func TestDeviceDepthOverlapsReads(t *testing.T) {
+	const lat = 25 * time.Millisecond
+	e := newEnv(t, Options{SleepOnRead: true, SimulatedReadLatency: lat, DeviceQueueDepth: 8})
+	snap, pages := archiveScattered(t, e, 8)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, id := range pages {
+		wg.Add(1)
+		go func(id storage.PageID) {
+			defer wg.Done()
+			r, err := e.sys.OpenSnapshot(snap)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer r.Close()
+			if _, err := r.Get(id); err != nil {
+				t.Errorf("Get(%d): %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// Serial service would cost 8 x 25ms = 200ms; at depth 8 the reads
+	// overlap into roughly one latency. 150ms leaves room for scheduler
+	// noise while still proving the overlap.
+	if wall >= 150*time.Millisecond {
+		t.Errorf("8 concurrent reads at depth 8 took %v, want well under the 200ms serial cost", wall)
+	}
+	st := e.sys.Stats()
+	if st.DeviceReads < 8 {
+		t.Errorf("DeviceReads = %d, want >= 8", st.DeviceReads)
+	}
+	if st.OverlappedReads == 0 {
+		t.Error("OverlappedReads = 0, want overlap at depth 8")
+	}
+	if st.DeviceQueueDepth != 8 {
+		t.Errorf("DeviceQueueDepth = %d, want 8", st.DeviceQueueDepth)
+	}
+}
+
+// Depth 1 is the strictly serial device of paper-replication mode:
+// concurrent reads queue behind each other and never overlap.
+func TestDeviceDepthOneSerializes(t *testing.T) {
+	const lat = 10 * time.Millisecond
+	e := newEnv(t, Options{SleepOnRead: true, SimulatedReadLatency: lat, DeviceQueueDepth: 1})
+	snap, pages := archiveScattered(t, e, 4)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, id := range pages {
+		wg.Add(1)
+		go func(id storage.PageID) {
+			defer wg.Done()
+			r, err := e.sys.OpenSnapshot(snap)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer r.Close()
+			if _, err := r.Get(id); err != nil {
+				t.Errorf("Get(%d): %v", id, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if wall < 4*lat {
+		t.Errorf("4 concurrent reads at depth 1 took %v, want >= %v (serial)", wall, 4*lat)
+	}
+	if st := e.sys.Stats(); st.OverlappedReads != 0 {
+		t.Errorf("OverlappedReads = %d at depth 1, want 0", st.OverlappedReads)
+	}
+}
+
+// The pool's queue is FIFO: at depth 1, commands complete in submission
+// order.
+func TestDeviceFIFOFairness(t *testing.T) {
+	const lat = 20 * time.Millisecond
+	e := newEnv(t, Options{SleepOnRead: true, SimulatedReadLatency: lat, DeviceQueueDepth: 1})
+	archiveScattered(t, e, 3) // offsets 0..5 now exist
+
+	const n = 6
+	var (
+		mu    sync.Mutex
+		order []int
+		wg    sync.WaitGroup
+	)
+	dones := make([]chan devResult, n)
+	for i := range dones {
+		dones[i] = make(chan devResult, 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := <-dones[i]
+			if res.err != nil {
+				t.Errorf("command %d: %v", i, res.err)
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := e.sys.dev.submit(&devReq{off: int64(i), n: 1, done: dones[i]}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v, want FIFO 0..%d", order, n-1)
+		}
+	}
+}
+
+// Busy time accumulates real service time: n commands at latency L
+// must record at least n x L of device busy time, and each demand read
+// is exactly one command.
+func TestDeviceBusyAccounting(t *testing.T) {
+	const lat = 5 * time.Millisecond
+	e := newEnv(t, Options{SleepOnRead: true, SimulatedReadLatency: lat, DeviceQueueDepth: 2})
+	snap, pages := archiveScattered(t, e, 4)
+
+	r, err := e.sys.OpenSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for _, id := range pages {
+		if _, err := r.Get(id); err != nil {
+			t.Fatalf("Get(%d): %v", id, err)
+		}
+	}
+	st := e.sys.Stats()
+	if st.DeviceReads != 4 {
+		t.Errorf("DeviceReads = %d, want 4", st.DeviceReads)
+	}
+	if got, want := time.Duration(st.DeviceBusyNS), 4*lat; got < want {
+		t.Errorf("DeviceBusyNS = %v, want >= %v", got, want)
+	}
+	if st.OverlappedReads != 0 {
+		t.Errorf("OverlappedReads = %d for sequential demand reads, want 0", st.OverlappedReads)
+	}
+	// The logical accounting is device-independent: four demand misses.
+	if r.Counters.PagelogReads != 4 {
+		t.Errorf("PagelogReads = %d, want 4", r.Counters.PagelogReads)
+	}
+}
+
+// Closing a SnapshotSet with an async batch in flight must cancel the
+// outstanding commands, drain the collector without leaking it, and
+// leave the system healthy (Compact still works). Run under -race this
+// also pins down that no collector writes into the cache after close.
+func TestSnapshotSetCloseCancelsFetch(t *testing.T) {
+	const lat = 10 * time.Millisecond
+	e := newEnv(t, Options{SleepOnRead: true, SimulatedReadLatency: lat, DeviceQueueDepth: 1})
+	snap, pages := archiveScattered(t, e, 16)
+
+	set, err := e.sys.OpenSnapshotSet([]SnapshotID{snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := set.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.FetchBatch(pages, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Pages() != 16 || f.Runs() != 16 {
+		t.Fatalf("fetch planned %d pages in %d runs, want 16 fragmented commands", f.Pages(), f.Runs())
+	}
+	// 16 commands x 10ms at depth 1 = 160ms of service; close a little
+	// in so some commands completed and the rest are still queued.
+	time.Sleep(25 * time.Millisecond)
+	set.Close()
+
+	fetched, err := f.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !f.Canceled() {
+		t.Error("fetch not marked canceled after set close")
+	}
+	if fetched >= f.Pages() {
+		t.Errorf("fetched %d of %d pages despite mid-flight close", fetched, f.Pages())
+	}
+	if _, err := e.sys.Compact(); err != nil {
+		t.Fatalf("Compact after canceled fetch: %v", err)
+	}
+	// The surviving warmed pages must still be the correct pre-states.
+	if got := readSnapPage(t, e.sys, snap, pages[0]); got != 1 {
+		t.Errorf("page %d reads %d after canceled fetch, want pre-state 1", pages[0], got)
+	}
+}

@@ -26,7 +26,16 @@ type Options struct {
 	SimulatedReadLatency time.Duration
 	// SleepOnRead makes cache-missing Pagelog reads actually sleep for
 	// SimulatedReadLatency, turning modeled I/O time into wall time.
+	// The sleep is paid by the device worker servicing the command, so
+	// with DeviceQueueDepth > 1 concurrent reads overlap their latency
+	// the way an SSD's command queue does.
 	SleepOnRead bool
+	// DeviceQueueDepth is the number of device workers servicing
+	// Pagelog reads concurrently (see device.go). 0 uses
+	// DefaultQueueDepth (8); 1 is the strictly serial device of the
+	// paper-replication mode. Logical counters (PagelogReads,
+	// CacheHits) are identical at every depth.
+	DeviceQueueDepth int
 }
 
 // DefaultReadLatency approximates one 4 KiB random read from the SATA
@@ -53,7 +62,28 @@ type System struct {
 	simLatency time.Duration
 	sleepOnRd  bool
 
+	// dev services every Pagelog read (demand misses, clustered
+	// prefetch runs, async fetches) with a bounded worker pool — the
+	// device model. fetchWG tracks in-flight async fetch collectors so
+	// Compact never remaps offsets under a live fetch.
+	dev     *devicePool
+	fetchWG sync.WaitGroup
+
+	// missing coalesces concurrent demand misses of the same Pagelog
+	// offset into one device command (see demandRead). Guarded by
+	// missMu, never by mu.
+	missMu  sync.Mutex
+	missing map[int64]*missCall
+
 	stats Stats
+}
+
+// missCall is one in-service demand read that later demand misses of
+// the same offset can join instead of issuing a duplicate command.
+type missCall struct {
+	done chan struct{} // closed once data/err are set
+	data *storage.PageData
+	err  error
 }
 
 // New creates a snapshot system over store and registers it as the
@@ -73,18 +103,29 @@ func New(store *storage.Store, opts Options) (*System, error) {
 		ml:          newMaplog(opts.SkipFactor),
 		lastCapture: make(map[storage.PageID]SnapshotID),
 		cache:       newPageCache(capacity),
+		missing:     make(map[int64]*missCall),
 		simLatency:  opts.SimulatedReadLatency,
 		sleepOnRd:   opts.SleepOnRead,
 	}
+	sys.dev = newDevicePool(pl, opts.DeviceQueueDepth, sys.simLatency, sys.sleepOnRd, &sys.stats)
 	store.SetCommitHook(sys)
 	return sys, nil
 }
 
-// Close releases the Pagelog. The system must not be used afterwards.
+// Close drains the device pool and releases the Pagelog. The system
+// must not be used afterwards.
 func (s *System) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
+	s.mu.Unlock()
+	s.dev.close()
+	s.fetchWG.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.pl.close()
 }
 
@@ -153,7 +194,14 @@ func (s *System) ResetCache() { s.cache.reset() }
 func (s *System) CachedPages() int { return s.cache.len() }
 
 // Stats returns a snapshot of the system's counters.
-func (s *System) Stats() StatsSnapshot { return s.stats.snapshot() }
+func (s *System) Stats() StatsSnapshot {
+	st := s.stats.snapshot()
+	st.DeviceQueueDepth = uint64(s.dev.depth)
+	return st
+}
+
+// DeviceQueueDepth returns the device pool's configured concurrency.
+func (s *System) DeviceQueueDepth() int { return s.dev.depth }
 
 // OpenSnapshot builds SPT(id) and pins an MVCC read transaction,
 // returning a reader that serves any page as of the snapshot. The
@@ -221,6 +269,13 @@ type SnapshotSet struct {
 	Scanned   int
 	BuildTime time.Duration
 
+	// done is closed by Close to cancel in-flight async fetches issued
+	// through the set's readers; fetchWG tracks their collectors so
+	// Close does not release the pinned read transaction (and unblock
+	// Compact's offset remap) under a live fetch.
+	done    chan struct{}
+	fetchWG sync.WaitGroup
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -271,6 +326,7 @@ func (s *System) OpenSnapshotSet(ids []SnapshotID) (*SnapshotSet, error) {
 		ids:       sorted,
 		idx:       make(map[SnapshotID]int, len(sorted)),
 		deltas:    deltas,
+		done:      make(chan struct{}),
 		BuildTime: buildTime,
 	}
 	deltaPages := 0
@@ -362,10 +418,14 @@ func (ss *SnapshotSet) Open(id SnapshotID) (*SnapshotReader, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: snapshot %d is not in the reader set", ErrNoSnapshot, id)
 	}
-	return &SnapshotReader{sys: ss.sys, spt: spt, rt: ss.rt, sharedRT: true}, nil
+	return &SnapshotReader{sys: ss.sys, spt: spt, rt: ss.rt, set: ss, sharedRT: true}, nil
 }
 
-// Close releases the pinned read transaction. Idempotent.
+// Close cancels in-flight async fetches, waits for them to drain, and
+// releases the pinned read transaction. Idempotent. The drain is what
+// makes a Close during an async batch safe: no fetch collector is left
+// writing into the snapshot cache while Compact — unblocked by the
+// open-reader count this Close decrements — remaps Pagelog offsets.
 func (ss *SnapshotSet) Close() {
 	ss.mu.Lock()
 	if ss.closed {
@@ -373,7 +433,9 @@ func (ss *SnapshotSet) Close() {
 		return
 	}
 	ss.closed = true
+	close(ss.done)
 	ss.mu.Unlock()
+	ss.fetchWG.Wait()
 	ss.rt.Close()
 	ss.sys.mu.Lock()
 	ss.sys.openReaders--
@@ -400,11 +462,13 @@ func (s *System) InjectPagelogReadError(err error) {
 // Counters accumulates the per-reader costs the paper's §5 figures
 // break down.
 type Counters struct {
-	PagelogReads   int           // cache-missing reads from the Pagelog
+	PagelogReads   int           // logical cache-missing reads from the Pagelog
 	CacheHits      int           // snapshot pages served from the cache
 	DBReads        int           // pages shared with (and read from) the current DB
 	MapScanned     int           // Maplog entries examined building the SPT
 	ClusteredReads int           // coalesced Pagelog read runs issued by Prefetch
+	ClusteredPages int           // pages loaded by those runs (≥ ClusteredReads)
+	PrefetchHits   int           // demand reads satisfied early by a warmed page
 	SPTBuildTime   time.Duration // wall time of the SPT build
 }
 
@@ -422,7 +486,8 @@ type SnapshotReader struct {
 	sys      *System
 	spt      *SPT
 	rt       *storage.ReadTx
-	sharedRT bool // the read tx belongs to a SnapshotSet; Close leaves it pinned
+	set      *SnapshotSet // owning set (nil for standalone readers); cancels async fetches
+	sharedRT bool         // the read tx belongs to a SnapshotSet; Close leaves it pinned
 
 	// Counters accumulates this reader's costs; not safe for
 	// concurrent readers sharing one SnapshotReader.
@@ -474,22 +539,91 @@ func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
 		r.Counters.DBReads++
 		return data, nil
 	}
-	if data := r.sys.cache.get(off); data != nil {
-		r.Counters.CacheHits++
-		r.sys.stats.CacheHits.Add(1)
+	for {
+		if data, warmed := r.sys.cache.get(off); data != nil {
+			if warmed {
+				// First demand touch of a prefetched page: this is the
+				// logical read the serial path would have paid, so it bills
+				// as a PagelogRead — but its device time was already spent
+				// (overlapped) by the warm, so no latency here.
+				r.Counters.PagelogReads++
+				r.Counters.PrefetchHits++
+				r.sys.stats.PagelogReads.Add(1)
+				return data, nil
+			}
+			r.Counters.CacheHits++
+			r.sys.stats.CacheHits.Add(1)
+			return data, nil
+		}
+		data, hit, err := r.sys.demandRead(off)
+		if err != nil {
+			return nil, err
+		}
+		if data == nil {
+			continue // installed between our miss and now; re-read the cache
+		}
+		if hit {
+			// The page's one cold read was billed elsewhere — we joined
+			// an in-service demand miss, or a concurrent warm beat our
+			// device read and a reader already touched it. Either way
+			// this read is the cache hit it would have been a moment
+			// later, so exactly one cold read is billed per page however
+			// many parallel workers demand it at once.
+			r.Counters.CacheHits++
+			r.sys.stats.CacheHits.Add(1)
+			return data, nil
+		}
+		r.Counters.PagelogReads++
+		r.sys.stats.PagelogReads.Add(1)
 		return data, nil
 	}
-	data := new(storage.PageData)
-	if err := r.sys.pl.read(off, data); err != nil {
-		return nil, err
+}
+
+// demandRead services one cache-missing demand read through the device
+// pool. Concurrent misses of the same offset coalesce into a single
+// device command: the first caller performs the read and installs the
+// page, later callers block on its completion and share the result.
+// Without this, parallel mechanism workers racing through the device
+// queue would double-bill (and double-fetch) shared pages, making
+// PagelogReads nondeterministic.
+//
+// hit reports how the caller must bill the read: false — this was the
+// page's one cold read (a PagelogRead); true — the cold read was billed
+// by someone else (an in-service miss we joined, or a concurrent warm
+// whose first touch already happened), so it counts as a CacheHit. A
+// (nil, false, nil) return means the page was installed between the
+// caller's cache miss and now — re-check the cache.
+func (s *System) demandRead(off int64) (data *storage.PageData, hit bool, err error) {
+	s.missMu.Lock()
+	if c, ok := s.missing[off]; ok {
+		s.missMu.Unlock()
+		<-c.done
+		return c.data, true, c.err
 	}
-	if r.sys.sleepOnRd && r.sys.simLatency > 0 {
-		time.Sleep(r.sys.simLatency)
+	if s.cache.contains(off) {
+		s.missMu.Unlock()
+		return nil, false, nil
 	}
-	r.Counters.PagelogReads++
-	r.sys.stats.PagelogReads.Add(1)
-	r.sys.cache.put(off, data)
-	return data, nil
+	c := &missCall{done: make(chan struct{})}
+	s.missing[off] = c
+	s.missMu.Unlock()
+
+	billed := false
+	c.data, c.err = s.dev.read(off)
+	if c.err == nil {
+		// Install before unregistering so no window exists in which the
+		// page is in neither the cache nor the miss table. If a warm
+		// landed while our read was in service and a reader consumed its
+		// unbilled mark, that reader paid the PagelogRead — ours bills
+		// as a hit.
+		existed, wasWarmed := s.cache.put(off, c.data)
+		billed = existed && !wasWarmed
+	}
+	s.missMu.Lock()
+	delete(s.missing, off)
+	s.missMu.Unlock()
+	close(c.done)
+	return c.data, billed, c.err
 }
 
 // GetMut always fails: snapshots are immutable.
@@ -508,16 +642,39 @@ func (r *SnapshotReader) Free(storage.PageID) error { return storage.ErrReadOnly
 // Prefetch bulk-loads into the snapshot cache every Pagelog pre-state
 // the reader's SPT (including its batch chain) can resolve and that is
 // not already cached. Offsets are sorted and adjacent ones coalesced so
-// a run of consecutively-archived pages costs one Pagelog ReadAt
+// a run of consecutively-archived pages costs one device command
 // instead of one per page — the capture order is commit order, so the
-// pre-states of one burst of updates cluster. Fetched pages count as
-// PagelogReads as usual; the number of coalesced runs is reported in
-// Counters.ClusteredReads (a run of n pages would have been n seeks on
-// the paper's SSD, now it is one). Returns pages fetched and runs
-// issued.
+// pre-states of one burst of updates cluster. Runs are issued through
+// the device pool, so at queue depth K up to K of them are in service
+// concurrently (depth 1 reproduces the old strictly serial behaviour).
+//
+// Prefetched pages are installed as *warmed* cache entries: they do NOT
+// bill PagelogReads here — the first demand Get that touches one bills
+// the logical read then (and counts a PrefetchHit), so the per-read
+// accounting the paper's figures are built on is identical with
+// prefetching on or off. The physical transfer is accounted separately:
+// runs in Counters.ClusteredReads, pages in Counters.ClusteredPages.
+// Returns pages loaded and runs issued.
 func (r *SnapshotReader) Prefetch() (pages, runs int, err error) {
+	f, err := r.PrefetchAsync(0)
+	if err != nil {
+		return 0, 0, err
+	}
+	fetched, err := f.Wait()
+	r.Counters.ClusteredReads += f.Runs()
+	r.Counters.ClusteredPages += fetched
+	return fetched, f.Runs(), err
+}
+
+// PrefetchAsync is Prefetch issued asynchronously: it plans and submits
+// the clustered runs and returns immediately with a Fetch handle. At
+// most maxPages pages are fetched (0 = no cap). Unlike Prefetch, no
+// reader counters are billed — the caller attributes the returned
+// handle's Runs/pages itself (the reader may already be executing a
+// query on another goroutine's behalf).
+func (r *SnapshotReader) PrefetchAsync(maxPages int) (*Fetch, error) {
 	if r.closed {
-		return 0, 0, ErrReaderClosed
+		return nil, ErrReaderClosed
 	}
 	var offs []int64
 	seen := make(map[int64]bool)
@@ -526,38 +683,145 @@ func (r *SnapshotReader) Prefetch() (pages, runs int, err error) {
 			if !seen[off] && !r.sys.cache.contains(off) {
 				seen[off] = true
 				offs = append(offs, off)
+				if maxPages > 0 && len(offs) >= maxPages {
+					return r.startFetch(offs)
+				}
 			}
 		}
 	}
+	return r.startFetch(offs)
+}
+
+// FetchAsync asynchronously loads the pre-state of one page into the
+// snapshot cache (a no-op handle when the page is unmapped — shared
+// with the current database — or already cached).
+func (r *SnapshotReader) FetchAsync(id storage.PageID) (*Fetch, error) {
+	return r.FetchBatch([]storage.PageID{id}, 0)
+}
+
+// FetchBatch asynchronously loads the pre-states of the given pages
+// into the snapshot cache: pages the SPT does not map (shared with the
+// current database) and pages already cached are skipped, the remaining
+// Pagelog offsets are sorted and coalesced into clustered runs, and the
+// runs are submitted to the device pool. At most maxPages pages are
+// fetched (0 = no cap).
+//
+// The fetch is cancellable: when the reader was opened from a
+// SnapshotSet, the set's Close cancels outstanding commands and waits
+// for the fetch to drain before releasing the set. Loaded pages are
+// installed as warmed entries (see Prefetch) so logical accounting is
+// unchanged. The returned handle's Wait reports pages actually loaded.
+func (r *SnapshotReader) FetchBatch(ids []storage.PageID, maxPages int) (*Fetch, error) {
+	if r.closed {
+		return nil, ErrReaderClosed
+	}
+	var offs []int64
+	seen := make(map[int64]bool)
+	for _, id := range ids {
+		off, ok := r.spt.Lookup(id)
+		if !ok || seen[off] || r.sys.cache.contains(off) {
+			continue
+		}
+		seen[off] = true
+		offs = append(offs, off)
+		if maxPages > 0 && len(offs) >= maxPages {
+			break
+		}
+	}
+	return r.startFetch(offs)
+}
+
+// startFetch coalesces offs into clustered runs, registers the fetch
+// with the owning set and the system (so Close/Compact drain it), and
+// submits the runs to the device pool. The collector goroutine installs
+// completed runs as warmed cache entries; it never touches the reader's
+// Counters (the reader may be concurrently executing a query).
+func (r *SnapshotReader) startFetch(offs []int64) (*Fetch, error) {
 	if len(offs) == 0 {
-		return 0, 0, nil
+		return emptyFetch(), nil
 	}
 	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	type runSpec struct {
+		off int64
+		n   int
+	}
+	var runs []runSpec
 	for i := 0; i < len(offs); {
 		j := i + 1
 		for j < len(offs) && offs[j] == offs[j-1]+1 {
 			j++
 		}
-		data, err := r.sys.pl.readRun(offs[i], j-i)
-		if err != nil {
-			return pages, runs, err
-		}
-		if r.sys.sleepOnRd && r.sys.simLatency > 0 {
-			time.Sleep(r.sys.simLatency) // one device op per clustered run
-		}
-		for k, d := range data {
-			r.sys.cache.put(offs[i]+int64(k), d)
-		}
-		pages += j - i
-		runs++
+		runs = append(runs, runSpec{off: offs[i], n: j - i})
 		i = j
 	}
-	r.Counters.PagelogReads += pages
-	r.Counters.ClusteredReads += runs
-	r.sys.stats.PagelogReads.Add(uint64(pages))
-	r.sys.stats.ClusteredReads.Add(uint64(runs))
-	r.sys.stats.ClusteredPages.Add(uint64(pages))
-	return pages, runs, nil
+
+	var cancel <-chan struct{}
+	if ss := r.set; ss != nil {
+		ss.mu.Lock()
+		if ss.closed {
+			ss.mu.Unlock()
+			return nil, ErrReaderClosed
+		}
+		ss.fetchWG.Add(1)
+		ss.mu.Unlock()
+		cancel = ss.done
+	}
+	sys := r.sys
+	sys.mu.Lock()
+	if sys.closed {
+		sys.mu.Unlock()
+		if ss := r.set; ss != nil {
+			ss.fetchWG.Done()
+		}
+		return nil, ErrClosed
+	}
+	sys.fetchWG.Add(1)
+	sys.mu.Unlock()
+
+	f := &Fetch{pages: len(offs), runs: len(runs), done: make(chan struct{})}
+	set := r.set
+	go func() {
+		start := time.Now()
+		defer close(f.done)
+		defer sys.fetchWG.Done()
+		if set != nil {
+			defer set.fetchWG.Done()
+		}
+		type issued struct {
+			off  int64
+			n    int
+			done chan devResult
+		}
+		cmds := make([]issued, 0, len(runs))
+		for _, run := range runs {
+			done := make(chan devResult, 1)
+			if err := sys.dev.submit(&devReq{off: run.off, n: run.n, cancel: cancel, done: done}); err != nil {
+				f.err = err
+				break
+			}
+			cmds = append(cmds, issued{off: run.off, n: run.n, done: done})
+		}
+		for _, c := range cmds {
+			res := <-c.done
+			switch {
+			case res.canceled:
+				f.canceled = true
+			case res.err != nil:
+				if f.err == nil {
+					f.err = res.err
+				}
+			default:
+				for k, d := range res.pages {
+					sys.cache.putWarmed(c.off+int64(k), d)
+				}
+				f.fetched += c.n
+				sys.stats.ClusteredReads.Add(1)
+				sys.stats.ClusteredPages.Add(uint64(c.n))
+			}
+		}
+		f.dur = time.Since(start)
+	}()
+	return f, nil
 }
 
 // Close unpins the underlying MVCC read transaction (unless the reader

@@ -314,14 +314,16 @@ func TestCacheEviction(t *testing.T) {
 	c.put(2, mk(2))
 	c.get(1) // touch 1 so 2 is LRU
 	c.put(3, mk(3))
-	if c.get(2) != nil {
+	if p, _ := c.get(2); p != nil {
 		t.Error("LRU entry not evicted")
 	}
-	if c.get(1) == nil || c.get(3) == nil {
+	p1, _ := c.get(1)
+	p3, _ := c.get(3)
+	if p1 == nil || p3 == nil {
 		t.Error("hot entries evicted")
 	}
 	c.put(1, mk(9)) // overwrite in place
-	if c.get(1)[0] != 9 {
+	if p, _ := c.get(1); p[0] != 9 {
 		t.Error("overwrite failed")
 	}
 	c.reset()
@@ -331,7 +333,7 @@ func TestCacheEviction(t *testing.T) {
 	// Disabled cache accepts nothing.
 	d := newPageCache(-1)
 	d.put(1, mk(1))
-	if d.get(1) != nil {
+	if p, _ := d.get(1); p != nil {
 		t.Error("disabled cache stored a page")
 	}
 }

@@ -22,6 +22,15 @@ type Stats struct {
 	// Per-member delta page sets (OpenSnapshotSet, read-set pruning).
 	DeltaBuilds atomic.Uint64 // batch builds that retained delta sets
 	DeltaPages  atomic.Uint64 // delta pages retained across those builds
+
+	// Device model (device.go): physical command-level view of the
+	// Pagelog. DeviceReads counts commands serviced (a clustered run is
+	// one command); OverlappedReads counts commands that were in service
+	// concurrently with at least one other; DeviceBusyNS accumulates
+	// per-command service time in nanoseconds.
+	DeviceReads     atomic.Uint64
+	OverlappedReads atomic.Uint64
+	DeviceBusyNS    atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -41,6 +50,11 @@ type StatsSnapshot struct {
 
 	DeltaBuilds uint64
 	DeltaPages  uint64
+
+	DeviceReads      uint64
+	OverlappedReads  uint64
+	DeviceBusyNS     uint64
+	DeviceQueueDepth uint64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -57,5 +71,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		ClusteredPages:  s.ClusteredPages.Load(),
 		DeltaBuilds:     s.DeltaBuilds.Load(),
 		DeltaPages:      s.DeltaPages.Load(),
+		DeviceReads:     s.DeviceReads.Load(),
+		OverlappedReads: s.OverlappedReads.Load(),
+		DeviceBusyNS:    s.DeviceBusyNS.Load(),
 	}
 }

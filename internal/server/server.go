@@ -235,6 +235,10 @@ func (s *Server) Stats() wire.ServerStats {
 	out.ClusteredPages = rs.ClusteredPages
 	out.DeltaBuilds = rs.DeltaBuilds
 	out.DeltaPages = rs.DeltaPages
+	out.DeviceReads = rs.DeviceReads
+	out.OverlappedReads = rs.OverlappedReads
+	out.DeviceBusyNS = rs.DeviceBusyNS
+	out.DeviceQueueDepth = rs.DeviceQueueDepth
 	return out
 }
 

@@ -263,6 +263,8 @@ func (ss *session) handleExec(payload []byte) error {
 		DBReads:        st.DBReads,
 		RowsReturned:   st.RowsReturned,
 		ClusteredReads: st.ClusteredReads,
+		ClusteredPages: st.ClusteredPages,
+		PrefetchHits:   st.PrefetchHits,
 	})
 	e.Uvarint(ss.conn.LastSnapshot())
 	e.Bool(ss.conn.InTx())
@@ -372,6 +374,10 @@ func runToWire(r *rql.RunStats) wire.RunStats {
 		PrunedRowsReplayed: r.PrunedRowsReplayed,
 		DeltaIntersections: r.DeltaIntersections,
 		PruneReason:        r.PruneReason,
+
+		PipelinedPrefetches: r.PipelinedPrefetches,
+		PrefetchHits:        r.PrefetchHits,
+		PrefetchWasted:      r.PrefetchWasted,
 	}
 	for i, it := range r.Iterations {
 		out.Iterations[i] = wire.IterationCost{
@@ -392,6 +398,9 @@ func runToWire(r *rql.RunStats) wire.RunStats {
 			ClusteredReads: it.ClusteredReads,
 			Pruned:         it.Pruned,
 			DeltaPages:     it.DeltaPages,
+			ClusteredPages: it.ClusteredPages,
+			PrefetchHits:   it.PrefetchHits,
+			OverlapTime:    it.OverlapTime,
 		}
 	}
 	return out

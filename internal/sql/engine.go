@@ -133,10 +133,12 @@ type ExecStats struct {
 	SPTBuildTime   time.Duration // snapshot page table construction
 	AutoIndex      time.Duration // transient covering indexes for joins
 	MapScanned     int           // Maplog entries scanned for the SPT
-	PagelogReads   int           // snapshot pages fetched from the Pagelog
+	PagelogReads   int           // logical snapshot pages fetched from the Pagelog
 	CacheHits      int           // snapshot pages served from the cache
 	DBReads        int           // snapshot pages shared with the current DB
 	ClusteredReads int           // coalesced Pagelog read runs (prefetch)
+	ClusteredPages int           // pages loaded by those runs
+	PrefetchHits   int           // logical reads satisfied early by a warmed page
 	RowsReturned   int
 }
 
@@ -389,6 +391,8 @@ func (ec *execCtx) close() {
 		ec.stats.CacheHits += ec.snapReader.Counters.CacheHits
 		ec.stats.DBReads += ec.snapReader.Counters.DBReads
 		ec.stats.ClusteredReads += ec.snapReader.Counters.ClusteredReads
+		ec.stats.ClusteredPages += ec.snapReader.Counters.ClusteredPages
+		ec.stats.PrefetchHits += ec.snapReader.Counters.PrefetchHits
 	}
 	if ec.readSet != nil {
 		ec.conn.lastReadSet = ec.readSet

@@ -27,7 +27,8 @@ import (
 )
 
 // ProtocolVersion is bumped on incompatible frame-format changes.
-const ProtocolVersion = 1
+// v2 added the pipelined-I/O and device-model statistics fields.
+const ProtocolVersion = 2
 
 // Magic opens the client hello.
 const Magic = "RQL1"
@@ -267,6 +268,8 @@ type ExecStats struct {
 	DBReads        int
 	RowsReturned   int
 	ClusteredReads int
+	ClusteredPages int
+	PrefetchHits   int
 }
 
 // EncodeExecStats appends an ExecStats body.
@@ -280,6 +283,8 @@ func EncodeExecStats(e *Enc, s ExecStats) {
 	e.Uvarint(uint64(s.DBReads))
 	e.Uvarint(uint64(s.RowsReturned))
 	e.Uvarint(uint64(s.ClusteredReads))
+	e.Uvarint(uint64(s.ClusteredPages))
+	e.Uvarint(uint64(s.PrefetchHits))
 }
 
 // DecodeExecStats reads an ExecStats body.
@@ -294,6 +299,8 @@ func DecodeExecStats(d *Dec) ExecStats {
 		DBReads:        int(d.Uvarint()),
 		RowsReturned:   int(d.Uvarint()),
 		ClusteredReads: int(d.Uvarint()),
+		ClusteredPages: int(d.Uvarint()),
+		PrefetchHits:   int(d.Uvarint()),
 	}
 }
 
@@ -316,6 +323,9 @@ type IterationCost struct {
 	ClusteredReads int
 	Pruned         bool
 	DeltaPages     int
+	ClusteredPages int
+	PrefetchHits   int
+	OverlapTime    time.Duration
 }
 
 // RunStats mirrors core.RunStats on the wire.
@@ -334,6 +344,11 @@ type RunStats struct {
 	PrunedRowsReplayed int
 	DeltaIntersections int
 	PruneReason        string
+
+	// Pipelined I/O outcome.
+	PipelinedPrefetches int
+	PrefetchHits        int
+	PrefetchWasted      int
 }
 
 // EncodeRunStats appends a RunStats body.
@@ -361,6 +376,9 @@ func EncodeRunStats(e *Enc, r RunStats) {
 		e.Uvarint(uint64(it.ClusteredReads))
 		e.Bool(it.Pruned)
 		e.Uvarint(uint64(it.DeltaPages))
+		e.Uvarint(uint64(it.ClusteredPages))
+		e.Uvarint(uint64(it.PrefetchHits))
+		e.Duration(it.OverlapTime)
 	}
 	e.Uvarint(uint64(r.BatchBuilds))
 	e.Uvarint(uint64(r.BatchMapScanned))
@@ -369,6 +387,9 @@ func EncodeRunStats(e *Enc, r RunStats) {
 	e.Uvarint(uint64(r.PrunedRowsReplayed))
 	e.Uvarint(uint64(r.DeltaIntersections))
 	e.String(r.PruneReason)
+	e.Uvarint(uint64(r.PipelinedPrefetches))
+	e.Uvarint(uint64(r.PrefetchHits))
+	e.Uvarint(uint64(r.PrefetchWasted))
 }
 
 // DecodeRunStats reads a RunStats body.
@@ -403,6 +424,9 @@ func DecodeRunStats(d *Dec) RunStats {
 			ClusteredReads: int(d.Uvarint()),
 			Pruned:         d.Bool(),
 			DeltaPages:     int(d.Uvarint()),
+			ClusteredPages: int(d.Uvarint()),
+			PrefetchHits:   int(d.Uvarint()),
+			OverlapTime:    d.Duration(),
 		})
 	}
 	r.BatchBuilds = int(d.Uvarint())
@@ -412,6 +436,9 @@ func DecodeRunStats(d *Dec) RunStats {
 	r.PrunedRowsReplayed = int(d.Uvarint())
 	r.DeltaIntersections = int(d.Uvarint())
 	r.PruneReason = d.String()
+	r.PipelinedPrefetches = int(d.Uvarint())
+	r.PrefetchHits = int(d.Uvarint())
+	r.PrefetchWasted = int(d.Uvarint())
 	return r
 }
 
@@ -501,6 +528,12 @@ type ServerStats struct {
 	// Delta-set retention counters.
 	DeltaBuilds uint64
 	DeltaPages  uint64
+
+	// Device-model counters.
+	DeviceReads      uint64
+	OverlappedReads  uint64
+	DeviceBusyNS     uint64
+	DeviceQueueDepth uint64
 }
 
 // EncodeServerStats appends a ServerStats body.
@@ -531,6 +564,10 @@ func EncodeServerStats(e *Enc, s ServerStats) {
 	e.Uvarint(s.ClusteredPages)
 	e.Uvarint(s.DeltaBuilds)
 	e.Uvarint(s.DeltaPages)
+	e.Uvarint(s.DeviceReads)
+	e.Uvarint(s.OverlappedReads)
+	e.Uvarint(s.DeviceBusyNS)
+	e.Uvarint(s.DeviceQueueDepth)
 }
 
 // DecodeServerStats reads a ServerStats body.
@@ -565,6 +602,10 @@ func DecodeServerStats(d *Dec) ServerStats {
 	s.ClusteredPages = d.Uvarint()
 	s.DeltaBuilds = d.Uvarint()
 	s.DeltaPages = d.Uvarint()
+	s.DeviceReads = d.Uvarint()
+	s.OverlappedReads = d.Uvarint()
+	s.DeviceBusyNS = d.Uvarint()
+	s.DeviceQueueDepth = d.Uvarint()
 	return s
 }
 

@@ -116,6 +116,14 @@ type Options struct {
 	// SimulatedReadLatency models the cost of one Pagelog read that
 	// misses the snapshot cache; see retro.DefaultReadLatency.
 	SimulatedReadLatency time.Duration
+	// SleepOnRead makes cache-missing Pagelog reads actually sleep for
+	// SimulatedReadLatency, turning modeled I/O time into wall time.
+	SleepOnRead bool
+	// DeviceQueueDepth is the number of device workers servicing
+	// Pagelog reads concurrently (default 8); 1 is the strictly serial
+	// device of the paper-replication mode. Logical counters are
+	// identical at every depth.
+	DeviceQueueDepth int
 	// SkipFactor is the Skippy skip-merge fanout (default 4).
 	SkipFactor int
 }
@@ -133,6 +141,8 @@ func Open(opts Options) (*DB, error) {
 		PagelogPath:          opts.PagelogPath,
 		CachePages:           opts.CachePages,
 		SimulatedReadLatency: opts.SimulatedReadLatency,
+		SleepOnRead:          opts.SleepOnRead,
+		DeviceQueueDepth:     opts.DeviceQueueDepth,
 		SkipFactor:           opts.SkipFactor,
 	}})
 	if err != nil {
@@ -158,9 +168,19 @@ func (db *DB) LastRun() *RunStats { return db.rql.LastRun() }
 func (db *DB) SetBatchSPT(on bool) { db.rql.SetBatchSPT(on) }
 
 // SetPrefetch enables clustered Pagelog prefetching on batch reader
-// sets (off by default; it changes the PagelogReads accounting the
-// paper's figures are built on).
+// sets (off by default). Prefetched pages are billed lazily on first
+// demand touch, so PagelogReads is unchanged by the toggle and it is
+// safe to turn on outside paper-replication mode; the read-ahead
+// pipeline (SetPipelinedIO, on by default) usually supersedes it.
 func (db *DB) SetPrefetch(on bool) { db.rql.SetPrefetch(on) }
+
+// SetPipelinedIO enables or disables cross-iteration read-ahead for
+// the Go-level mechanism API (on by default): while one loop-body
+// iteration evaluates, the next iteration's likely pages are fetched
+// through the asynchronous device pool, overlapping device time with
+// evaluation. Results and logical counters are identical either way;
+// only wall time changes.
+func (db *DB) SetPipelinedIO(on bool) { db.rql.SetPipelinedIO(on) }
 
 // SetDeltaPrune enables or disables delta pruning for the Go-level
 // mechanism API (on by default): when on, a batch-mode mechanism run
