@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt bench bench-smoke bench-compare microbench
+.PHONY: all check build vet test race fmt trace-check bench bench-smoke bench-compare microbench
 
 all: check
 
-# check is the tier-1 gate: build, vet, race-enabled tests, and gofmt
-# as a failing check.
-check: build vet race fmt
+# check is the tier-1 gate: build, vet, race-enabled tests, gofmt as a
+# failing check, and the tracing-overhead budget.
+check: build vet race fmt trace-check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,11 @@ fmt:
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# trace-check measures enabled-tracing overhead on a sleep-dominated
+# smoke workload and fails when it exceeds the 5% budget.
+trace-check:
+	$(GO) run ./cmd/rqlbench -quick -trace-check
 
 # bench appends a machine-readable batch-SPT run to BENCH_rql.json:
 # wall time, Maplog entries scanned, cache hit rates, and delta-pruning

@@ -34,6 +34,12 @@ type RemoteError = wire.RemoteError
 // ServerStats is the server's STATS reply.
 type ServerStats = wire.ServerStats
 
+// Span is one recorded trace span as reported by the server.
+type Span = wire.Span
+
+// SlowEntry is one slow-query log entry as reported by the server.
+type SlowEntry = wire.SlowEntry
+
 // ErrConnClosed is returned after Close or a fatal protocol failure.
 var ErrConnClosed = errors.New("client: connection closed")
 
@@ -52,6 +58,7 @@ type Conn struct {
 	fatal        error // sticky: protocol or I/O failure
 	lastStats    rql.ExecStats
 	lastSnapshot uint64
+	lastTrace    uint64
 	inTx         bool
 }
 
@@ -219,6 +226,7 @@ func (c *Conn) exec(sqlText string, asOf uint64, cb rql.RowCallback, params []rq
 			st := wire.DecodeExecStats(d)
 			c.lastSnapshot = d.Uvarint()
 			c.inTx = d.Bool()
+			c.lastTrace = d.Uvarint()
 			if d.Err() != nil {
 				return true, c.fail(d.Err())
 			}
@@ -505,6 +513,94 @@ func (c *Conn) Ping() error {
 			return true, c.unexpected(op)
 		}
 	})
+}
+
+// pongRequest round-trips a request whose only success reply is RespPong.
+func (c *Conn) pongRequest(reqOp byte, payload []byte) error {
+	return c.request(reqOp, payload, func(op byte, p []byte) (bool, error) {
+		switch op {
+		case wire.RespPong:
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(p)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+}
+
+// SetTracing toggles the server's process-wide span recorder.
+func (c *Conn) SetTracing(on bool) error {
+	e := &wire.Enc{}
+	if on {
+		e.Byte(wire.TraceOn)
+	} else {
+		e.Byte(wire.TraceOff)
+	}
+	e.Uvarint(0)
+	return c.pongRequest(wire.ReqTrace, e.B)
+}
+
+// LastTrace returns the trace ID of the most recent statement on this
+// connection (0 when the statement was not traced). Pass it to
+// TraceSpans to fetch that statement's span tree.
+func (c *Conn) LastTrace() uint64 { return c.lastTrace }
+
+// TraceSpans fetches recorded spans from the server: one trace by ID,
+// or the server's whole span ring for id 0.
+func (c *Conn) TraceSpans(id uint64) ([]Span, error) {
+	e := &wire.Enc{}
+	e.Byte(wire.TraceFetch)
+	e.Uvarint(id)
+	var spans []Span
+	err := c.request(wire.ReqTrace, e.B, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespTrace:
+			d := &wire.Dec{B: payload}
+			spans = wire.DecodeSpans(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return spans, err
+}
+
+// SlowQueries fetches the server's slow-query log along with the active
+// threshold (0 = the log is disabled).
+func (c *Conn) SlowQueries() (time.Duration, []SlowEntry, error) {
+	var (
+		threshold time.Duration
+		entries   []SlowEntry
+	)
+	err := c.request(wire.ReqSlow, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespSlow:
+			d := &wire.Dec{B: payload}
+			threshold, entries = wire.DecodeSlowEntries(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return threshold, entries, err
+}
+
+// ResetStats zeroes the server's cumulative counters: the server's own
+// request counters and latency histogram, plus the storage and
+// snapshot-system counters and the last mechanism-run statistics.
+func (c *Conn) ResetStats() error {
+	return c.pongRequest(wire.ReqReset, nil)
 }
 
 // runFromWire converts wire run statistics into the public form.

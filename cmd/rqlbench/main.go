@@ -9,6 +9,8 @@
 //	rqlbench -all                  # run everything (paper order)
 //	rqlbench -all -sf 0.02         # larger scale factor
 //	rqlbench -all -quick           # fast, shrunken sweeps
+//	rqlbench -exp fig6 -trace-out=run.json   # record spans for Perfetto
+//	rqlbench -quick -trace-check   # fail if enabled tracing costs > 5%
 //
 // Absolute numbers are not comparable to the paper's testbed (see
 // EXPERIMENTS.md); the shapes are.
@@ -21,19 +23,22 @@ import (
 	"time"
 
 	"rql/internal/bench"
+	"rql/internal/obs"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		exp     = flag.String("exp", "", "run a single experiment by name (e.g. fig6)")
-		all     = flag.Bool("all", false, "run every experiment")
-		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = 1.5M orders)")
-		quick   = flag.Bool("quick", false, "shrink sweeps for a fast pass")
-		latency = flag.Duration("latency", 0, "modeled per-Pagelog-read latency (default 100µs)")
-		seed    = flag.Int64("seed", 0, "data generation seed")
-		bjson   = flag.String("benchjson", "", "run the batch experiment and append its machine-readable report to the runs file at this path")
-		compare = flag.String("compare", "", "diff the two newest runs in the runs file at this path and exit")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		exp        = flag.String("exp", "", "run a single experiment by name (e.g. fig6)")
+		all        = flag.Bool("all", false, "run every experiment")
+		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = 1.5M orders)")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast pass")
+		latency    = flag.Duration("latency", 0, "modeled per-Pagelog-read latency (default 100µs)")
+		seed       = flag.Int64("seed", 0, "data generation seed")
+		bjson      = flag.String("benchjson", "", "run the batch experiment and append its machine-readable report to the runs file at this path")
+		compare    = flag.String("compare", "", "diff the two newest runs in the runs file at this path and exit")
+		traceOut   = flag.String("trace-out", "", "record spans during the run and write them as Chrome trace-event JSON to this file")
+		traceCheck = flag.Bool("trace-check", false, "measure enabled-tracing overhead on the smoke workload and fail above the budget")
 	)
 	flag.Parse()
 
@@ -57,8 +62,18 @@ func main() {
 	r := bench.NewRunner(cfg, os.Stdout)
 	defer r.Close()
 
+	if *traceOut != "" {
+		obs.SetTracing(true)
+		defer writeTrace(*traceOut)
+	}
+
 	start := time.Now()
 	switch {
+	case *traceCheck:
+		if err := r.TracingCheck(); err != nil {
+			fmt.Fprintln(os.Stderr, "rqlbench:", err)
+			os.Exit(1)
+		}
 	case *bjson != "":
 		rep, err := r.BatchReport()
 		if err != nil {
@@ -97,4 +112,20 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n[%s total]\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTrace dumps the recorder ring as Chrome trace-event JSON
+// (chrome://tracing, https://ui.perfetto.dev).
+func writeTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rqlbench: trace-out:", err)
+		return
+	}
+	defer f.Close()
+	if err := obs.WriteTraceEvents(f, obs.Spans()); err != nil {
+		fmt.Fprintln(os.Stderr, "rqlbench: trace-out:", err)
+		return
+	}
+	fmt.Printf("wrote trace to %s\n", path)
 }

@@ -6,6 +6,12 @@
 //
 //	rqld -addr localhost:7427 -pagelog /tmp/pagelog.bin
 //
+// With -debug-addr an HTTP listener exposes /metrics (plain-text
+// counters and the request-latency histogram), /traces (the span
+// recorder's ring as Chrome trace-event JSON, Perfetto-loadable),
+// /slow (the slow-query log) and net/http/pprof; -trace starts with
+// the span recorder on, and -slow-threshold arms the slow-query log.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, drains in-flight queries, then closes the database.
 package main
@@ -32,8 +38,14 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle longer than this")
 		drain       = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
+		debugAddr   = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /traces, /slow, pprof); empty disables")
+		trace       = flag.Bool("trace", false, "start with the span recorder enabled")
+		slowThresh  = flag.Duration("slow-threshold", 0, "log queries slower than this (0 disables the slow-query log)")
 	)
 	flag.Parse()
+
+	rql.SetTracing(*trace)
+	rql.SetSlowQueryThreshold(*slowThresh)
 
 	db, err := rql.Open(rql.Options{
 		PagelogPath:          *pagelog,
@@ -65,6 +77,15 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
+
+	if *debugAddr != "" {
+		go func() {
+			fmt.Printf("rqld: debug endpoint on http://%s (/metrics /traces /slow /debug/pprof)\n", *debugAddr)
+			if err := srv.ServeDebug(*debugAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "rqld: debug listener:", err)
+			}
+		}()
+	}
 
 	// Give the listener a moment to bind so the banner shows the
 	// resolved address (":0" picks a port).

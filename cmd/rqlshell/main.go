@@ -15,7 +15,11 @@
 //	.snapshots            list declared snapshots (SnapIds)
 //	.snapshot [label]     declare a snapshot of the current state
 //	.stats                show last-statement and snapshot-system stats
+//	.stats reset          zero the cumulative counters
 //	.mech                 show the last RQL mechanism run's breakdown
+//	.trace on|off         toggle the span recorder
+//	.trace last           render the last statement's span tree
+//	.slow [dur|off]       show the slow-query log (set threshold locally)
 //	.quit                 exit
 package main
 
@@ -29,6 +33,7 @@ import (
 
 	"rql"
 	"rql/client"
+	"rql/internal/obs"
 )
 
 // backend is the part of the rql.Conn API the shell needs; rql.Conn and
@@ -37,6 +42,7 @@ import (
 type backend interface {
 	Exec(sqlText string, cb rql.RowCallback, params ...rql.Value) error
 	LastStats() rql.ExecStats
+	LastTrace() uint64
 	DeclareSnapshot(label string) (uint64, error)
 	EnsureSnapIds() error
 	Objects() ([]rql.ObjectInfo, error)
@@ -177,7 +183,8 @@ func dotCommand(env *shellEnv, cmd string) bool {
   SELECT AggregateDataInVariable(snap_id, 'Qq', 'T', 'min') FROM SnapIds;
   SELECT AggregateDataInTable(snap_id, 'Qq', 'T', '(c,max)') FROM SnapIds;
   SELECT CollateDataIntoIntervals(snap_id, 'Qq', 'T') FROM SnapIds;
-Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
+Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .mech
+              .trace on|off|last  .slow [dur|off]  .quit`)
 	case ".tables":
 		objs, err := conn.Objects()
 		if err != nil {
@@ -209,6 +216,19 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 			fmt.Printf("declared snapshot %d\n", id)
 		}
 	case ".stats":
+		if len(fields) > 1 && fields[1] == "reset" {
+			switch {
+			case env.db != nil:
+				env.db.ResetStats()
+			case env.remote != nil:
+				if err := env.remote.ResetStats(); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+			}
+			fmt.Println("counters reset")
+			break
+		}
 		st := conn.LastStats()
 		fmt.Printf("last statement: duration=%v rows=%d pagelog_reads=%d cache_hits=%d db_reads=%d prefetch_hits=%d spt=%v auto_index=%v\n",
 			st.Duration, st.RowsReturned, st.PagelogReads, st.CacheHits, st.DBReads, st.PrefetchHits, st.SPTBuildTime, st.AutoIndex)
@@ -280,18 +300,137 @@ Dot commands: .tables .snapshots .snapshot [label] .stats .mech .quit`)
 			fmt.Printf("  snap %-4d io=%-10v spt=%-10v idx=%-10v eval=%-10v udf=%-10v rows=%d%s\n",
 				it.Snapshot, it.IOTime, it.SPTBuild, it.IndexCreation, it.QueryEval, it.UDF, it.QqRows, mark)
 		}
+	case ".trace":
+		if len(fields) < 2 {
+			fmt.Println("usage: .trace on|off|last")
+			break
+		}
+		switch fields[1] {
+		case "on", "off":
+			on := fields[1] == "on"
+			if env.remote != nil {
+				if err := env.remote.SetTracing(on); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+			} else {
+				rql.SetTracing(on)
+			}
+			fmt.Printf("tracing %s\n", fields[1])
+		case "last":
+			id := conn.LastTrace()
+			if id == 0 {
+				fmt.Println("no traced statement yet (.trace on, then run SQL)")
+				break
+			}
+			var spans []obs.Span
+			if env.remote != nil {
+				ws, err := env.remote.TraceSpans(id)
+				if err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+				spans = spansFromWire(ws)
+			} else {
+				spans = obs.TraceSpans(id)
+			}
+			if len(spans) == 0 {
+				fmt.Printf("trace %d has no recorded spans (ring wrapped?)\n", id)
+				break
+			}
+			fmt.Printf("trace %d:\n%s", id, obs.FormatTree(spans))
+		default:
+			fmt.Println("usage: .trace on|off|last")
+		}
+	case ".slow":
+		if len(fields) > 1 {
+			if env.remote != nil {
+				fmt.Println("the remote threshold is set by rqld's -slow-threshold flag")
+				break
+			}
+			var th time.Duration
+			if fields[1] != "off" {
+				var err error
+				th, err = time.ParseDuration(fields[1])
+				if err != nil {
+					fmt.Println("usage: .slow [duration|off] — e.g. .slow 50ms")
+					break
+				}
+			}
+			rql.SetSlowQueryThreshold(th)
+			if th == 0 {
+				fmt.Println("slow-query log off")
+			} else {
+				fmt.Printf("logging statements slower than %v\n", th)
+			}
+			break
+		}
+		var (
+			th      time.Duration
+			entries []obs.SlowEntry
+		)
+		if env.remote != nil {
+			wt, ws, err := env.remote.SlowQueries()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			th = wt
+			for _, e := range ws {
+				entries = append(entries, obs.SlowEntry{
+					SQL: e.SQL, Duration: e.Duration, Trace: e.Trace,
+					When: e.When, Rows: e.Rows,
+				})
+			}
+		} else {
+			th = obs.SlowThreshold()
+			entries = obs.SlowEntries()
+		}
+		if th == 0 {
+			fmt.Println("slow-query log disabled (.slow <duration> to arm it)")
+			break
+		}
+		fmt.Printf("threshold %v, %d entries\n", th, len(entries))
+		for _, e := range entries {
+			fmt.Printf("  %s  %10v  rows=%-6d trace=%d  %s\n",
+				e.When.Format("15:04:05.000"), e.Duration, e.Rows, e.Trace, e.SQL)
+		}
 	default:
 		fmt.Println("unknown command; try .help")
 	}
 	return true
 }
 
+// spansFromWire converts server-reported spans for the local renderer.
+func spansFromWire(ws []client.Span) []obs.Span {
+	out := make([]obs.Span, len(ws))
+	for i, w := range ws {
+		s := obs.Span{
+			Trace: w.Trace, ID: w.ID, Parent: w.Parent,
+			Name: w.Name, Start: w.Start, Duration: w.Duration,
+		}
+		for _, a := range w.Attrs {
+			s.Attrs = append(s.Attrs, obs.Attr{Key: a.Key, Str: a.Str, Int: a.Int, IsStr: a.IsStr})
+		}
+		out[i] = s
+	}
+	return out
+}
+
 func printServerStats(ss client.ServerStats) {
 	fmt.Printf("server: %d conns accepted (%d active), %d queries, %d rows streamed, %d errors\n",
 		ss.ConnsAccepted, ss.ConnsActive, ss.QueriesServed, ss.RowsStreamed, ss.Errors)
-	fmt.Printf("latency: <=100µs:%d <=1ms:%d <=10ms:%d <=100ms:%d <=1s:%d <=10s:%d >10s:%d\n",
-		ss.LatencyBuckets[0], ss.LatencyBuckets[1], ss.LatencyBuckets[2],
-		ss.LatencyBuckets[3], ss.LatencyBuckets[4], ss.LatencyBuckets[5], ss.LatencyBuckets[6])
+	// Render against the bounds the server reported, not a compiled-in
+	// copy: a server with different bucketing still prints correctly.
+	var hist strings.Builder
+	for i, c := range ss.LatencyBuckets {
+		if i < len(ss.LatencyBounds) {
+			fmt.Fprintf(&hist, " <=%v:%d", ss.LatencyBounds[i], c)
+		} else {
+			fmt.Fprintf(&hist, " +Inf:%d", c)
+		}
+	}
+	fmt.Printf("latency:%s\n", hist.String())
 	fmt.Printf("storage: %d commits, %d pages written, %d db reads\n",
 		ss.Commits, ss.PagesWritten, ss.DBReads)
 	fmt.Printf("retro: %d snapshots, pagelog %d pages (%d writes, %d reads), %d cache hits (%d cached), %d SPT builds\n",

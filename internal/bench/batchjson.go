@@ -80,6 +80,8 @@ type BatchReport struct {
 	// The pipelined-I/O experiment (absent in pre-pipeline runs).
 	QueueDepth int              `json:"device_queue_depth,omitempty"`
 	Pipeline   []PipelineResult `json:"pipeline,omitempty"`
+	// The tracing-overhead smoke measurement (absent in pre-obs runs).
+	Tracing *TracingResult `json:"tracing,omitempty"`
 }
 
 // batchWorkers is the parallel worker count used by the experiment.
@@ -301,6 +303,11 @@ func (r *Runner) BatchReport() (*BatchReport, error) {
 	if err := r.pipelineBatch(rep, reps); err != nil {
 		return nil, err
 	}
+	tr, err := r.tracingOverhead(reps)
+	if err != nil {
+		return nil, err
+	}
+	rep.Tracing = tr
 	return rep, nil
 }
 
@@ -470,5 +477,12 @@ func (r *Runner) Batch() error {
 			time.Duration(res.Pipelined.OverlapNS))
 	}
 	ptab.Fprint(r.Out)
+
+	if tr := rep.Tracing; tr != nil {
+		fmt.Fprintf(r.Out,
+			"\ntracing overhead (%s, %d snapshots, sleeping device): disabled %s, enabled %s (%d spans) → %+.2f%%\n",
+			tr.Mechanism, tr.Snapshots, tr.Disabled.Wall, tr.Enabled.Wall,
+			tr.Enabled.Spans, tr.OverheadPct)
+	}
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/record"
 	"rql/internal/sql"
 )
@@ -78,6 +79,10 @@ func (r *RQL) setLastRun(rs *RunStats) {
 	defer r.mu.Unlock()
 	r.lastRun = rs
 }
+
+// ResetLastRun clears the last-run statistics (part of the stats-reset
+// surface; the next mechanism run repopulates it).
+func (r *RQL) ResetLastRun() { r.setLastRun(nil) }
 
 // SetBatchSPT enables or disables batch SPT construction for the
 // Go-level mechanism API (on by default): when on, a run collects the
@@ -165,6 +170,19 @@ func (r *RQL) openReaderSet(conn *sql.Conn, snaps []uint64) (*sql.ReaderSet, err
 	}
 	set.SetPrefetch(prefetch)
 	return set, nil
+}
+
+// recordBatchBuild surfaces the reader set's one-sweep SPT build as a
+// retroactive span under the run span (the sweep just finished, so its
+// start is approximated back from its measured duration).
+func recordBatchBuild(sp *obs.Span, set *sql.ReaderSet) {
+	if set == nil || sp == nil {
+		return
+	}
+	bt := set.BuildTime()
+	obs.Record(sp, "retro.spt_batch_build", time.Now().Add(-bt), bt,
+		obs.Attr{Key: "members", Int: int64(len(set.Snapshots()))},
+		obs.Attr{Key: "map_scanned", Int: int64(set.Scanned())})
 }
 
 // billBatch records the reader set's one-sweep build on the run: as
@@ -296,6 +314,15 @@ func (r *RQL) run(conn *sql.Conn, kind mechKind, qs string, args []record.Value)
 	if err := st.init(conn, args); err != nil {
 		return nil, err
 	}
+	// Root (or request-child) span covering the whole mechanism run.
+	if rsp := obs.StartSpan(conn.CurrentSpan(), "rql."+kind.String()); rsp != nil {
+		saved := conn.TraceSpan()
+		conn.SetTraceSpan(rsp)
+		defer func() {
+			conn.SetTraceSpan(saved)
+			rsp.SetInt("iterations", int64(len(st.run.Iterations))).End()
+		}()
+	}
 	var snaps []uint64
 	err := conn.Exec(qs, func(cols []string, row []record.Value) error {
 		if len(row) != 1 {
@@ -313,6 +340,7 @@ func (r *RQL) run(conn *sql.Conn, kind mechKind, qs string, args []record.Value)
 		if set != nil {
 			defer set.Close()
 			st.set = set
+			recordBatchBuild(conn.TraceSpan(), set)
 		}
 		if err == nil {
 			st.setupPrune(conn, st.run)

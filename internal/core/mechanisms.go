@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/record"
 	"rql/internal/sql"
 )
@@ -145,6 +146,26 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	st.finalConn = conn
 	cost := IterationCost{Snapshot: snap}
 
+	// One span per loop-body iteration, wrapping the IterationCost
+	// breakdown this function assembles: statements executed inside the
+	// iteration (the Qq binding, the result-table writes) parent under
+	// it through the connection's ambient span.
+	if isp := obs.StartSpan(conn.CurrentSpan(), "rql.iteration"); isp != nil {
+		isp.SetInt("snapshot", int64(snap))
+		saved := conn.TraceSpan()
+		conn.SetTraceSpan(isp)
+		defer func() {
+			conn.SetTraceSpan(saved)
+			isp.SetInt("pagelog_reads", int64(cost.PagelogReads)).
+				SetInt("cache_hits", int64(cost.CacheHits)).
+				SetInt("qq_rows", int64(cost.QqRows))
+			if cost.Pruned {
+				isp.SetInt("pruned", 1)
+			}
+			isp.End()
+		}()
+	}
+
 	if !st.created {
 		if err := st.createResultTable(conn, snap); err != nil {
 			return err
@@ -165,7 +186,7 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	// member's likely pages so its fetches overlap this evaluation.
 	if st.pipeOn {
 		st.pipe.await(snap, &cost)
-		st.pipe.launch(st.set, st.next)
+		st.pipe.launch(st.set, st.next, conn.CurrentSpan())
 	}
 
 	// Delta-prune check: when no page of the last executed iteration's

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/record"
 	"rql/internal/sql"
 )
@@ -101,6 +102,19 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 	}
 	conn := r.db.Conn()
 
+	// Root span for the fan-out; worker iteration spans attach to it
+	// directly (Child only reads the parent's immutable IDs, so handing
+	// rsp to every worker goroutine is race-free).
+	rsp := obs.StartSpan(nil, "rql."+kind.String()+".parallel")
+	if rsp != nil {
+		rsp.SetInt("workers", int64(workers))
+		conn.SetTraceSpan(rsp)
+		defer func() {
+			conn.SetTraceSpan(nil)
+			rsp.End()
+		}()
+	}
+
 	// Template state: parses/validates arguments once.
 	tmpl := &mechState{kind: kind, rql: r}
 	args := []record.Value{record.Null(), record.Text(qq), record.Text(table)}
@@ -138,6 +152,7 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 	if set != nil {
 		defer set.Close()
 		tmpl.set = set
+		recordBatchBuild(rsp, set)
 	}
 	// Pruning decision is made once on the template; each worker keeps
 	// its own cache and prunes within its contiguous range. Likewise the
@@ -204,7 +219,7 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 		wg.Add(1)
 		go func(idx int, chunk []uint64) {
 			defer wg.Done()
-			results[idx] = r.runChunk(tmpl, idx, chunk, rowCh)
+			results[idx] = r.runChunk(tmpl, idx, chunk, rowCh, rsp)
 		}(i, chunks[i])
 	}
 	wg.Wait()
@@ -266,8 +281,11 @@ func (r *RQL) parallelRun(kind mechKind, qs, qq, table, extra string, workers in
 }
 
 // runChunk executes Qq over one contiguous chunk of snapshots with a
-// dedicated connection, producing the chunk's partial result.
-func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []record.Value) *chunkResult {
+// dedicated connection, producing the chunk's partial result. rsp,
+// when non-nil, parents the chunk's iteration spans (concurrent
+// emission from every worker is safe: spans are single-owner and the
+// recorder ring is the only shared sink).
+func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []record.Value, rsp *obs.Span) *chunkResult {
 	res := &chunkResult{idx: idx, val: record.Null()}
 	if tmpl.kind == mechAggTable {
 		res.groups = make(map[string]*partialGroup)
@@ -293,10 +311,28 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		cost := IterationCost{Snapshot: snap}
 		var udf time.Duration
 
+		isp := rsp.Child("rql.iteration")
+		if isp != nil {
+			isp.SetInt("snapshot", int64(snap)).SetInt("worker", int64(idx))
+			conn.SetTraceSpan(isp)
+		}
+		endIter := func() {
+			if isp != nil {
+				conn.SetTraceSpan(nil)
+				isp.SetInt("pagelog_reads", int64(cost.PagelogReads)).
+					SetInt("cache_hits", int64(cost.CacheHits)).
+					SetInt("qq_rows", int64(cost.QqRows))
+				if cost.Pruned {
+					isp.SetInt("pruned", 1)
+				}
+				isp.End()
+			}
+		}
+
 		if tmpl.pipeOn {
 			pipe.await(snap, &cost)
 			if ci+1 < len(chunk) {
-				pipe.launch(tmpl.set, chunk[ci+1])
+				pipe.launch(tmpl.set, chunk[ci+1], isp)
 			}
 		}
 
@@ -317,6 +353,7 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 					if err := res.processRecord(tmpl, snap, prev, false,
 						tmpl.replayRow(row, snap), &cost, rowCh); err != nil {
 						res.err = err
+						endIter()
 						return res
 					}
 				}
@@ -327,6 +364,7 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 				res.prunedRows += len(res.cache.rows)
 				res.cache.prevIdx = idx
 				prev = snap
+				endIter()
 				continue
 			}
 		}
@@ -344,6 +382,7 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		}
 		if err := conn.ExecAsOfSet(tmpl.qq, tmpl.set, snap, cb); err != nil {
 			res.err = err
+			endIter()
 			return res
 		}
 		qs := conn.LastStats()
@@ -370,6 +409,7 @@ func (r *RQL) runChunk(tmpl *mechState, idx int, chunk []uint64, rowCh chan<- []
 		cost.PrefetchHits = qs.PrefetchHits
 		res.iters = append(res.iters, cost)
 		prev = snap
+		endIter()
 	}
 	// Mark intervals still open at the chunk tail.
 	lastSnap := chunk[len(chunk)-1]

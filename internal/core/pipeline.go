@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/sql"
 )
 
@@ -31,6 +32,7 @@ const pipelineBudget = 1024
 type pipeState struct {
 	warm     *sql.Warm   // in-flight warm, nil when none
 	warmSnap uint64      // the member warm targets
+	warmSpan *obs.Span   // open span covering launch → settle (nil when untraced)
 	prevRS   sql.PageSet // read-set of the last executed iteration
 	pages    int         // pages installed by completed warms (→ PipelinedPrefetches)
 }
@@ -53,26 +55,41 @@ func (p *pipeState) await(snap uint64, cost *IterationCost) {
 		}
 	}
 	p.pages += n
+	p.settleSpan(n)
 	p.warm = nil
+}
+
+// settleSpan closes the warm's span with the pages actually installed.
+func (p *pipeState) settleSpan(pages int) {
+	if p.warmSpan != nil {
+		p.warmSpan.SetInt("pages", int64(pages)).End()
+		p.warmSpan = nil
+	}
 }
 
 // launch starts warming next's likely pages (no-op when next is zero or
 // a warm is already in flight). Errors are swallowed: warming is an
 // optimization, and any page it fails to load is simply demand-read.
-func (p *pipeState) launch(set *sql.ReaderSet, next uint64) {
+// sp, when non-nil, parents a "pipeline.warm" span that stays open
+// until the warm settles, with the fetch's device commands beneath it.
+func (p *pipeState) launch(set *sql.ReaderSet, next uint64, sp *obs.Span) {
 	if next == 0 || p.warm != nil || set == nil {
 		return
 	}
+	wsp := sp.Child("pipeline.warm").SetInt("snapshot", int64(next))
 	var w *sql.Warm
 	var err error
 	if p.prevRS == nil {
-		w, err = set.WarmAll(next, pipelineBudget)
+		w, err = set.WarmAll(next, pipelineBudget, wsp)
 	} else {
-		w, err = set.Warm(next, p.prevRS, pipelineBudget)
+		w, err = set.Warm(next, p.prevRS, pipelineBudget, wsp)
 	}
 	if err == nil {
 		p.warm = w
 		p.warmSnap = next
+		p.warmSpan = wsp
+	} else {
+		wsp.End()
 	}
 }
 
@@ -84,6 +101,7 @@ func (p *pipeState) drain() {
 	}
 	n, _ := p.warm.Wait()
 	p.pages += n
+	p.settleSpan(n)
 	p.warm = nil
 }
 

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event ("X" = complete event). The
+// format is understood by Perfetto and chrome://tracing: timestamps
+// and durations are microseconds, pid/tid select the track.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  uint64         `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTraceEvents writes spans as Chrome trace-event JSON
+// ({"traceEvents": [...]}). Each trace gets its own track (tid) so
+// concurrent requests render as parallel lanes in Perfetto.
+func WriteTraceEvents(w io.Writer, spans []Span) error {
+	events := make([]traceEvent, 0, len(spans))
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+	}
+	for _, s := range spans {
+		args := map[string]any{
+			"span_id":   s.ID,
+			"parent_id": s.Parent,
+			"trace_id":  s.Trace,
+		}
+		for _, a := range s.Attrs {
+			if a.IsStr {
+				args[a.Key] = a.Str
+			} else {
+				args[a.Key] = a.Int
+			}
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Cat:  "rql",
+			Ph:   "X",
+			Ts:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.Trace,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// FormatTree renders spans as an indented tree, one line per span:
+//
+//	server.exec 12.3ms
+//	  sql.exec 12.1ms sql="SELECT ..."
+//	    rql.iteration 3.2ms snapshot=17 pagelog_reads=40
+//
+// Spans whose parent is absent from the slice are treated as roots.
+// Ordering is by start time at every level.
+func FormatTree(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	byID := make(map[uint64]int, len(spans))
+	for i, s := range spans {
+		byID[s.ID] = i
+	}
+	children := make(map[uint64][]int, len(spans))
+	var roots []int
+	for i, s := range spans {
+		if _, ok := byID[s.Parent]; s.Parent != 0 && ok {
+			children[s.Parent] = append(children[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			return spans[idx[a]].Start.Before(spans[idx[b]].Start)
+		})
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	var b strings.Builder
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := spans[i]
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s %s", s.Name, s.Duration.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			if a.IsStr {
+				fmt.Fprintf(&b, " %s=%q", a.Key, a.Str)
+			} else {
+				fmt.Fprintf(&b, " %s=%d", a.Key, a.Int)
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

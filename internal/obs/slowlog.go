@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowEntry is one statement batch that exceeded the slow threshold.
+type SlowEntry struct {
+	SQL      string
+	Duration time.Duration
+	Trace    uint64 // trace ID if the statement was traced, else 0
+	When     time.Time
+	Rows     int64
+}
+
+// slowLogSize bounds the retained slow-query entries.
+const slowLogSize = 128
+
+var (
+	slowThreshold atomic.Int64 // nanoseconds; 0 disables the log
+
+	slowMu   sync.Mutex
+	slowRing [slowLogSize]SlowEntry
+	slowNext uint64
+)
+
+// SetSlowThreshold records statements at or above d in the slow-query
+// log. d == 0 disables the log. Independent of SetTracing: the slow
+// log works even with span recording off.
+func SetSlowThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	slowThreshold.Store(int64(d))
+}
+
+// SlowThreshold returns the current threshold (0 = disabled).
+func SlowThreshold() time.Duration { return time.Duration(slowThreshold.Load()) }
+
+// ObserveQuery records the statement in the slow log if its duration
+// meets the threshold. Cheap when the log is disabled: one atomic load.
+func ObserveQuery(sql string, d time.Duration, trace uint64, rows int64) {
+	t := slowThreshold.Load()
+	if t == 0 || int64(d) < t {
+		return
+	}
+	slowMu.Lock()
+	slowRing[slowNext%slowLogSize] = SlowEntry{
+		SQL:      sql,
+		Duration: d,
+		Trace:    trace,
+		When:     time.Now(),
+		Rows:     rows,
+	}
+	slowNext++
+	slowMu.Unlock()
+}
+
+// SlowEntries returns retained slow-query entries, oldest first.
+func SlowEntries() []SlowEntry {
+	slowMu.Lock()
+	defer slowMu.Unlock()
+	n := slowNext
+	if n > slowLogSize {
+		n = slowLogSize
+	}
+	out := make([]SlowEntry, 0, n)
+	start := slowNext - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, slowRing[(start+i)%slowLogSize])
+	}
+	return out
+}
+
+// ResetSlowLog discards all slow-query entries.
+func ResetSlowLog() {
+	slowMu.Lock()
+	slowRing = [slowLogSize]SlowEntry{}
+	slowNext = 0
+	slowMu.Unlock()
+}

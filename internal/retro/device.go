@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/storage"
 )
 
@@ -37,6 +38,13 @@ type devReq struct {
 	n      int
 	cancel <-chan struct{} // non-nil: skip service once closed
 	done   chan devResult  // buffered (cap 1); always receives exactly once
+
+	// span, when non-nil, parents a "device.read" span covering the
+	// command's full queue-wait plus service interval; submitted is the
+	// enqueue time the queue-wait attribute is measured from. Untraced
+	// commands (span == nil) pay no clock reads.
+	span      *obs.Span
+	submitted time.Time
 }
 
 // devResult is the completion of one device command.
@@ -101,15 +109,19 @@ func (p *devicePool) submit(req *devReq) error {
 	}
 	p.pending.Add(1)
 	p.mu.Unlock()
+	if req.span != nil {
+		req.submitted = time.Now()
+	}
 	p.reqs <- req
 	return nil
 }
 
 // read is the synchronous demand path: one page through the device,
-// waiting in queue order behind any outstanding commands.
-func (p *devicePool) read(off int64) (*storage.PageData, error) {
+// waiting in queue order behind any outstanding commands. sp, when
+// non-nil, parents the command's device span.
+func (p *devicePool) read(off int64, sp *obs.Span) (*storage.PageData, error) {
 	done := make(chan devResult, 1)
-	if err := p.submit(&devReq{off: off, n: 1, done: done}); err != nil {
+	if err := p.submit(&devReq{off: off, n: 1, done: done, span: sp}); err != nil {
 		return nil, err
 	}
 	res := <-done
@@ -158,6 +170,14 @@ func (p *devicePool) serve(req *devReq) {
 	p.inFlight.Add(-1)
 	p.stats.DeviceReads.Add(1)
 	p.stats.DeviceBusyNS.Add(uint64(time.Since(start)))
+	if req.span != nil {
+		// The span covers enqueue-to-completion; queue_wait_us isolates
+		// the time spent behind other commands before service began.
+		obs.Record(req.span, "device.read", req.submitted, time.Since(req.submitted),
+			obs.Attr{Key: "off", Int: req.off},
+			obs.Attr{Key: "pages", Int: int64(req.n)},
+			obs.Attr{Key: "queue_wait_us", Int: start.Sub(req.submitted).Microseconds()})
+	}
 	req.done <- res
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/storage"
 )
 
@@ -199,6 +200,9 @@ func (s *System) Stats() StatsSnapshot {
 	st.DeviceQueueDepth = uint64(s.dev.depth)
 	return st
 }
+
+// ResetStats zeroes the system's counters (see Stats.Reset).
+func (s *System) ResetStats() { s.stats.Reset() }
 
 // DeviceQueueDepth returns the device pool's configured concurrency.
 func (s *System) DeviceQueueDepth() int { return s.dev.depth }
@@ -498,8 +502,18 @@ type SnapshotReader struct {
 	// current database. Same single-owner rule as Counters.
 	readSet map[storage.PageID]struct{}
 
+	// span parents the reader's Pagelog-fetch and device-command spans.
+	// Nil (the default) leaves the reader untraced. Same single-owner
+	// rule as Counters; nil-safe throughout.
+	span *obs.Span
+
 	closed bool
 }
+
+// SetTraceSpan parents this reader's fetch spans under sp (nil stops
+// tracing the reader). Only the cache-miss path emits spans — cache
+// hits stay span-free so a traced hot run costs almost nothing extra.
+func (r *SnapshotReader) SetTraceSpan(sp *obs.Span) { r.span = sp }
 
 // RecordReadSet makes Get record every page it serves into set (pass
 // nil to stop recording). The caller owns the map.
@@ -555,7 +569,7 @@ func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
 			r.sys.stats.CacheHits.Add(1)
 			return data, nil
 		}
-		data, hit, err := r.sys.demandRead(off)
+		data, hit, err := r.sys.demandRead(off, r.span)
 		if err != nil {
 			return nil, err
 		}
@@ -593,11 +607,15 @@ func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
 // whose first touch already happened), so it counts as a CacheHit. A
 // (nil, false, nil) return means the page was installed between the
 // caller's cache miss and now — re-check the cache.
-func (s *System) demandRead(off int64) (data *storage.PageData, hit bool, err error) {
+func (s *System) demandRead(off int64, span *obs.Span) (data *storage.PageData, hit bool, err error) {
 	s.missMu.Lock()
 	if c, ok := s.missing[off]; ok {
 		s.missMu.Unlock()
+		// Joining an in-service miss: the wait is this caller's cost
+		// even though the device command belongs to the issuer.
+		wsp := span.Child("pagelog.wait").SetInt("off", off)
 		<-c.done
+		wsp.End()
 		return c.data, true, c.err
 	}
 	if s.cache.contains(off) {
@@ -608,8 +626,10 @@ func (s *System) demandRead(off int64) (data *storage.PageData, hit bool, err er
 	s.missing[off] = c
 	s.missMu.Unlock()
 
+	fsp := span.Child("pagelog.fetch").SetInt("off", off)
 	billed := false
-	c.data, c.err = s.dev.read(off)
+	c.data, c.err = s.dev.read(off, fsp)
+	fsp.End()
 	if c.err == nil {
 		// Install before unregistering so no window exists in which the
 		// page is in neither the cache nor the miss table. If a warm
@@ -780,6 +800,8 @@ func (r *SnapshotReader) startFetch(offs []int64) (*Fetch, error) {
 
 	f := &Fetch{pages: len(offs), runs: len(runs), done: make(chan struct{})}
 	set := r.set
+	bsp := r.span.Child("pagelog.fetch_batch").
+		SetInt("pages", int64(len(offs))).SetInt("runs", int64(len(runs)))
 	go func() {
 		start := time.Now()
 		defer close(f.done)
@@ -795,7 +817,7 @@ func (r *SnapshotReader) startFetch(offs []int64) (*Fetch, error) {
 		cmds := make([]issued, 0, len(runs))
 		for _, run := range runs {
 			done := make(chan devResult, 1)
-			if err := sys.dev.submit(&devReq{off: run.off, n: run.n, cancel: cancel, done: done}); err != nil {
+			if err := sys.dev.submit(&devReq{off: run.off, n: run.n, cancel: cancel, done: done, span: bsp}); err != nil {
 				f.err = err
 				break
 			}
@@ -820,6 +842,7 @@ func (r *SnapshotReader) startFetch(offs []int64) (*Fetch, error) {
 			}
 		}
 		f.dur = time.Since(start)
+		bsp.SetInt("fetched", int64(f.fetched)).End()
 	}()
 	return f, nil
 }

@@ -57,6 +57,27 @@ type StatsSnapshot struct {
 	DeviceQueueDepth uint64
 }
 
+// Reset zeroes all counters without disturbing the Pagelog, Maplog,
+// snapshot cache, or any open readers: experiments can zero the
+// accounting between phases without reopening the store.
+func (s *Stats) Reset() {
+	s.Snapshots.Store(0)
+	s.PagelogWrites.Store(0)
+	s.PagelogReads.Store(0)
+	s.CacheHits.Store(0)
+	s.SPTBuilds.Store(0)
+	s.SPTBatchBuilds.Store(0)
+	s.BatchSnapshots.Store(0)
+	s.BatchMapScanned.Store(0)
+	s.ClusteredReads.Store(0)
+	s.ClusteredPages.Store(0)
+	s.DeltaBuilds.Store(0)
+	s.DeltaPages.Store(0)
+	s.DeviceReads.Store(0)
+	s.OverlappedReads.Store(0)
+	s.DeviceBusyNS.Store(0)
+}
+
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Snapshots:       s.Snapshots.Load(),

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"time"
+
+	"rql/internal/obs"
+)
+
+// DebugHandler returns the rqld debug endpoint: a plain-text metrics
+// dump, the span ring as Chrome trace-event JSON (load the file in
+// Perfetto / chrome://tracing), the slow-query log, tracing toggles,
+// and the stdlib pprof profiles. It is served on its own mux — nothing
+// is registered on http.DefaultServeMux — and is meant for a loopback
+// or otherwise trusted listener (rqld's -debug-addr): the endpoint
+// exposes query text and can toggle process-wide tracing.
+//
+//	GET /metrics           all server/storage/retro counters, text/plain
+//	GET /traces            span ring, Chrome trace-event JSON
+//	GET /traces?trace=ID   one trace only
+//	GET /slow              slow-query log, text/plain
+//	GET /trace/on|off      toggle the span recorder
+//	/debug/pprof/...       stdlib profiles
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/traces", serveTraces)
+	mux.HandleFunc("/slow", serveSlow)
+	mux.HandleFunc("/trace/on", func(w http.ResponseWriter, r *http.Request) {
+		obs.SetTracing(true)
+		fmt.Fprintln(w, "tracing on")
+	})
+	mux.HandleFunc("/trace/off", func(w http.ResponseWriter, r *http.Request) {
+		obs.SetTracing(false)
+		fmt.Fprintln(w, "tracing off")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug serves DebugHandler on addr until the listener fails
+// (typically at process exit). It is a convenience for rqld's
+// -debug-addr flag; errors are returned, not fatal.
+func (s *Server) ServeDebug(addr string) error {
+	srv := &http.Server{Addr: addr, Handler: s.DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+// serveMetrics writes every counter the STATS request reports, one
+// `name value` per line, easy to diff and to scrape.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	type kv struct {
+		k string
+		v uint64
+	}
+	rows := []kv{
+		{"conns_accepted", st.ConnsAccepted},
+		{"conns_active", st.ConnsActive},
+		{"queries_served", st.QueriesServed},
+		{"rows_streamed", st.RowsStreamed},
+		{"errors", st.Errors},
+		{"storage_commits", st.Commits},
+		{"storage_pages_written", st.PagesWritten},
+		{"storage_db_reads", st.DBReads},
+		{"retro_snapshots", st.Snapshots},
+		{"retro_pagelog_writes", st.PagelogWrites},
+		{"retro_pagelog_reads", st.PagelogReads},
+		{"retro_cache_hits", st.CacheHits},
+		{"retro_spt_builds", st.SPTBuilds},
+		{"retro_pagelog_pages", uint64(st.PagelogPages)},
+		{"retro_cached_pages", st.CachedPages},
+		{"retro_spt_batch_builds", st.SPTBatchBuilds},
+		{"retro_batch_snapshots", st.BatchSnapshots},
+		{"retro_batch_map_scanned", st.BatchMapScanned},
+		{"retro_clustered_reads", st.ClusteredReads},
+		{"retro_clustered_pages", st.ClusteredPages},
+		{"retro_delta_builds", st.DeltaBuilds},
+		{"retro_delta_pages", st.DeltaPages},
+		{"device_reads", st.DeviceReads},
+		{"device_overlapped_reads", st.OverlappedReads},
+		{"device_busy_ns", st.DeviceBusyNS},
+		{"device_queue_depth", st.DeviceQueueDepth},
+		{"tracing_enabled", boolMetric(obs.Enabled())},
+		{"slow_threshold_ns", uint64(obs.SlowThreshold())},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s %d\n", row.k, row.v)
+	}
+	for i, c := range st.LatencyBuckets {
+		if i < len(st.LatencyBounds) {
+			fmt.Fprintf(w, "request_latency_le{%v} %d\n", st.LatencyBounds[i], c)
+		} else {
+			fmt.Fprintf(w, "request_latency_le{+Inf} %d\n", c)
+		}
+	}
+}
+
+func boolMetric(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// serveTraces streams the span ring (or one trace, ?trace=ID) as Chrome
+// trace-event JSON.
+func serveTraces(w http.ResponseWriter, r *http.Request) {
+	spans := obs.Spans()
+	if q := r.URL.Query().Get("trace"); q != "" {
+		var id uint64
+		if _, err := fmt.Sscanf(q, "%d", &id); err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		spans = obs.TraceSpans(id)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteTraceEvents(w, spans)
+}
+
+// serveSlow writes the slow-query log, slowest first.
+func serveSlow(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	th := obs.SlowThreshold()
+	if th == 0 {
+		fmt.Fprintln(w, "slow-query log disabled (threshold 0)")
+		return
+	}
+	entries := obs.SlowEntries()
+	fmt.Fprintf(w, "threshold %v, %d entries\n", th, len(entries))
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Duration > entries[j].Duration
+	})
+	for _, e := range entries {
+		fmt.Fprintf(w, "%s  %10v  rows=%-6d trace=%d  %s\n",
+			e.When.Format("15:04:05.000"), e.Duration, e.Rows, e.Trace, e.SQL)
+	}
+}

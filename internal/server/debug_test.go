@@ -1,0 +1,301 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rql/internal/obs"
+	"rql/internal/wire"
+)
+
+// resetObs restores the process-global recorder state after a test.
+func resetObs(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		obs.SetTracing(false)
+		obs.SetSlowThreshold(0)
+		obs.ResetSpans()
+		obs.ResetSlowLog()
+	})
+	obs.SetTracing(false)
+	obs.SetSlowThreshold(0)
+	obs.ResetSpans()
+	obs.ResetSlowLog()
+}
+
+// TestTraceEndToEnd is the tracing acceptance path: a traced rqld
+// request produces one span tree reaching from the server request
+// through the SQL layer, the mechanism iterations, and the snapshot
+// fetch down to the device command with its queue-wait attribute — and
+// the tree is fetchable over the wire by the trace ID echoed on
+// RespDone.
+func TestTraceEndToEnd(t *testing.T) {
+	resetObs(t)
+	srv, addr := startServer(t, Config{})
+	c := dial(t, addr)
+
+	mustExec := func(sqlText string) {
+		t.Helper()
+		if err := c.Exec(sqlText, nil); err != nil {
+			t.Fatalf("%s: %v", sqlText, err)
+		}
+	}
+	mustExec(`CREATE TABLE logged_in (user TEXT, country TEXT)`)
+	mustExec(`INSERT INTO logged_in VALUES ('ann', 'USA'), ('bob', 'GER')`)
+	if _, err := c.DeclareSnapshot("day-1"); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(`DELETE FROM logged_in WHERE user = 'ann'`)
+	if _, err := c.DeclareSnapshot("day-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.SetTracing(true); err != nil {
+		t.Fatal(err)
+	}
+	// Cold cache so the mechanism's snapshot reads reach the Pagelog
+	// and the device pool instead of stopping at cache hits.
+	srv.DB().ResetSnapshotCache()
+
+	mustExec(`SELECT CollateData(snap_id,
+		'SELECT DISTINCT user, current_snapshot() AS sid FROM logged_in',
+		'Result') FROM SnapIds`)
+
+	trace := c.LastTrace()
+	if trace == 0 {
+		t.Fatal("traced statement should echo a non-zero trace ID on RespDone")
+	}
+	spans, err := c.TraceSpans(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]wire.Span{}
+	for _, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("TraceSpans(%d) returned a span of trace %d", trace, s.Trace)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	// The SQL-UDF form drives iterations straight from the outer SELECT
+	// (no run-level wrapper span — that one belongs to the Go mechanism
+	// API), so the tree here is request → statement → iteration → fetch
+	// → device command.
+	for _, want := range []string{
+		"server.exec", "sql.exec", "sql.select",
+		"rql.iteration", "pagelog.fetch", "device.read",
+	} {
+		if len(byName[want]) == 0 {
+			names := make([]string, 0, len(byName))
+			for n := range byName {
+				names = append(names, n)
+			}
+			t.Fatalf("trace misses %q spans; have %v", want, names)
+		}
+	}
+	if n := len(byName["rql.iteration"]); n != 2 {
+		t.Fatalf("%d rql.iteration spans, want 2 (one per snapshot)", n)
+	}
+
+	// The span tree must be connected: every parent the spans name is
+	// in the same trace, up to the single root (the server request).
+	ids := map[uint64]wire.Span{}
+	for _, s := range spans {
+		ids[s.ID] = s
+	}
+	roots := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		if _, ok := ids[s.Parent]; !ok {
+			t.Fatalf("span %q names parent %d which is not in the trace", s.Name, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace has %d roots, want exactly 1 (the server request)", roots)
+	}
+
+	// The device command records how long it sat in the pool's queue.
+	dev := byName["device.read"][0]
+	var hasQueueWait bool
+	for _, a := range dev.Attrs {
+		if a.Key == "queue_wait_us" && !a.IsStr {
+			hasQueueWait = true
+		}
+	}
+	if !hasQueueWait {
+		t.Fatalf("device.read span misses the queue_wait_us attribute: %+v", dev.Attrs)
+	}
+
+	// Tracing off: subsequent statements are untraced and say so.
+	if err := c.SetTracing(false); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(`SELECT COUNT(*) FROM Result`)
+	if got := c.LastTrace(); got != 0 {
+		t.Fatalf("untraced statement echoed trace ID %d, want 0", got)
+	}
+}
+
+// TestDebugEndpoint drives the HTTP debug handler: /metrics text,
+// /traces as valid Chrome trace-event JSON, and /slow.
+func TestDebugEndpoint(t *testing.T) {
+	resetObs(t)
+	srv, addr := startServer(t, Config{})
+	c := dial(t, addr)
+
+	obs.SetTracing(true)
+	obs.SetSlowThreshold(time.Nanosecond) // everything is slow
+
+	if err := c.Exec(`CREATE TABLE t (a INTEGER)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec(`INSERT INTO t VALUES (1), (2)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec(`SELECT a FROM t ORDER BY a`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		srv.DebugHandler().ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics returned %d", code)
+	}
+	for _, want := range []string{
+		"queries_served", "storage_commits", "retro_pagelog_writes",
+		"tracing_enabled 1", "request_latency_le{+Inf}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics misses %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/traces")
+	if code != 200 {
+		t.Fatalf("/traces returned %d", code)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  uint64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/traces is not valid trace-event JSON: %v\n%s", err, body)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/traces has no events")
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want complete events (X)", ev.Ph)
+		}
+		seen[ev.Name] = true
+	}
+	if !seen["server.exec"] || !seen["sql.exec"] {
+		t.Fatalf("/traces misses the request spans; saw %v", seen)
+	}
+
+	code, body = get("/slow")
+	if code != 200 {
+		t.Fatalf("/slow returned %d", code)
+	}
+	if !strings.Contains(body, "SELECT a FROM t ORDER BY a") {
+		t.Fatalf("/slow misses the traced statement:\n%s", body)
+	}
+
+	// The wire SLOW request reports the same log with the threshold.
+	th, entries, err := c.SlowQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th != time.Nanosecond {
+		t.Fatalf("slow threshold over the wire = %v, want 1ns", th)
+	}
+	var found bool
+	for _, e := range entries {
+		if strings.Contains(e.SQL, "SELECT a FROM t ORDER BY a") {
+			found = true
+			if e.Rows != 2 {
+				t.Fatalf("slow entry rows = %d, want 2", e.Rows)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("slow log over the wire misses the statement: %+v", entries)
+	}
+}
+
+// TestResetStats zeroes the counters over the wire and checks both the
+// server's own counters and the piped-through database counters restart.
+func TestResetStats(t *testing.T) {
+	resetObs(t)
+	_, addr := startServer(t, Config{})
+	c := dial(t, addr)
+
+	if err := c.Exec(`CREATE TABLE t (a INTEGER)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec(`INSERT INTO t VALUES (1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeclareSnapshot("s"); err != nil {
+		t.Fatal(err)
+	}
+	ss, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.QueriesServed == 0 || ss.Commits == 0 || ss.Snapshots == 0 {
+		t.Fatalf("counters should be non-zero before reset: %+v", ss)
+	}
+
+	if err := c.ResetStats(); err != nil {
+		t.Fatal(err)
+	}
+	ss, err = c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.QueriesServed != 0 || ss.Commits != 0 || ss.Snapshots != 0 ||
+		ss.RowsStreamed != 0 || ss.PagesWritten != 0 {
+		t.Fatalf("counters should be zero after reset: %+v", ss)
+	}
+	// The gauge survives: this session is still connected.
+	if ss.ConnsActive == 0 {
+		t.Fatal("ConnsActive is a gauge and must survive the reset")
+	}
+	// Bucket bounds still round-trip after reset.
+	if ss.LatencyBounds != wire.HistogramBuckets {
+		t.Fatalf("LatencyBounds = %v, want %v", ss.LatencyBounds, wire.HistogramBuckets)
+	}
+
+	// Counters keep counting after the reset.
+	if err := c.Exec(`INSERT INTO t VALUES (2)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	ss, err = c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.QueriesServed == 0 || ss.Commits == 0 {
+		t.Fatalf("counters should resume after reset: %+v", ss)
+	}
+}

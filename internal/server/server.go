@@ -242,6 +242,15 @@ func (s *Server) Stats() wire.ServerStats {
 	return out
 }
 
+// ResetStats zeroes the server's cumulative counters (latency histogram
+// included) and the served database's storage/snapshot-system counters
+// and last-run statistics. The active-connections gauge and all page
+// state are untouched.
+func (s *Server) ResetStats() {
+	s.stats.reset()
+	s.db.ResetStats()
+}
+
 // deadlineError is sent to clients whose request exceeded the
 // per-request deadline.
 func deadlineError(limit time.Duration) error {

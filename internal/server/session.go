@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rql"
+	"rql/internal/obs"
 	"rql/internal/wire"
 )
 
@@ -94,8 +95,20 @@ func (ss *session) run() {
 			ss.flush()
 			return
 		}
+		// One root span per request: the session's Conn carries it as
+		// the ambient parent, so the statement, mechanism-iteration,
+		// snapshot-fetch and device spans underneath all join this
+		// request's trace.
 		start := time.Now()
+		sp := obs.StartSpan(nil, "server."+opName(op))
+		if sp != nil {
+			ss.conn.SetTraceSpan(sp)
+		}
 		err = ss.dispatch(op, payload)
+		if sp != nil {
+			ss.conn.SetTraceSpan(nil)
+			sp.End()
+		}
 		ss.srv.stats.observe(time.Since(start))
 		ferr := ss.flush()
 		exit := ss.setBusy(false)
@@ -162,6 +175,13 @@ func (ss *session) dispatch(op byte, payload []byte) error {
 	case wire.ReqTblSt:
 		return ss.handleTableStats(payload)
 	case wire.ReqPing:
+		return ss.writeFrame(wire.RespPong, nil)
+	case wire.ReqTrace:
+		return ss.handleTrace(payload)
+	case wire.ReqSlow:
+		return ss.handleSlow()
+	case wire.ReqReset:
+		ss.srv.ResetStats()
 		return ss.writeFrame(wire.RespPong, nil)
 	default:
 		// Unknown opcode: the stream cannot be trusted any further.
@@ -268,7 +288,106 @@ func (ss *session) handleExec(payload []byte) error {
 	})
 	e.Uvarint(ss.conn.LastSnapshot())
 	e.Bool(ss.conn.InTx())
+	// v3: the statement's trace ID (0 when untraced), so the client can
+	// fetch this exact request's span tree afterwards.
+	e.Uvarint(ss.conn.LastTrace())
 	return ss.writeFrame(wire.RespDone, e.B)
+}
+
+// handleTrace serves the TRACE request: toggle the recorder or fetch
+// recorded spans (one trace, or the whole ring for id 0).
+func (ss *session) handleTrace(payload []byte) error {
+	d := &wire.Dec{B: payload}
+	cmd := d.Byte()
+	id := d.Uvarint()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	switch cmd {
+	case wire.TraceOff:
+		obs.SetTracing(false)
+		return ss.writeFrame(wire.RespPong, nil)
+	case wire.TraceOn:
+		obs.SetTracing(true)
+		return ss.writeFrame(wire.RespPong, nil)
+	case wire.TraceFetch:
+		var spans []obs.Span
+		if id == 0 {
+			spans = obs.Spans()
+		} else {
+			spans = obs.TraceSpans(id)
+		}
+		e := &wire.Enc{}
+		wire.EncodeSpans(e, spansToWire(spans))
+		return ss.writeFrame(wire.RespTrace, e.B)
+	default:
+		ss.writeError(fmt.Errorf("server: unknown trace command %d", cmd))
+		return nil
+	}
+}
+
+// handleSlow serves the slow-query log with the active threshold.
+func (ss *session) handleSlow() error {
+	entries := obs.SlowEntries()
+	out := make([]wire.SlowEntry, len(entries))
+	for i, s := range entries {
+		out[i] = wire.SlowEntry{
+			SQL: s.SQL, Duration: s.Duration, Trace: s.Trace,
+			When: s.When, Rows: s.Rows,
+		}
+	}
+	e := &wire.Enc{}
+	wire.EncodeSlowEntries(e, obs.SlowThreshold(), out)
+	return ss.writeFrame(wire.RespSlow, e.B)
+}
+
+// spansToWire converts recorded spans to the wire form.
+func spansToWire(spans []obs.Span) []wire.Span {
+	out := make([]wire.Span, len(spans))
+	for i, s := range spans {
+		w := wire.Span{
+			Trace: s.Trace, ID: s.ID, Parent: s.Parent,
+			Name: s.Name, Start: s.Start, Duration: s.Duration,
+		}
+		if len(s.Attrs) > 0 {
+			w.Attrs = make([]wire.SpanAttr, len(s.Attrs))
+			for j, a := range s.Attrs {
+				w.Attrs[j] = wire.SpanAttr{Key: a.Key, Str: a.Str, Int: a.Int, IsStr: a.IsStr}
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// opName labels a request opcode for its root span.
+func opName(op byte) string {
+	switch op {
+	case wire.ReqExec:
+		return "exec"
+	case wire.ReqSnap:
+		return "snapshot"
+	case wire.ReqMech:
+		return "mechanism"
+	case wire.ReqStats:
+		return "stats"
+	case wire.ReqObjs:
+		return "objects"
+	case wire.ReqRun:
+		return "run"
+	case wire.ReqTblSt:
+		return "table_stats"
+	case wire.ReqPing:
+		return "ping"
+	case wire.ReqTrace:
+		return "trace"
+	case wire.ReqSlow:
+		return "slow"
+	case wire.ReqReset:
+		return "reset"
+	default:
+		return "unknown"
+	}
 }
 
 func (ss *session) handleSnapshot(payload []byte) error {

@@ -47,5 +47,18 @@ func (st *serverStats) snapshot() wire.ServerStats {
 	for i := range st.buckets {
 		out.LatencyBuckets[i] = st.buckets[i].Load()
 	}
+	out.LatencyBounds = wire.HistogramBuckets
 	return out
+}
+
+// reset zeroes the cumulative counters. connsActive is a gauge tracking
+// live sessions, not a counter, and is left alone.
+func (st *serverStats) reset() {
+	st.connsAccepted.Store(0)
+	st.queriesServed.Store(0)
+	st.rowsStreamed.Store(0)
+	st.errors.Store(0)
+	for i := range st.buckets {
+		st.buckets[i].Store(0)
+	}
 }

@@ -103,6 +103,7 @@ func (c *Conn) newWriteEnv(toSide bool, params []record.Value, stats *ExecStats)
 			if err != nil {
 				return nil, err
 			}
+			tx.SetTraceSpan(c.traceParent())
 			w.tx, w.own = tx, true
 		}
 		ec.mainPager = w.tx

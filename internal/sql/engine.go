@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/record"
 	"rql/internal/retro"
 	"rql/internal/storage"
@@ -171,6 +172,80 @@ type Conn struct {
 	// are never mutated by execution, making reuse safe. FIFO-bounded.
 	stmtCache     map[string][]Statement
 	stmtCacheKeys []string
+
+	// Tracing: span is the ambient parent every statement batch hangs
+	// under (set by the server per request, or by the core mechanisms
+	// per iteration); curStmt is the span of the statement currently
+	// executing; lastTrace remembers the trace of the newest batch so
+	// shells can fetch it after the fact. All nil/zero when untraced.
+	span      *obs.Span
+	curStmt   *obs.Span
+	lastTrace uint64
+}
+
+// SetTraceSpan sets the parent span for statements executed on this
+// connection. With a nil parent (the default), each statement batch
+// starts its own trace root while tracing is enabled.
+func (c *Conn) SetTraceSpan(sp *obs.Span) { c.span = sp }
+
+// TraceSpan returns the connection's current parent span (may be nil).
+func (c *Conn) TraceSpan() *obs.Span { return c.span }
+
+// CurrentSpan returns the span work started right now should hang
+// under: the executing statement's span if a statement is running
+// (e.g. from inside a UDF), else the connection's parent span.
+func (c *Conn) CurrentSpan() *obs.Span { return c.traceParent() }
+
+// LastTrace returns the trace ID of the most recent traced statement
+// batch on this connection (0 if tracing was off).
+func (c *Conn) LastTrace() uint64 { return c.lastTrace }
+
+// traceParent is the span new work should hang under right now: the
+// executing statement if there is one, else the connection's parent.
+func (c *Conn) traceParent() *obs.Span {
+	if c.curStmt != nil {
+		return c.curStmt
+	}
+	return c.span
+}
+
+// stmtName returns the span-name suffix for a parsed statement.
+func stmtName(stmt Statement) string {
+	switch stmt.(type) {
+	case *SelectStmt:
+		return "select"
+	case *ExplainStmt:
+		return "explain"
+	case *BeginStmt:
+		return "begin"
+	case *CommitStmt:
+		return "commit"
+	case *RollbackStmt:
+		return "rollback"
+	case *InsertStmt:
+		return "insert"
+	case *UpdateStmt:
+		return "update"
+	case *DeleteStmt:
+		return "delete"
+	case *CreateTableStmt:
+		return "create_table"
+	case *CreateIndexStmt:
+		return "create_index"
+	case *DropStmt:
+		return "drop"
+	default:
+		return "stmt"
+	}
+}
+
+// truncSQL bounds the SQL text attached to spans and slow-log entries.
+func truncSQL(s string) string {
+	const max = 200
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "…"
 }
 
 // SetRecordReadSet toggles page read-set recording for snapshot-bound
@@ -249,16 +324,66 @@ func (c *Conn) ExecAsOfSet(sqlText string, set *ReaderSet, snap uint64, cb RowCa
 }
 
 func (c *Conn) execAsOf(sqlText string, set *ReaderSet, asOf retro.SnapshotID, cb RowCallback, params []record.Value) error {
-	stmts, err := c.parseCached(sqlText)
-	if err != nil {
-		return err
+	// One span per statement batch; a timestamp is taken only when the
+	// batch is traced or the slow-query log is armed, so the untraced
+	// path pays two atomic loads and nothing else.
+	sp := obs.StartSpan(c.span, "sql.exec")
+	timed := sp != nil || obs.SlowThreshold() > 0
+	var start time.Time
+	if timed {
+		start = time.Now()
 	}
-	for _, stmt := range stmts {
-		if err := c.execStmt(stmt, set, asOf, cb, params); err != nil {
-			return err
+	if sp != nil {
+		c.lastTrace = sp.TraceID()
+		sp.SetStr("sql", truncSQL(sqlText))
+		if asOf != 0 {
+			sp.SetInt("as_of", int64(asOf))
+		}
+	} else if c.span == nil && c.curStmt == nil {
+		// An untraced top-level batch clears the remembered trace so
+		// LastTrace never reports a stale ID; nested batches (UDF
+		// re-entry) leave the outer batch's trace alone.
+		c.lastTrace = 0
+	}
+	stmts, err := c.parseCached(sqlText)
+	if sp != nil {
+		obs.Record(sp, "sql.parse", start, time.Since(start))
+	}
+	rows := 0
+	if err == nil {
+		// Save/restore curStmt: execAsOf re-enters through UDFs (a
+		// mechanism iteration executes Qq inside the outer SELECT).
+		saved := c.curStmt
+		for _, stmt := range stmts {
+			ssp := sp.Child("sql." + stmtName(stmt))
+			c.curStmt = ssp
+			err = c.execStmt(stmt, set, asOf, cb, params)
+			c.curStmt = saved
+			if ssp != nil {
+				st := c.lastStats
+				ssp.SetInt("rows", int64(st.RowsReturned))
+				if st.PagelogReads != 0 {
+					ssp.SetInt("pagelog_reads", int64(st.PagelogReads))
+				}
+				if st.CacheHits != 0 {
+					ssp.SetInt("cache_hits", int64(st.CacheHits))
+				}
+				if st.DBReads != 0 {
+					ssp.SetInt("db_reads", int64(st.DBReads))
+				}
+				ssp.End()
+			}
+			rows += c.lastStats.RowsReturned
+			if err != nil {
+				break
+			}
 		}
 	}
-	return nil
+	if timed {
+		obs.ObserveQuery(truncSQL(sqlText), time.Since(start), sp.TraceID(), int64(rows))
+	}
+	sp.End()
+	return err
 }
 
 // Query executes a single SELECT and returns the fully materialized
@@ -304,6 +429,7 @@ func (c *Conn) Commit() error {
 	if c.mainTx == nil {
 		return ErrNoTx
 	}
+	c.mainTx.SetTraceSpan(c.traceParent())
 	err := c.mainTx.Commit()
 	c.mainTx = nil
 	return err
@@ -316,6 +442,7 @@ func (c *Conn) CommitWithSnapshot() (uint64, error) {
 	if c.mainTx == nil {
 		return 0, ErrNoTx
 	}
+	c.mainTx.SetTraceSpan(c.traceParent())
 	id, err := c.mainTx.CommitWithSnapshot()
 	c.mainTx = nil
 	if err != nil {
@@ -441,6 +568,17 @@ func (c *Conn) newReadCtx(set *ReaderSet, asOf retro.SnapshotID, params []record
 		ec.snapReader = r
 		ec.closers = append(ec.closers, r.Close)
 		ec.mainPager = r
+		if sp := c.traceParent(); sp != nil {
+			r.SetTraceSpan(sp)
+			// A standalone open just paid a Maplog scan; surface it as a
+			// retroactive child (set-opened readers have build time 0 —
+			// their batch sweep is the run-level spt_batch_build span).
+			if bt := r.Counters.SPTBuildTime; bt > 0 {
+				obs.Record(sp, "retro.spt_build", time.Now().Add(-bt), bt,
+					obs.Attr{Key: "snapshot", Int: int64(asOf)},
+					obs.Attr{Key: "map_scanned", Int: int64(r.Counters.MapScanned)})
+			}
+		}
 		if c.recordReads {
 			// Recording starts before the catalog load below, so schema
 			// pages are part of the read-set too (a schema change between
@@ -529,7 +667,14 @@ func (c *Conn) execSelect(s *SelectStmt, set *ReaderSet, asOf retro.SnapshotID, 
 	defer ec.close()
 
 	err = func() error {
+		var planStart time.Time
+		if c.curStmt != nil {
+			planStart = time.Now()
+		}
 		it, cols, err := planSelect(s, ec)
+		if c.curStmt != nil {
+			obs.Record(c.curStmt, "sql.plan", planStart, time.Since(planStart))
+		}
 		if err != nil {
 			return err
 		}

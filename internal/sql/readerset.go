@@ -3,6 +3,7 @@ package sql
 import (
 	"time"
 
+	"rql/internal/obs"
 	"rql/internal/retro"
 	"rql/internal/storage"
 )
@@ -131,11 +132,13 @@ func (w *Warm) Wait() (int, error) {
 // first demand read that touches one bills its PagelogRead then, so
 // per-read accounting is identical with warming on or off. The returned
 // handle must be Waited (it pins a member reader until then).
-func (rs *ReaderSet) Warm(snap uint64, pages PageSet, budget int) (*Warm, error) {
+// sp, when non-nil, parents the fetch's device-command spans.
+func (rs *ReaderSet) Warm(snap uint64, pages PageSet, budget int, sp *obs.Span) (*Warm, error) {
 	r, err := rs.set.Open(retro.SnapshotID(snap))
 	if err != nil {
 		return nil, err
 	}
+	r.SetTraceSpan(sp)
 	ids := make([]storage.PageID, 0, len(pages))
 	for id := range pages {
 		ids = append(ids, id)
@@ -150,11 +153,12 @@ func (rs *ReaderSet) Warm(snap uint64, pages PageSet, budget int) (*Warm, error)
 
 // WarmAll is Warm over every page in snap's SPT — the clustered-
 // prefetch plan, used when no read-set is available to narrow the warm.
-func (rs *ReaderSet) WarmAll(snap uint64, budget int) (*Warm, error) {
+func (rs *ReaderSet) WarmAll(snap uint64, budget int, sp *obs.Span) (*Warm, error) {
 	r, err := rs.set.Open(retro.SnapshotID(snap))
 	if err != nil {
 		return nil, err
 	}
+	r.SetTraceSpan(sp)
 	f, err := r.PrefetchAsync(budget)
 	if err != nil {
 		r.Close()

@@ -24,3 +24,11 @@ func (s *Stats) snapshot() StatsSnapshot {
 		DBReads:      s.DBReads.Load(),
 	}
 }
+
+// Reset zeroes all counters. Page state is untouched: the store keeps
+// serving reads and writes; only the accounting restarts.
+func (s *Stats) Reset() {
+	s.Commits.Store(0)
+	s.PagesWritten.Store(0)
+	s.DBReads.Store(0)
+}

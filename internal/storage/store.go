@@ -76,6 +76,9 @@ func (s *Store) NumFree() int {
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() StatsSnapshot { return s.stats.snapshot() }
 
+// ResetStats zeroes the store's counters (see Stats.Reset).
+func (s *Store) ResetStats() { s.stats.Reset() }
+
 // Begin starts a writer transaction. It blocks until any other writer
 // finishes (single-writer model; the paper's BDB uses finer-grained
 // locking, but RQL's workloads are single-writer and the simplification
@@ -143,6 +146,7 @@ func (s *Store) readVersion(id PageID, readLSN uint64) (*PageData, error) {
 // installs new page versions, prunes version chains no active reader
 // needs, and updates the free list.
 func (s *Store) commit(tx *Tx, declare bool) (snapID uint64, err error) {
+	sp := tx.span.Child("storage.commit")
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -181,6 +185,11 @@ func (s *Store) commit(tx *Tx, declare bool) (snapID uint64, err error) {
 	s.free = append(s.free, tx.freed...)
 	s.stats.Commits.Add(1)
 	s.stats.PagesWritten.Add(uint64(len(dirty)))
+	sp.SetInt("pages", int64(len(dirty))).SetInt("lsn", int64(newLSN))
+	if declare {
+		sp.SetInt("snapshot", int64(snapID))
+	}
+	sp.End()
 	return snapID, nil
 }
 

@@ -1,5 +1,7 @@
 package storage
 
+import "rql/internal/obs"
+
 // Tx is a writer transaction. Reads see the transaction's own writes
 // first, then the newest committed state. All mutations are buffered in
 // a dirty set and become visible atomically at Commit.
@@ -13,7 +15,12 @@ type Tx struct {
 	allocated map[PageID]bool
 	base      uint64 // commit LSN at Begin; reads resolve against it
 	done      bool
+	span      *obs.Span // parent for the commit span; nil when untraced
 }
+
+// SetTraceSpan parents this transaction's commit span under sp. A nil
+// sp (the default) leaves the commit untraced.
+func (tx *Tx) SetTraceSpan(sp *obs.Span) { tx.span = sp }
 
 // Get returns a read-only view of the page as seen by this transaction.
 func (tx *Tx) Get(id PageID) (*PageData, error) {

@@ -1,0 +1,123 @@
+package wire
+
+import "time"
+
+// Span mirrors obs.Span on the wire; attribute values are either a
+// string or an int64, discriminated by IsStr (matching obs.Attr). wire
+// keeps its own copy so the protocol schema stays explicit and the
+// package free of non-codec dependencies.
+type Span struct {
+	Trace    uint64
+	ID       uint64
+	Parent   uint64
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []SpanAttr
+}
+
+// SpanAttr is one typed span attribute.
+type SpanAttr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// EncodeSpans appends a span list body (RespTrace payload).
+func EncodeSpans(e *Enc, spans []Span) {
+	e.Uvarint(uint64(len(spans)))
+	for _, s := range spans {
+		e.Uvarint(s.Trace)
+		e.Uvarint(s.ID)
+		e.Uvarint(s.Parent)
+		e.String(s.Name)
+		e.Varint(s.Start.UnixNano())
+		e.Duration(s.Duration)
+		e.Uvarint(uint64(len(s.Attrs)))
+		for _, a := range s.Attrs {
+			e.String(a.Key)
+			e.Bool(a.IsStr)
+			if a.IsStr {
+				e.String(a.Str)
+			} else {
+				e.Varint(a.Int)
+			}
+		}
+	}
+}
+
+// DecodeSpans reads a span list body.
+func DecodeSpans(d *Dec) []Span {
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return nil
+	}
+	out := make([]Span, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		s := Span{
+			Trace:  d.Uvarint(),
+			ID:     d.Uvarint(),
+			Parent: d.Uvarint(),
+			Name:   d.String(),
+		}
+		s.Start = time.Unix(0, d.Varint())
+		s.Duration = d.Duration()
+		na := d.Uvarint()
+		if d.Err() != nil || na > MaxFrame {
+			return out
+		}
+		s.Attrs = make([]SpanAttr, 0, na)
+		for j := uint64(0); j < na && d.Err() == nil; j++ {
+			a := SpanAttr{Key: d.String(), IsStr: d.Bool()}
+			if a.IsStr {
+				a.Str = d.String()
+			} else {
+				a.Int = d.Varint()
+			}
+			s.Attrs = append(s.Attrs, a)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SlowEntry mirrors obs.SlowEntry on the wire.
+type SlowEntry struct {
+	SQL      string
+	Duration time.Duration
+	Trace    uint64
+	When     time.Time
+	Rows     int64
+}
+
+// EncodeSlowEntries appends a slow-query log body (RespSlow payload),
+// prefixed with the server's active threshold (0 = disabled).
+func EncodeSlowEntries(e *Enc, threshold time.Duration, entries []SlowEntry) {
+	e.Duration(threshold)
+	e.Uvarint(uint64(len(entries)))
+	for _, s := range entries {
+		e.String(s.SQL)
+		e.Duration(s.Duration)
+		e.Uvarint(s.Trace)
+		e.Varint(s.When.UnixNano())
+		e.Varint(s.Rows)
+	}
+}
+
+// DecodeSlowEntries reads a slow-query log body.
+func DecodeSlowEntries(d *Dec) (threshold time.Duration, entries []SlowEntry) {
+	threshold = d.Duration()
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return threshold, nil
+	}
+	entries = make([]SlowEntry, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		s := SlowEntry{SQL: d.String(), Duration: d.Duration(), Trace: d.Uvarint()}
+		s.When = time.Unix(0, d.Varint())
+		s.Rows = d.Varint()
+		entries = append(entries, s)
+	}
+	return threshold, entries
+}

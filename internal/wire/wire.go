@@ -27,8 +27,10 @@ import (
 )
 
 // ProtocolVersion is bumped on incompatible frame-format changes.
-// v2 added the pipelined-I/O and device-model statistics fields.
-const ProtocolVersion = 2
+// v2 added the pipelined-I/O and device-model statistics fields; v3
+// added tracing (TRACE/SLOW/RESET requests, the trace ID on RespDone)
+// and the latency-histogram bucket bounds in ServerStats.
+const ProtocolVersion = 3
 
 // Magic opens the client hello.
 const Magic = "RQL1"
@@ -47,6 +49,16 @@ const (
 	ReqRun   byte = 0x07 // — last mechanism run stats
 	ReqTblSt byte = 0x08 // table name — TableStats
 	ReqPing  byte = 0x09 // —
+	ReqTrace byte = 0x0A // cmd byte (TraceOff/TraceOn/TraceFetch), trace id
+	ReqSlow  byte = 0x0B // — slow-query log
+	ReqReset byte = 0x0C // — reset server/storage/retro counters
+)
+
+// ReqTrace command bytes.
+const (
+	TraceOff   byte = 0 // disable tracing
+	TraceOn    byte = 1 // enable tracing
+	TraceFetch byte = 2 // fetch spans (trace id 0 = whole ring)
 )
 
 // Response opcodes (server -> client).
@@ -61,7 +73,9 @@ const (
 	RespStats  byte = 0x88 // server stats
 	RespObjs   byte = 0x89 // object list
 	RespTblSt  byte = 0x8A // table stats
-	RespPong   byte = 0x8B // —
+	RespPong   byte = 0x8B // — (also acks ReqReset and TraceOn/TraceOff)
+	RespTrace  byte = 0x8C // span list
+	RespSlow   byte = 0x8D // slow-query entries
 )
 
 // Mechanism kinds carried by ReqMech.
@@ -479,9 +493,15 @@ func DecodeObjects(d *Dec) []ObjectInfo {
 	return out
 }
 
+// NumHistogramBuckets includes the implicit +Inf bucket.
+const NumHistogramBuckets = 7
+
 // HistogramBuckets are the upper bounds of the server's per-request
-// latency histogram; the final +Inf bucket is implicit.
-var HistogramBuckets = []time.Duration{
+// latency histogram; the final +Inf bucket is implicit. The fixed array
+// size ties the bound count to NumHistogramBuckets at compile time, so
+// adding a bound without bumping the constant (or vice versa) fails to
+// build instead of silently shifting counts into the wrong buckets.
+var HistogramBuckets = [NumHistogramBuckets - 1]time.Duration{
 	100 * time.Microsecond,
 	1 * time.Millisecond,
 	10 * time.Millisecond,
@@ -489,9 +509,6 @@ var HistogramBuckets = []time.Duration{
 	1 * time.Second,
 	10 * time.Second,
 }
-
-// NumHistogramBuckets includes the implicit +Inf bucket.
-const NumHistogramBuckets = 7
 
 // ServerStats is the full STATS reply: the server's own counters plus
 // the storage and Retro counters piped through from the database.
@@ -503,6 +520,10 @@ type ServerStats struct {
 	RowsStreamed   uint64
 	Errors         uint64
 	LatencyBuckets [NumHistogramBuckets]uint64
+	// LatencyBounds carries the histogram's upper bounds so clients
+	// render the counts against the server's bucketing, not their own
+	// compiled-in copy.
+	LatencyBounds [NumHistogramBuckets - 1]time.Duration
 
 	// Storage counters (main store).
 	Commits      uint64
@@ -547,6 +568,9 @@ func EncodeServerStats(e *Enc, s ServerStats) {
 	for _, c := range s.LatencyBuckets {
 		e.Uvarint(c)
 	}
+	for _, b := range s.LatencyBounds {
+		e.Duration(b)
+	}
 	e.Uvarint(s.Commits)
 	e.Uvarint(s.PagesWritten)
 	e.Uvarint(s.DBReads)
@@ -584,6 +608,9 @@ func DecodeServerStats(d *Dec) ServerStats {
 		if i < NumHistogramBuckets {
 			s.LatencyBuckets[i] = c
 		}
+	}
+	for i := range s.LatencyBounds {
+		s.LatencyBounds[i] = d.Duration()
 	}
 	s.Commits = d.Uvarint()
 	s.PagesWritten = d.Uvarint()

@@ -162,7 +162,8 @@ func TestCompositeRoundTrips(t *testing.T) {
 	ss := ServerStats{
 		ConnsAccepted: 1, ConnsActive: 2, QueriesServed: 3, RowsStreamed: 4,
 		Errors: 5, LatencyBuckets: [NumHistogramBuckets]uint64{1, 2, 3, 4, 5, 6, 7},
-		Commits: 8, PagesWritten: 9, DBReads: 10, Snapshots: 11,
+		LatencyBounds: HistogramBuckets,
+		Commits:       8, PagesWritten: 9, DBReads: 10, Snapshots: 11,
 		PagelogWrites: 12, PagelogReads: 13, CacheHits: 14, SPTBuilds: 15,
 		PagelogPages: -1, CachedPages: 17,
 		SPTBatchBuilds: 18, BatchSnapshots: 19, BatchMapScanned: 20,
@@ -173,6 +174,96 @@ func TestCompositeRoundTrips(t *testing.T) {
 	EncodeServerStats(e, ss)
 	if got := DecodeServerStats(&Dec{B: e.B}); got != ss {
 		t.Fatalf("ServerStats = %+v, want %+v", got, ss)
+	}
+}
+
+// TestHistogramShape pins the invariants the latency histogram depends
+// on: the bound count is compile-time tied to the bucket count (one
+// less — the final +Inf bucket is implicit), bounds ascend strictly,
+// and the bucket counts plus the server's bounds round-trip over STATS
+// so clients never render counts against a mismatched bucketing.
+func TestHistogramShape(t *testing.T) {
+	if len(HistogramBuckets) != NumHistogramBuckets-1 {
+		t.Fatalf("%d bounds for %d buckets; want exactly one less (implicit +Inf)",
+			len(HistogramBuckets), NumHistogramBuckets)
+	}
+	for i := 1; i < len(HistogramBuckets); i++ {
+		if HistogramBuckets[i] <= HistogramBuckets[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v <= %v",
+				i, HistogramBuckets[i], HistogramBuckets[i-1])
+		}
+	}
+	ss := ServerStats{
+		LatencyBuckets: [NumHistogramBuckets]uint64{10, 20, 30, 40, 50, 60, 70},
+		LatencyBounds:  HistogramBuckets,
+	}
+	e := &Enc{}
+	EncodeServerStats(e, ss)
+	got := DecodeServerStats(&Dec{B: e.B})
+	if got.LatencyBuckets != ss.LatencyBuckets {
+		t.Fatalf("buckets = %v, want %v", got.LatencyBuckets, ss.LatencyBuckets)
+	}
+	if got.LatencyBounds != HistogramBuckets {
+		t.Fatalf("bounds = %v, want %v", got.LatencyBounds, HistogramBuckets)
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, ID: 1, Name: "server.exec", Start: time.Unix(100, 500), Duration: time.Millisecond},
+		{Trace: 1, ID: 2, Parent: 1, Name: "sql.exec",
+			Start: time.Unix(100, 600), Duration: 900 * time.Microsecond,
+			Attrs: []SpanAttr{
+				{Key: "sql", Str: "SELECT 1", IsStr: true},
+				{Key: "rows", Int: 42},
+				{Key: "off", Int: -8192},
+			}},
+	}
+	e := &Enc{}
+	EncodeSpans(e, spans)
+	d := &Dec{B: e.B}
+	got := DecodeSpans(d)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("%d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		w, g := spans[i], got[i]
+		if g.Trace != w.Trace || g.ID != w.ID || g.Parent != w.Parent ||
+			g.Name != w.Name || !g.Start.Equal(w.Start) || g.Duration != w.Duration ||
+			!reflect.DeepEqual(g.Attrs, w.Attrs) && (len(g.Attrs) != 0 || len(w.Attrs) != 0) {
+			t.Fatalf("span %d = %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestSlowEntryRoundTrip(t *testing.T) {
+	in := []SlowEntry{
+		{SQL: "SELECT * FROM big", Duration: 2 * time.Second, Trace: 7,
+			When: time.Unix(1000, 1), Rows: 1_000_000},
+		{SQL: "", Duration: time.Millisecond, When: time.Unix(0, 0)},
+	}
+	e := &Enc{}
+	EncodeSlowEntries(e, 50*time.Millisecond, in)
+	d := &Dec{B: e.B}
+	threshold, got := DecodeSlowEntries(d)
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if threshold != 50*time.Millisecond {
+		t.Fatalf("threshold = %v", threshold)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("%d entries, want %d", len(got), len(in))
+	}
+	for i := range in {
+		w, g := in[i], got[i]
+		if g.SQL != w.SQL || g.Duration != w.Duration || g.Trace != w.Trace ||
+			!g.When.Equal(w.When) || g.Rows != w.Rows {
+			t.Fatalf("entry %d = %+v, want %+v", i, g, w)
+		}
 	}
 }
 

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"rql/internal/core"
+	"rql/internal/obs"
 	"rql/internal/record"
 	"rql/internal/retro"
 	"rql/internal/sql"
@@ -231,6 +232,32 @@ func (db *DB) StorageStats() StorageStats { return db.inner.MainStore().Stats() 
 // RetroStats reports the snapshot system's counters (snapshots
 // declared, Pagelog writes/reads, cache hits, SPT builds).
 func (db *DB) RetroStats() RetroStats { return db.inner.Retro().Stats() }
+
+// ResetStats zeroes the cumulative storage and snapshot-system counters
+// and clears the last mechanism-run statistics. Page state, the
+// Pagelog, and the snapshot cache are untouched — only the accounting
+// restarts, so experiments can measure phases from a clean baseline
+// without reopening the database.
+func (db *DB) ResetStats() {
+	db.inner.MainStore().ResetStats()
+	db.inner.Retro().ResetStats()
+	db.rql.ResetLastRun()
+}
+
+// SetTracing toggles the process-wide span recorder (internal/obs):
+// when on, requests, statements, mechanism iterations, snapshot fetches
+// and device commands emit hierarchical spans into a bounded in-memory
+// ring. Disabled (the default) the instrumentation is a single atomic
+// load per call site, and no logical counter changes either way.
+func SetTracing(on bool) { obs.SetTracing(on) }
+
+// TracingEnabled reports whether the span recorder is on.
+func TracingEnabled() bool { return obs.Enabled() }
+
+// SetSlowQueryThreshold enables the process-wide slow-query log:
+// statements slower than d are recorded (most recent entries kept).
+// Zero disables. The slow log works with tracing on or off.
+func SetSlowQueryThreshold(d time.Duration) { obs.SetSlowThreshold(d) }
 
 // Conn opens a connection. A Conn is not safe for concurrent use; open
 // one per goroutine (see the package-level Concurrency section). Any
