@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt trace-check bench bench-smoke bench-compare microbench
+.PHONY: all check build vet test race fmt trace-check repl-smoke bench bench-smoke bench-compare microbench
 
 all: check
 
 # check is the tier-1 gate: build, vet, race-enabled tests, gofmt as a
-# failing check, and the tracing-overhead budget.
-check: build vet race fmt trace-check
+# failing check, the tracing-overhead budget, and the replication smoke.
+check: build vet race fmt trace-check repl-smoke
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ fmt:
 # smoke workload and fails when it exceeds the 5% budget.
 trace-check:
 	$(GO) run ./cmd/rqlbench -quick -trace-check
+
+# repl-smoke runs the replication acceptance surface under the race
+# detector: bootstrap/tail/resume/redirect, byte-identical replicated
+# retrospection, cross-version handshake, and the 3-replica fan-out
+# stress run with a mid-run replica kill and restart.
+repl-smoke:
+	$(GO) test -race -run 'TestRepl|TestCrossVersion' ./internal/repl ./internal/server
 
 # bench appends a machine-readable batch-SPT run to BENCH_rql.json:
 # wall time, Maplog entries scanned, cache hit rates, and delta-pruning

@@ -60,6 +60,7 @@ type Conn struct {
 	lastSnapshot uint64
 	lastTrace    uint64
 	inTx         bool
+	version      int // negotiated protocol version (min of ours and the server's)
 }
 
 // Dial connects to an rqld server.
@@ -109,8 +110,24 @@ func (c *Conn) handshake() error {
 	if op != wire.RespHello {
 		return fmt.Errorf("client: unexpected handshake reply %#x", op)
 	}
+	// The server replies with min(its version, ours); an older server
+	// simply echoes a lower number and the session runs at that level.
+	d := &wire.Dec{B: payload}
+	v := d.Uvarint()
+	if d.Err() != nil || v == 0 {
+		return fmt.Errorf("client: malformed handshake reply")
+	}
+	c.version = int(v)
+	if c.version > wire.ProtocolVersion {
+		c.version = wire.ProtocolVersion
+	}
 	return nil
 }
+
+// Version returns the negotiated protocol version for this connection:
+// the minimum of the client's and the server's. Replication requests
+// (Horizon, ReplStats) need at least wire.ReplProtocolVersion.
+func (c *Conn) Version() int { return c.version }
 
 // Close closes the connection.
 func (c *Conn) Close() error {
@@ -488,6 +505,63 @@ func (c *Conn) ServerStats() (ServerStats, error) {
 		case wire.RespStats:
 			d := &wire.Dec{B: payload}
 			out = wire.DecodeServerStats(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return out, err
+}
+
+// Horizon reports the server's replication role and applied-snapshot
+// horizon: on a primary the latest declared snapshot, on a replica the
+// latest snapshot applied atomically from the primary's stream. Needs a
+// v4 server.
+func (c *Conn) Horizon() (wire.HorizonInfo, error) {
+	if c.version < wire.ReplProtocolVersion {
+		return wire.HorizonInfo{}, fmt.Errorf(
+			"client: HORIZON requires protocol v%d (server speaks v%d)",
+			wire.ReplProtocolVersion, c.version)
+	}
+	var out wire.HorizonInfo
+	err := c.request(wire.ReqHorizon, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespHorizon:
+			d := &wire.Dec{B: payload}
+			out = wire.DecodeHorizonInfo(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return out, err
+}
+
+// ReplStats fetches the server's replication statistics: per-replica
+// ack/lag rows on a primary, stream counters on a replica. Needs a v4
+// server.
+func (c *Conn) ReplStats() (wire.ReplStats, error) {
+	if c.version < wire.ReplProtocolVersion {
+		return wire.ReplStats{}, fmt.Errorf(
+			"client: REPL STATS requires protocol v%d (server speaks v%d)",
+			wire.ReplProtocolVersion, c.version)
+	}
+	var out wire.ReplStats
+	err := c.request(wire.ReqReplStats, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespReplStats:
+			d := &wire.Dec{B: payload}
+			out = wire.DecodeReplStats(d)
 			if d.Err() != nil {
 				return true, c.fail(d.Err())
 			}

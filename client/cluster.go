@@ -1,0 +1,404 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rql"
+	"rql/internal/sql"
+	"rql/internal/wire"
+)
+
+// ClusterConfig names the members of a replicated rqld deployment: one
+// writer primary and any number of snapshot-shipping replicas.
+type ClusterConfig struct {
+	// Primary is the writer's address. Required.
+	Primary string
+	// Replicas are the read replicas' addresses. May be empty, in which
+	// case every request is served by the primary.
+	Replicas []string
+	// HorizonWait bounds how long a routed read waits for a replica to
+	// apply the snapshot it needs before failing over to the primary
+	// (default 2s).
+	HorizonWait time.Duration
+	// DialTimeout bounds each member connection attempt (default 5s).
+	DialTimeout time.Duration
+}
+
+// Cluster is a routing client over a replicated deployment. Writes,
+// transactions, and snapshot declarations go to the primary;
+// retrospective work — SELECT/EXPLAIN statements, AS OF reads, and the
+// four RQL mechanisms — is spread round-robin over replicas whose
+// applied-snapshot horizon covers the snapshot the request needs. A
+// replica that is down or lagging past HorizonWait is skipped; with no
+// usable replica the read falls back to the primary, so a Cluster with
+// zero live replicas degrades to a plain connection.
+//
+// Like Conn, a Cluster carries one request at a time and is meant for
+// use from one goroutine; open one Cluster per goroutine.
+type Cluster struct {
+	cfg     ClusterConfig
+	primary *Conn
+	reps    []*member
+	rr      int    // round-robin cursor over reps
+	horizon uint64 // latest snapshot id this client knows about
+}
+
+// member is one replica slot. conn is nil while the replica is down;
+// reads lazily redial it. horizon caches the replica's last observed
+// applied-snapshot horizon: it only ever advances on a live node, so a
+// cached value covering the needed snapshot lets a read skip the
+// pre-flight Horizon round-trip. probed records whether the current
+// connection has answered at least one Horizon probe (a fresh, never
+// bootstrapped replica must not serve even horizon-0 reads).
+type member struct {
+	addr    string
+	conn    *Conn
+	horizon uint64
+	probed  bool
+}
+
+// clusterSeq staggers the initial round-robin position of successive
+// Cluster clients so a fleet of single-read sessions does not all land
+// on the same replica.
+var clusterSeq atomic.Uint32
+
+// OpenCluster connects to the primary (required) and to every replica
+// that answers; replicas that are down at open time are retried lazily
+// on first use.
+func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("client: cluster needs a primary address")
+	}
+	if cfg.HorizonWait <= 0 {
+		cfg.HorizonWait = 2 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	p, err := DialTimeout(cfg.Primary, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: cluster primary %s: %w", cfg.Primary, err)
+	}
+	cl := &Cluster{cfg: cfg, primary: p}
+	for _, addr := range cfg.Replicas {
+		m := &member{addr: addr}
+		m.conn, _ = DialTimeout(addr, cfg.DialTimeout) // nil on failure: lazy redial
+		cl.reps = append(cl.reps, m)
+	}
+	if len(cl.reps) > 0 {
+		cl.rr = int(clusterSeq.Add(1)) % len(cl.reps)
+	}
+	return cl, nil
+}
+
+// Close closes every member connection.
+func (cl *Cluster) Close() error {
+	err := cl.primary.Close()
+	for _, m := range cl.reps {
+		if m.conn != nil {
+			m.conn.Close()
+			m.conn = nil
+		}
+	}
+	return err
+}
+
+// Primary returns the primary connection for direct use.
+func (cl *Cluster) Primary() *Conn { return cl.primary }
+
+// Horizon returns the latest snapshot id this client has seen declared
+// (via DeclareSnapshot or COMMIT WITH SNAPSHOT through this Cluster).
+// Routed reads wait for a replica to cover it.
+func (cl *Cluster) Horizon() uint64 { return cl.horizon }
+
+// readOnlySQL reports whether every statement in src is a SELECT or an
+// EXPLAIN — safe to serve from a read-only replica. Parse errors and
+// writes route to the primary, which owns the authoritative error.
+func readOnlySQL(src string) bool {
+	stmts, err := sql.ParseAll(src)
+	if err != nil {
+		return false
+	}
+	for _, s := range stmts {
+		switch s.(type) {
+		case *sql.SelectStmt, *sql.ExplainStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Exec routes one or more statements: read-only batches go to a
+// replica when one covers the current horizon, everything else to the
+// primary. Inside an explicit transaction all statements stay on the
+// primary so reads observe the transaction's own writes.
+func (cl *Cluster) Exec(sqlText string, cb rql.RowCallback, params ...rql.Value) error {
+	if cl.primary.InTx() || !readOnlySQL(sqlText) {
+		err := cl.primary.Exec(sqlText, cb, params...)
+		cl.noteSnapshot(cl.primary.LastSnapshot())
+		return err
+	}
+	return cl.routedRead(cl.horizon, func(c *Conn, rcb rql.RowCallback) error {
+		return c.Exec(sqlText, rcb, params...)
+	}, cb)
+}
+
+// ExecAsOf routes an AS OF batch to a replica whose horizon covers
+// snap, falling back to the primary.
+func (cl *Cluster) ExecAsOf(sqlText string, snap uint64, cb rql.RowCallback, params ...rql.Value) error {
+	if cl.primary.InTx() || !readOnlySQL(sqlText) {
+		return cl.primary.ExecAsOf(sqlText, snap, cb, params...)
+	}
+	return cl.routedRead(snap, func(c *Conn, rcb rql.RowCallback) error {
+		return c.ExecAsOf(sqlText, snap, rcb, params...)
+	}, cb)
+}
+
+// routedRead runs a row-streaming read through the failover loop,
+// buffering rows per attempt so a mid-stream replica failure (retried
+// on another member) never delivers duplicate rows to cb.
+func (cl *Cluster) routedRead(snap uint64, run func(c *Conn, cb rql.RowCallback) error, cb rql.RowCallback) error {
+	var cols []string
+	var buf [][]rql.Value
+	err := cl.read(snap, func(c *Conn) error {
+		cols, buf = nil, nil // reset rows from a failed attempt
+		return run(c, func(cs []string, row []rql.Value) error {
+			if cols == nil {
+				cols = append([]string(nil), cs...)
+			}
+			cp := make([]rql.Value, len(row))
+			copy(cp, row)
+			buf = append(buf, cp)
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if cb == nil {
+		return nil
+	}
+	for _, row := range buf {
+		if err := cb(cols, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Query executes a single SELECT through the routing Exec.
+func (cl *Cluster) Query(sqlText string, params ...rql.Value) (*rql.Rows, error) {
+	rows := &rql.Rows{}
+	err := cl.Exec(sqlText, func(cols []string, row []rql.Value) error {
+		if rows.Cols == nil {
+			rows.Cols = append([]string(nil), cols...)
+		}
+		cp := make([]rql.Value, len(row))
+		copy(cp, row)
+		rows.Rows = append(rows.Rows, cp)
+		return nil
+	}, params...)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Begin, Commit, Rollback and CommitWithSnapshot run on the primary:
+// replicas reject writes with a redirect.
+
+func (cl *Cluster) Begin() error    { return cl.primary.Begin() }
+func (cl *Cluster) Commit() error   { return cl.primary.Commit() }
+func (cl *Cluster) Rollback() error { return cl.primary.Rollback() }
+
+// CommitWithSnapshot commits on the primary and advances the cluster's
+// read horizon to the declared snapshot.
+func (cl *Cluster) CommitWithSnapshot() (uint64, error) {
+	id, err := cl.primary.CommitWithSnapshot()
+	if err == nil {
+		cl.noteSnapshot(id)
+	}
+	return id, err
+}
+
+// DeclareSnapshot declares on the primary and advances the cluster's
+// read horizon.
+func (cl *Cluster) DeclareSnapshot(label string) (uint64, error) {
+	id, err := cl.primary.DeclareSnapshot(label)
+	if err == nil {
+		cl.noteSnapshot(id)
+	}
+	return id, err
+}
+
+// EnsureSnapIds runs on the primary (SnapIds rows replicate as
+// annotations alongside the snapshots themselves).
+func (cl *Cluster) EnsureSnapIds() error { return cl.primary.EnsureSnapIds() }
+
+// RecordSnapshot registers an already-declared snapshot on the primary.
+func (cl *Cluster) RecordSnapshot(snapID uint64, ts time.Time, label string) error {
+	return cl.primary.RecordSnapshot(snapID, ts, label)
+}
+
+// The four RQL mechanisms route to a replica covering the cluster's
+// horizon: the snapshot set Qs names only snapshots the client has seen
+// declared, and the result table is TEMP (session side store), which
+// replicas accept.
+
+func (cl *Cluster) CollateData(qs, qq, table string) (*rql.RunStats, error) {
+	return cl.mech(func(c *Conn) (*rql.RunStats, error) { return c.CollateData(qs, qq, table) })
+}
+
+func (cl *Cluster) AggregateDataInVariable(qs, qq, table, aggFunc string) (*rql.RunStats, error) {
+	return cl.mech(func(c *Conn) (*rql.RunStats, error) {
+		return c.AggregateDataInVariable(qs, qq, table, aggFunc)
+	})
+}
+
+func (cl *Cluster) AggregateDataInTable(qs, qq, table, pairs string) (*rql.RunStats, error) {
+	return cl.mech(func(c *Conn) (*rql.RunStats, error) {
+		return c.AggregateDataInTable(qs, qq, table, pairs)
+	})
+}
+
+func (cl *Cluster) CollateDataIntoIntervals(qs, qq, table string) (*rql.RunStats, error) {
+	return cl.mech(func(c *Conn) (*rql.RunStats, error) {
+		return c.CollateDataIntoIntervals(qs, qq, table)
+	})
+}
+
+func (cl *Cluster) mech(run func(*Conn) (*rql.RunStats, error)) (*rql.RunStats, error) {
+	var stats *rql.RunStats
+	err := cl.read(cl.horizon, func(c *Conn) error {
+		var err error
+		stats, err = run(c)
+		return err
+	})
+	return stats, err
+}
+
+// noteSnapshot advances the client-side horizon.
+func (cl *Cluster) noteSnapshot(id uint64) {
+	if id > cl.horizon {
+		cl.horizon = id
+	}
+}
+
+// read runs fn on a replica whose applied horizon covers snap, trying
+// each live replica round-robin, waiting up to HorizonWait for a
+// lagging one, and finally failing over to the primary. Statement
+// errors (the server ran the request and said no) are returned as-is;
+// connection errors drop the replica and move on.
+func (cl *Cluster) read(snap uint64, fn func(*Conn) error) error {
+	deadline := time.Now().Add(cl.cfg.HorizonWait)
+	for {
+		tried := 0
+		for range cl.reps {
+			m := cl.reps[cl.rr%len(cl.reps)]
+			cl.rr++
+			c := cl.replicaConn(m)
+			if c == nil {
+				continue
+			}
+			tried++
+			if !m.probed || m.horizon < snap {
+				h, err := c.Horizon()
+				if err != nil {
+					if isStatementError(err) {
+						// v3 server or replication off: never usable here.
+						continue
+					}
+					cl.dropReplica(m)
+					continue
+				}
+				if h.Role == wire.RoleReplica && h.LSN == 0 {
+					continue // joined but not yet bootstrapped: nothing to serve
+				}
+				m.probed = true
+				if h.Horizon > m.horizon {
+					m.horizon = h.Horizon
+				}
+			}
+			if m.horizon < snap {
+				continue // lagging; maybe another replica covers it
+			}
+			if err := fn(c); err == nil || isStatementError(err) {
+				return err
+			}
+			cl.dropReplica(m)
+		}
+		if len(cl.reps) == 0 || time.Now().After(deadline) {
+			return fn(cl.primary)
+		}
+		if tried == 0 && !cl.anyDialable() {
+			return fn(cl.primary)
+		}
+		time.Sleep(10 * time.Millisecond) // lagging replicas: poll horizons
+	}
+}
+
+// replicaConn returns m's live connection, redialing if it was dropped.
+func (cl *Cluster) replicaConn(m *member) *Conn {
+	if m.conn != nil {
+		return m.conn
+	}
+	c, err := DialTimeout(m.addr, cl.cfg.DialTimeout)
+	if err != nil {
+		return nil
+	}
+	m.conn = c
+	return c
+}
+
+func (cl *Cluster) dropReplica(m *member) {
+	if m.conn != nil {
+		m.conn.Close()
+		m.conn = nil
+	}
+	// The address may come back as a different process with an empty
+	// database; re-probe before trusting it again.
+	m.horizon, m.probed = 0, false
+}
+
+// anyDialable reports whether at least one replica slot has a live
+// connection after a full pass (used to short-circuit the horizon-wait
+// loop when every replica is down).
+func (cl *Cluster) anyDialable() bool {
+	for _, m := range cl.reps {
+		if m.conn != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isStatementError reports whether err came from the server running the
+// request (rather than a broken connection): those must not trigger
+// failover — the statement already executed, or deterministically
+// cannot.
+func isStatementError(err error) bool {
+	var re *wire.RemoteError
+	if errors.As(err, &re) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return false
+	}
+	// A peer dying mid-request surfaces as a bare EOF from the framing
+	// layer — a connection failure, not a server verdict.
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return false
+	}
+	// Row-callback errors surface verbatim; connection failures are
+	// wrapped by Conn.fail with a recognizable prefix.
+	return !strings.Contains(err.Error(), "connection broken") &&
+		!errors.Is(err, ErrConnClosed)
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rql"
+	"rql/internal/repl"
 	"rql/internal/server"
 )
 
@@ -41,6 +42,9 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /traces, /slow, pprof); empty disables")
 		trace       = flag.Bool("trace", false, "start with the span recorder enabled")
 		slowThresh  = flag.Duration("slow-threshold", 0, "log queries slower than this (0 disables the slow-query log)")
+		replicaOf   = flag.String("replica-of", "", "run as a read replica of the primary rqld at this address")
+		replicaID   = flag.String("replica-id", "", "replica identity reported to the primary (default host:pid)")
+		replRetain  = flag.Int("repl-retain", 0, "snapshots of replication history the primary keeps for resume (0 = default)")
 	)
 	flag.Parse()
 
@@ -73,6 +77,31 @@ func main() {
 		DrainTimeout:   *drain,
 	})
 
+	// Replication role. A replica tails the primary's snapshot stream
+	// and rejects writes; any other rqld is a potential primary and
+	// accepts subscriber streams (chaining replicas is not supported —
+	// replicated applies bypass the commit observer by design).
+	var replica *repl.Replica
+	var primary *repl.Primary
+	if *replicaOf != "" {
+		id := *replicaID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		replica, err = repl.NewReplica(db, repl.ReplicaConfig{Primary: *replicaOf, ID: id})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rqld:", err)
+			os.Exit(1)
+		}
+		replica.Start()
+		srv.SetReplica(replica)
+		fmt.Printf("rqld: replica of %s (id %s)\n", *replicaOf, id)
+	} else {
+		primary = repl.NewPrimary(db, repl.PrimaryConfig{RetainSnapshots: *replRetain})
+		srv.SetPrimary(primary)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
@@ -94,6 +123,9 @@ func main() {
 	}
 	if a := srv.Addr(); a != "" {
 		fmt.Printf("rqld: serving on %s\n", a)
+		if primary != nil {
+			primary.SetAddr(a) // redirect target replicas report to clients
+		}
 	}
 
 	select {
@@ -106,6 +138,13 @@ func main() {
 		fmt.Printf("rqld: %v, draining...\n", s)
 		srv.Shutdown()
 		<-done
+	}
+
+	if replica != nil {
+		replica.Close()
+	}
+	if primary != nil {
+		primary.Close()
 	}
 
 	st := srv.Stats()

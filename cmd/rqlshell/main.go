@@ -34,6 +34,7 @@ import (
 	"rql"
 	"rql/client"
 	"rql/internal/obs"
+	"rql/internal/wire"
 )
 
 // backend is the part of the rql.Conn API the shell needs; rql.Conn and
@@ -184,7 +185,7 @@ func dotCommand(env *shellEnv, cmd string) bool {
   SELECT AggregateDataInTable(snap_id, 'Qq', 'T', '(c,max)') FROM SnapIds;
   SELECT CollateDataIntoIntervals(snap_id, 'Qq', 'T') FROM SnapIds;
 Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .mech
-              .trace on|off|last  .slow [dur|off]  .quit`)
+              .replicas  .trace on|off|last  .slow [dur|off]  .quit`)
 	case ".tables":
 		objs, err := conn.Objects()
 		if err != nil {
@@ -299,6 +300,44 @@ Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .mech
 			}
 			fmt.Printf("  snap %-4d io=%-10v spt=%-10v idx=%-10v eval=%-10v udf=%-10v rows=%d%s\n",
 				it.Snapshot, it.IOTime, it.SPTBuild, it.IndexCreation, it.QueryEval, it.UDF, it.QqRows, mark)
+		}
+	case ".replicas":
+		if env.remote == nil {
+			fmt.Println("replication state lives on rqld; connect with -connect")
+			break
+		}
+		rs, err := env.remote.ReplStats()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		switch rs.Role {
+		case wire.RoleReplica:
+			fmt.Printf("role: replica of %s\n", rs.Primary)
+			fmt.Printf("applied: snapshot horizon %d, lsn %d\n", rs.Horizon, rs.LSN)
+			fmt.Printf("stream: %d bytes received, %d deltas, %d snapshots applied, %d bootstrap(s), %d reconnect(s)\n",
+				rs.BytesReceived, rs.DeltasApplied, rs.SnapshotsApplied, rs.Bootstraps, rs.Reconnects)
+			if rs.LastError != "" {
+				fmt.Printf("last error: %s\n", rs.LastError)
+			}
+		default:
+			fmt.Printf("role: primary (snapshot horizon %d, lsn %d)\n", rs.Horizon, rs.LSN)
+			if len(rs.Replicas) == 0 {
+				fmt.Println("no replicas have subscribed")
+				break
+			}
+			for _, rep := range rs.Replicas {
+				state := "connected"
+				if !rep.Connected {
+					state = "disconnected"
+				}
+				lag := uint64(0)
+				if rs.Horizon > rep.AckedSnap {
+					lag = rs.Horizon - rep.AckedSnap
+				}
+				fmt.Printf("  %-24s %-12s acked snap %-6d (lag %d)  lsn %-8d sent %d bytes\n",
+					rep.ID, state, rep.AckedSnap, lag, rep.AckedLSN, rep.SentBytes)
+			}
 		}
 	case ".trace":
 		if len(fields) < 2 {

@@ -82,6 +82,8 @@ type BatchReport struct {
 	Pipeline   []PipelineResult `json:"pipeline,omitempty"`
 	// The tracing-overhead smoke measurement (absent in pre-obs runs).
 	Tracing *TracingResult `json:"tracing,omitempty"`
+	// The replica fan-out experiment (absent in pre-replication runs).
+	Fanout *FanoutResult `json:"fanout,omitempty"`
 }
 
 // batchWorkers is the parallel worker count used by the experiment.
@@ -308,6 +310,9 @@ func (r *Runner) BatchReport() (*BatchReport, error) {
 		return nil, err
 	}
 	rep.Tracing = tr
+	if err := r.fanoutBatch(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -483,6 +488,12 @@ func (r *Runner) Batch() error {
 			"\ntracing overhead (%s, %d snapshots, sleeping device): disabled %s, enabled %s (%d spans) → %+.2f%%\n",
 			tr.Mechanism, tr.Snapshots, tr.Disabled.Wall, tr.Enabled.Wall,
 			tr.Enabled.Spans, tr.OverheadPct)
+	}
+	if f := rep.Fanout; f != nil {
+		fmt.Fprintf(r.Out,
+			"\nreplica fan-out (%d sessions, %d snapshots): single node %s (%.0f q/s), %d replicas %s (%.0f q/s) → %.2fx\n",
+			f.Sessions, f.Snapshots, f.Single.Wall, f.Single.QPS,
+			f.Replicas, f.Fanout.Wall, f.Fanout.QPS, f.Speedup)
 	}
 	return nil
 }

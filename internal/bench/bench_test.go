@@ -212,6 +212,14 @@ func TestBatchReportQuick(t *testing.T) {
 			t.Errorf("%s/%s: legacy/batch sides pruned despite SetDeltaPrune(false)", res.Mechanism, res.Mode)
 		}
 	}
+	// The replica fan-out phase must have timed both topologies over the
+	// same amount of work.
+	if f := rep.Fanout; f == nil {
+		t.Error("report missing the replica fan-out phase")
+	} else if f.Single.WallNS <= 0 || f.Fanout.WallNS <= 0 ||
+		f.Single.Queries == 0 || f.Single.Queries != f.Fanout.Queries {
+		t.Errorf("fan-out sides malformed: %+v", f)
+	}
 	// The runs file appends instead of overwriting; a legacy flat
 	// report is wrapped as the first run, and two runs can be compared.
 	path := t.TempDir() + "/BENCH_rql.json"

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rql"
+	"rql/client"
+	"rql/internal/repl"
+	"rql/internal/server"
+	"rql/internal/tpch"
+)
+
+// The fan-out experiment measures what snapshot-shipping replication
+// buys concurrent retrospective work: the same fleet of retro sessions
+// (AS OF reads over the snapshot set plus one mechanism run each) is
+// timed twice — every session against the single primary, then routed
+// across read replicas through the cluster client. Page caches, SPT
+// work and session execution then spread over independent nodes
+// instead of contending on one.
+
+// FanoutSide is one topology's measurement within a FanoutResult.
+type FanoutSide struct {
+	Wall    string  `json:"wall"`
+	WallNS  int64   `json:"wall_ns"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+}
+
+// FanoutResult compares concurrent retrospective sessions on a single
+// node against the same sessions fanned out over replicas.
+type FanoutResult struct {
+	Sessions  int        `json:"sessions"`
+	Replicas  int        `json:"replicas"`
+	Snapshots int        `json:"snapshots"`
+	Single    FanoutSide `json:"single"`
+	Fanout    FanoutSide `json:"fanout"`
+	Speedup   float64    `json:"speedup"` // single wall / fanout wall
+}
+
+// fanConn is the session surface the two topologies share: a direct
+// connection (single node) or a routing cluster client (fan-out).
+type fanConn interface {
+	ExecAsOf(sqlText string, snap uint64, cb rql.RowCallback, params ...rql.Value) error
+	CollateData(qs, qq, table string) (*rql.RunStats, error)
+	Close() error
+}
+
+// fanoutBatch runs the replica fan-out phase: a primary is loaded with
+// the TPC-H workload and a snapshot history, three replicas bootstrap
+// and catch up, and the session fleet is timed against both topologies.
+func (r *Runner) fanoutBatch(rep *BatchReport) error {
+	sessions, steps, reads := 100, 24, 12
+	if r.Cfg.Quick {
+		sessions, steps, reads = 16, 8, 6
+	}
+	const replicas = 3
+	fmt.Fprintf(r.Out, "[setup] building fan-out environment: SF=%g, %d snapshots, %d replicas...\n",
+		r.Cfg.SF, steps+1, replicas)
+
+	// Primary node.
+	pdb, err := rql.Open(rql.Options{})
+	if err != nil {
+		return err
+	}
+	defer pdb.Close()
+	primary := repl.NewPrimary(pdb, repl.PrimaryConfig{})
+	defer primary.Close()
+	gen := tpch.NewGenerator(r.Cfg.SF, 42)
+	wconn := pdb.Conn()
+	minKey, _, err := tpch.Load(wconn.Conn, gen)
+	if err != nil {
+		return err
+	}
+	psrv := server.New(pdb, server.Config{})
+	psrv.SetPrimary(primary)
+	plis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	pdone := make(chan error, 1)
+	go func() { pdone <- psrv.Serve(plis) }()
+	paddr := plis.Addr().String()
+	primary.SetAddr(paddr)
+	defer func() {
+		psrv.Shutdown()
+		<-pdone
+	}()
+
+	// Snapshot history: the paper's RF1/RF2 refresh cycle per snapshot.
+	snaps := make([]uint64, 0, steps+1)
+	id, err := wconn.DeclareSnapshot("fanout-initial")
+	if err != nil {
+		return err
+	}
+	snaps = append(snaps, id)
+	ops := gen.Orders() / UW30.Cycle // the paper's UW30 refresh rate
+	if ops < 1 {
+		ops = 1
+	}
+	w := tpch.NewWorkload(wconn.Conn, gen, minKey, ops)
+	for i := 0; i < steps; i++ {
+		id, err := w.Step()
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, id)
+	}
+	last := snaps[len(snaps)-1]
+
+	// Replica fleet: bootstrap and catch up before the clock starts.
+	type node struct {
+		db   *rql.DB
+		rep  *repl.Replica
+		srv  *server.Server
+		addr string
+		done chan error
+	}
+	nodes := make([]*node, 0, replicas)
+	defer func() {
+		for _, n := range nodes {
+			n.srv.Shutdown()
+			<-n.done
+			n.rep.Close()
+			n.db.Close()
+		}
+	}()
+	raddrs := make([]string, 0, replicas)
+	for i := 0; i < replicas; i++ {
+		db, err := rql.Open(rql.Options{})
+		if err != nil {
+			return err
+		}
+		rp, err := repl.NewReplica(db, repl.ReplicaConfig{
+			Primary: paddr, ID: fmt.Sprintf("bench-replica-%d", i),
+		})
+		if err != nil {
+			db.Close()
+			return err
+		}
+		rp.Start()
+		srv := server.New(db, server.Config{})
+		srv.SetReplica(rp)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			rp.Close()
+			db.Close()
+			return err
+		}
+		n := &node{db: db, rep: rp, srv: srv, addr: lis.Addr().String(), done: make(chan error, 1)}
+		go func() { n.done <- srv.Serve(lis) }()
+		nodes = append(nodes, n)
+		raddrs = append(raddrs, n.addr)
+	}
+	for i, n := range nodes {
+		if err := n.rep.WaitForHorizon(last, 60*time.Second); err != nil {
+			return fmt.Errorf("bench: fan-out replica %d catch-up: %w", i, err)
+		}
+	}
+
+	// One session's work: AS OF aggregates cycling over the snapshot
+	// set, then one CollateData over the full set. Identical on both
+	// topologies; result tables are unique per (side, session) because
+	// a node's session side store is shared.
+	const qAsOf = `SELECT COUNT(*), SUM(o_totalprice) FROM orders`
+	session := func(c fanConn, side string, s int) (int, error) {
+		queries := 0
+		for i := 0; i < reads; i++ {
+			err := c.ExecAsOf(qAsOf, snaps[(s+i)%len(snaps)], nil)
+			if err != nil {
+				return queries, err
+			}
+			queries++
+		}
+		_, err := c.CollateData(
+			`SELECT snap_id FROM SnapIds`,
+			`SELECT COUNT(*) AS cnt, current_snapshot() AS sid FROM orders`,
+			fmt.Sprintf("fan_%s_%d", side, s))
+		if err != nil {
+			return queries, err
+		}
+		return queries + 1, nil
+	}
+	runSide := func(side string, dial func() (fanConn, error)) (FanoutSide, error) {
+		conns := make([]fanConn, sessions)
+		for i := range conns {
+			c, err := dial()
+			if err != nil {
+				return FanoutSide{}, err
+			}
+			defer c.Close()
+			conns[i] = c
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		total := 0
+		var mu sync.Mutex
+		start := time.Now()
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				n, err := session(conns[s], side, s)
+				if err != nil {
+					errs <- fmt.Errorf("bench: fan-out %s session %d: %w", side, s, err)
+				}
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}(s)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return FanoutSide{}, err
+		}
+		return FanoutSide{
+			Wall:    wall.Round(time.Microsecond).String(),
+			WallNS:  wall.Nanoseconds(),
+			Queries: total,
+			QPS:     float64(total) / wall.Seconds(),
+		}, nil
+	}
+
+	single, err := runSide("single", func() (fanConn, error) {
+		return client.Dial(paddr)
+	})
+	if err != nil {
+		return err
+	}
+	fanout, err := runSide("fanout", func() (fanConn, error) {
+		return client.OpenCluster(client.ClusterConfig{
+			Primary:     paddr,
+			Replicas:    raddrs,
+			HorizonWait: 30 * time.Second,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	res := &FanoutResult{
+		Sessions:  sessions,
+		Replicas:  replicas,
+		Snapshots: len(snaps),
+		Single:    single,
+		Fanout:    fanout,
+	}
+	if fanout.WallNS > 0 {
+		res.Speedup = float64(single.WallNS) / float64(fanout.WallNS)
+	}
+	rep.Fanout = res
+	return nil
+}

@@ -146,6 +146,7 @@ func Compare(path string, out io.Writer) error {
 			len(cur.Report.Results)-matched)
 	}
 	comparePipeline(old.Report, cur.Report, out, check)
+	compareFanout(old.Report, cur.Report, out, check)
 	if len(regressions) > 0 {
 		return fmt.Errorf("bench: wall time regressed >%.0f%% on %d side(s): %s",
 			100*regressionLimit, len(regressions), strings.Join(regressions, ", "))
@@ -185,6 +186,28 @@ func comparePipeline(old, cur *BatchReport, out io.Writer, check func(mech, side
 			fmt.Sprintf("%+d", res.Pipelined.PagelogReads-p.Pipelined.PagelogReads))
 	}
 	tab.Fprint(out)
+}
+
+// compareFanout diffs the replica fan-out phase of two reports through
+// the same regression check as the batch sides. Runs predating the
+// phase (or with mismatched topology) have nothing to match.
+func compareFanout(old, cur *BatchReport, out io.Writer, check func(mech, side string, old, cur BatchSide)) {
+	o, c := old.Fanout, cur.Fanout
+	if o == nil || c == nil {
+		return
+	}
+	if o.Sessions != c.Sessions || o.Replicas != c.Replicas {
+		fmt.Fprintf(out, "fan-out topology changed (%dx%d -> %dx%d); not compared\n",
+			o.Sessions, o.Replicas, c.Sessions, c.Replicas)
+		return
+	}
+	check("fan-out", "single", BatchSide{WallNS: o.Single.WallNS}, BatchSide{WallNS: c.Single.WallNS})
+	check("fan-out", "replicas", BatchSide{WallNS: o.Fanout.WallNS}, BatchSide{WallNS: c.Fanout.WallNS})
+	fmt.Fprintf(out, "replica fan-out (%d sessions, %d replicas): single %s vs %s, fanned out %s vs %s (%.2fx)\n",
+		c.Sessions, c.Replicas,
+		wallDelta(BatchSide{WallNS: o.Single.WallNS}, BatchSide{WallNS: c.Single.WallNS}), time.Duration(c.Single.WallNS),
+		wallDelta(BatchSide{WallNS: o.Fanout.WallNS}, BatchSide{WallNS: c.Fanout.WallNS}), time.Duration(c.Fanout.WallNS),
+		c.Speedup)
 }
 
 // relDelta returns (cur-old)/old, reporting ok=false when either side

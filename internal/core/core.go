@@ -244,11 +244,19 @@ func EnsureSnapIds(conn *sql.Conn) error {
 // RecordSnapshot registers a declared snapshot in SnapIds with a
 // timestamp and an optional application-meaningful label.
 func RecordSnapshot(conn *sql.Conn, snapID uint64, ts time.Time, label string) error {
-	return conn.Exec(`INSERT INTO SnapIds (snap_id, snap_ts, label) VALUES (?, ?, ?)`, nil,
+	tsStr := ts.UTC().Format("2006-01-02 15:04:05")
+	err := conn.Exec(`INSERT INTO SnapIds (snap_id, snap_ts, label) VALUES (?, ?, ?)`, nil,
 		record.Int(int64(snapID)),
-		record.Text(ts.UTC().Format("2006-01-02 15:04:05")),
+		record.Text(tsStr),
 		record.Text(label),
 	)
+	if err != nil {
+		return err
+	}
+	// SnapIds lives in the side store, outside page-level replication;
+	// announce the registration so a primary can ship it logically.
+	conn.DB().NotifyAnnotation(snapID, tsStr, label)
+	return nil
 }
 
 // DeclareSnapshot declares a snapshot of the current state (an empty

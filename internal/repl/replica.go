@@ -1,0 +1,585 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rql"
+	"rql/internal/obs"
+	"rql/internal/record"
+	"rql/internal/retro"
+	"rql/internal/storage"
+	"rql/internal/wire"
+)
+
+// ReplicaConfig configures NewReplica.
+type ReplicaConfig struct {
+	// Primary is the primary rqld's address (host:port). Required.
+	Primary string
+	// ID identifies this replica in the primary's registry.
+	ID string
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// ReconnectMin/Max bound the reconnect backoff (default 100ms..5s).
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+}
+
+// Replica tails a primary's replication stream into a local database,
+// applying snapshot groups atomically so the database's visible state
+// always sits on a snapshot boundary. The database serves all four RQL
+// mechanisms, AS OF reads and snapshot-set opens from its own local
+// Pagelog/Maplog; writes are rejected with a redirect to the primary.
+type Replica struct {
+	db  *rql.DB
+	cfg ReplicaConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when horizon advances or replica stops
+	horizon uint64     // last fully applied snapshot
+	lsn     uint64     // last applied commit LSN
+	booted  bool       // a bootstrap or first delta has been applied
+	stopped bool
+
+	// Stream-apply state, owned by the run loop.
+	pending []*retro.CommitDelta // buffered commits of the open snapshot group
+	partial *retro.CommitDelta   // commit being reassembled from chunked frames
+	recvd   uint64               // payload bytes received on the current+past streams
+
+	annConn *connWrapper
+
+	bytesReceived    atomic.Uint64
+	deltasApplied    atomic.Uint64
+	snapshotsApplied atomic.Uint64
+	bootstraps       atomic.Uint64
+	reconnects       atomic.Uint64
+	lastErr          atomic.Value // string
+
+	closed chan struct{}
+	done   sync.WaitGroup
+
+	// current connection, for Close to sever a blocked read.
+	connMu sync.Mutex
+	conn   net.Conn
+}
+
+// connWrapper serializes SnapIds access on the replica's own SQL
+// connection (the apply loop and bootstrap apply share it).
+type connWrapper struct {
+	mu   sync.Mutex
+	conn *rql.Conn
+}
+
+// NewReplica attaches replication to db: the database becomes
+// read-only for clients (writes redirect to cfg.Primary) and Start
+// begins tailing the primary.
+func NewReplica(db *rql.DB, cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("repl: replica needs a primary address")
+	}
+	if cfg.ID == "" {
+		cfg.ID = "replica"
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 100 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 5 * time.Second
+	}
+	r := &Replica{
+		db:      db,
+		cfg:     cfg,
+		closed:  make(chan struct{}),
+		annConn: &connWrapper{conn: db.Conn()},
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.lastErr.Store("")
+	// A replica restarted over a database that already applied state
+	// resumes from its last applied snapshot instead of bootstrapping
+	// (the replica only ever stops on snapshot boundaries, so the local
+	// horizon fully describes the local state).
+	if last := uint64(db.Engine().Retro().LastSnapshot()); last > 0 {
+		r.horizon = last
+		r.lsn = db.Engine().MainStore().LSN()
+		r.booted = true
+	}
+	db.Engine().MainStore().SetReadOnly(RedirectError(cfg.Primary))
+	return r, nil
+}
+
+// Start launches the replication loop.
+func (r *Replica) Start() {
+	r.done.Add(1)
+	go r.loop()
+}
+
+// Close stops replication. The database stays open (and read-only).
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.closed)
+	r.connMu.Lock()
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.connMu.Unlock()
+	r.cond.Broadcast()
+	r.done.Wait()
+}
+
+// Horizon returns the last fully applied snapshot id.
+func (r *Replica) Horizon() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.horizon
+}
+
+// LSN returns the last applied commit LSN.
+func (r *Replica) LSN() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lsn
+}
+
+// PrimaryAddr returns the primary's address.
+func (r *Replica) PrimaryAddr() string { return r.cfg.Primary }
+
+// WaitForHorizon blocks until the applied horizon reaches snap, the
+// timeout passes, or the replica stops.
+func (r *Replica) WaitForHorizon(snap uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, r.cond.Broadcast)
+	defer timer.Stop()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.horizon < snap {
+		if r.stopped {
+			return errors.New("repl: replica stopped")
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("repl: horizon %d not reached (at %d) within %v", snap, r.horizon, timeout)
+		}
+		r.cond.Wait()
+	}
+	return nil
+}
+
+// Stats reports the replica's replication state.
+func (r *Replica) Stats() wire.ReplStats {
+	r.mu.Lock()
+	horizon, lsn := r.horizon, r.lsn
+	r.mu.Unlock()
+	lastErr, _ := r.lastErr.Load().(string)
+	return wire.ReplStats{
+		Role:             wire.RoleReplica,
+		Horizon:          horizon,
+		LSN:              lsn,
+		Primary:          r.cfg.Primary,
+		BytesReceived:    r.bytesReceived.Load(),
+		DeltasApplied:    r.deltasApplied.Load(),
+		SnapshotsApplied: r.snapshotsApplied.Load(),
+		Bootstraps:       r.bootstraps.Load(),
+		Reconnects:       r.reconnects.Load(),
+		LastError:        lastErr,
+	}
+}
+
+// loop dials, streams, and reconnects with backoff until Close. A
+// divergence error (terminal) stops the loop; connection errors retry.
+func (r *Replica) loop() {
+	defer r.done.Done()
+	backoff := r.cfg.ReconnectMin
+	for {
+		select {
+		case <-r.closed:
+			return
+		default:
+		}
+		err := r.stream()
+		if err == nil || r.isClosed() {
+			return
+		}
+		r.lastErr.Store(err.Error())
+		if errors.Is(err, storage.ErrReplMismatch) || errors.Is(err, retro.ErrReplDiverged) || errors.Is(err, errNeedBootstrap) {
+			// Terminal: the local state can no longer follow the
+			// primary. Surfaced via Stats/LastError.
+			return
+		}
+		r.reconnects.Add(1)
+		select {
+		case <-r.closed:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > r.cfg.ReconnectMax {
+			backoff = r.cfg.ReconnectMax
+		}
+	}
+}
+
+func (r *Replica) isClosed() bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// errNeedBootstrap: the primary wants to bootstrap but this replica
+// already holds state it cannot discard in place.
+var errNeedBootstrap = errors.New("repl: primary requires re-bootstrap of a non-empty replica")
+
+// stream runs one connection: handshake, subscribe, then apply frames
+// until the connection dies.
+func (r *Replica) stream() error {
+	nc, err := net.DialTimeout("tcp", r.cfg.Primary, r.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	r.connMu.Lock()
+	r.conn = nc
+	r.connMu.Unlock()
+	defer func() {
+		r.connMu.Lock()
+		r.conn = nil
+		r.connMu.Unlock()
+		nc.Close()
+	}()
+	br := bufio.NewReaderSize(nc, 1<<20)
+	bw := bufio.NewWriterSize(nc, 64<<10)
+
+	// Client handshake; replication needs a v4 primary.
+	e := &wire.Enc{}
+	e.String(wire.Magic)
+	e.Uvarint(wire.ProtocolVersion)
+	if err := wire.WriteFrame(bw, wire.ReqHello, e.B); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	op, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		return err
+	}
+	if op == wire.RespError {
+		return wire.DecodeError(payload)
+	}
+	d := &wire.Dec{B: payload}
+	serverVer := d.Uvarint()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if serverVer < wire.ReplProtocolVersion {
+		return fmt.Errorf("repl: primary speaks protocol v%d, replication needs v%d", serverVer, wire.ReplProtocolVersion)
+	}
+
+	r.mu.Lock()
+	lastApplied := r.horizon
+	r.mu.Unlock()
+	e = &wire.Enc{}
+	wire.EncodeReplSubscribe(e, wire.ReplSubscribe{ID: r.cfg.ID, LastApplied: lastApplied})
+	if err := wire.WriteFrame(bw, wire.ReqReplSub, e.B); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// Drop any half-reassembled group from a severed connection: the
+	// resumed stream re-sends the whole group from its boundary.
+	r.pending = nil
+	r.partial = nil
+
+	var boot *bootCollector
+	for {
+		op, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return err
+		}
+		r.bytesReceived.Add(uint64(len(payload)))
+		switch op {
+		case wire.RespError:
+			return wire.DecodeError(payload)
+		case wire.RespReplBoot:
+			d := &wire.Dec{B: payload}
+			kind := d.Byte()
+			if kind == wire.BootResume {
+				continue
+			}
+			if boot == nil {
+				boot = &bootCollector{}
+			}
+			done, err := boot.add(kind, d)
+			if err != nil {
+				return err
+			}
+			if done {
+				if err := r.applyBootstrap(boot); err != nil {
+					return err
+				}
+				boot = nil
+			}
+		case wire.RespReplDelta:
+			d := &wire.Dec{B: payload}
+			rd := wire.DecodeReplDelta(d)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if err := r.onDelta(rd, bw, nc); err != nil {
+				return err
+			}
+		case wire.RespReplAnnot:
+			d := &wire.Dec{B: payload}
+			anns := wire.DecodeReplAnnots(d)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			for _, a := range anns {
+				if err := r.applyAnnot(a); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("repl: unexpected frame 0x%02x on replication stream", op)
+		}
+	}
+}
+
+// onDelta merges chunked delta frames and, at each snapshot boundary,
+// applies the buffered group atomically.
+func (r *Replica) onDelta(rd wire.ReplDelta, bw *bufio.Writer, nc net.Conn) error {
+	c := r.partial
+	if c == nil {
+		c = &retro.CommitDelta{
+			LSN:     rd.LSN,
+			SnapTag: retro.SnapshotID(rd.SnapTag),
+			PlBase:  rd.PlBase,
+		}
+		r.partial = c
+	} else if c.LSN != rd.LSN {
+		return fmt.Errorf("repl: delta chunk for LSN %d while reassembling %d", rd.LSN, c.LSN)
+	}
+	for _, cap := range rd.Captures {
+		data := new(storage.PageData)
+		copy(data[:], cap.Data)
+		c.Captures = append(c.Captures, retro.ReplCapture{Page: storage.PageID(cap.Page), Data: data})
+	}
+	for _, pg := range rd.Pages {
+		rp := storage.ReplPage{ID: storage.PageID(pg.ID)}
+		if pg.Data != nil {
+			rp.Data = new(storage.PageData)
+			copy(rp.Data[:], pg.Data)
+		} else {
+			c.Freed = append(c.Freed, rp.ID)
+		}
+		c.Pages = append(c.Pages, rp)
+	}
+	if rd.Partial {
+		return nil
+	}
+	c.Declare = rd.Declare
+	c.SnapID = retro.SnapshotID(rd.SnapID)
+	r.partial = nil
+	// A resumed stream restarts at a snapshot-group boundary, which can
+	// predate a bootstrap cut taken mid-group: commits at or below the
+	// local LSN are already applied (store, Pagelog and Maplog alike)
+	// and are dropped here rather than re-applied.
+	r.mu.Lock()
+	applied := r.lsn
+	r.mu.Unlock()
+	if c.LSN > applied {
+		r.pending = append(r.pending, c)
+	}
+	if !c.Declare {
+		return nil
+	}
+	return r.applyGroup(bw, nc)
+}
+
+// applyGroup applies the buffered snapshot group atomically and acks.
+func (r *Replica) applyGroup(bw *bufio.Writer, nc net.Conn) error {
+	group := r.pending
+	r.pending = nil
+	if len(group) == 0 {
+		return nil
+	}
+	sp := obs.StartSpan(nil, "repl.apply")
+	store := r.db.Engine().MainStore()
+	rsys := r.db.Engine().Retro()
+	commits := make([]storage.ReplCommit, len(group))
+	for i, c := range group {
+		commits[i] = storage.ReplCommit{LSN: c.LSN, Pages: c.Pages, Freed: c.Freed}
+	}
+	err := store.ApplyReplicated(commits, func(i int) error {
+		return rsys.ApplyCommitDelta(group[i])
+	})
+	if err != nil {
+		sp.End()
+		return err
+	}
+	last := group[len(group)-1]
+	r.deltasApplied.Add(uint64(len(group)))
+	r.snapshotsApplied.Add(1)
+	r.mu.Lock()
+	r.horizon = uint64(last.SnapID)
+	r.lsn = last.LSN
+	r.booted = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	sp.SetInt("snapshot", int64(last.SnapID)).
+		SetInt("commits", int64(len(group))).
+		SetInt("lsn", int64(last.LSN))
+	sp.End()
+
+	ack := wire.ReplAck{Snap: uint64(last.SnapID), LSN: last.LSN, Bytes: r.bytesReceived.Load()}
+	e := &wire.Enc{}
+	wire.EncodeReplAck(e, ack)
+	nc.SetWriteDeadline(time.Now().Add(defaultWriteTimeout))
+	if err := wire.WriteFrame(bw, wire.ReqReplAck, e.B); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// applyAnnot re-inserts one SnapIds registration, idempotently: the
+// row may already exist from the bootstrap read or a resumed stream.
+func (r *Replica) applyAnnot(a wire.ReplAnnot) error {
+	r.annConn.mu.Lock()
+	defer r.annConn.mu.Unlock()
+	conn := r.annConn.conn
+	if err := conn.EnsureSnapIds(); err != nil {
+		return err
+	}
+	exists := false
+	err := conn.Exec(`SELECT snap_id FROM SnapIds WHERE snap_id = ?`, func([]string, []record.Value) error {
+		exists = true
+		return nil
+	}, record.Int(int64(a.Snap)))
+	if err != nil {
+		return err
+	}
+	if exists {
+		return nil
+	}
+	return conn.Exec(`INSERT INTO SnapIds (snap_id, snap_ts, label) VALUES (?, ?, ?)`, nil,
+		record.Int(int64(a.Snap)), record.Text(a.TS), record.Text(a.Label))
+}
+
+// bootCollector accumulates bootstrap chunks until BootDone.
+type bootCollector struct {
+	meta    wire.ReplBootMeta
+	gotMeta bool
+	pages   []storage.ReplPage
+	plPages []*storage.PageData
+	entries []retro.BootstrapEntry
+	annots  []wire.ReplAnnot
+}
+
+// add consumes one chunk; done reports BootDone.
+func (b *bootCollector) add(kind byte, d *wire.Dec) (done bool, err error) {
+	switch kind {
+	case wire.BootMeta:
+		b.meta = wire.DecodeReplBootMeta(d)
+		b.gotMeta = true
+	case wire.BootPages:
+		for _, pg := range wire.DecodeReplPages(d) {
+			rp := storage.ReplPage{ID: storage.PageID(pg.ID)}
+			if pg.Data != nil {
+				rp.Data = new(storage.PageData)
+				copy(rp.Data[:], pg.Data)
+			}
+			b.pages = append(b.pages, rp)
+		}
+	case wire.BootPagelog:
+		off, raw := wire.DecodeReplPagelogChunk(d)
+		if int64(len(b.plPages)) != off {
+			return false, fmt.Errorf("repl: pagelog chunk at %d, expected %d", off, len(b.plPages))
+		}
+		for _, pg := range raw {
+			data := new(storage.PageData)
+			copy(data[:], pg)
+			b.plPages = append(b.plPages, data)
+		}
+	case wire.BootMaplog:
+		for _, en := range wire.DecodeReplMapEntries(d) {
+			b.entries = append(b.entries, retro.BootstrapEntry{
+				Snap: retro.SnapshotID(en.Snap),
+				Page: storage.PageID(en.Page),
+				Off:  en.Off,
+			})
+		}
+	case wire.BootAnnots:
+		b.annots = append(b.annots, wire.DecodeReplAnnots(d)...)
+	case wire.BootDone:
+		return true, nil
+	default:
+		return false, fmt.Errorf("repl: unknown bootstrap chunk kind %d", kind)
+	}
+	return false, d.Err()
+}
+
+// applyBootstrap loads a collected bootstrap into the local database.
+// Only a replica that never applied state may bootstrap: the Pagelog
+// cannot be rebuilt in place under live readers.
+func (r *Replica) applyBootstrap(b *bootCollector) error {
+	if !b.gotMeta {
+		return errors.New("repl: bootstrap without meta chunk")
+	}
+	r.mu.Lock()
+	booted := r.booted
+	r.mu.Unlock()
+	if booted {
+		return errNeedBootstrap
+	}
+	sp := obs.StartSpan(nil, "repl.bootstrap.apply")
+	defer sp.End()
+	eng := r.db.Engine()
+	free := make([]storage.PageID, len(b.meta.Free))
+	for i, id := range b.meta.Free {
+		free[i] = storage.PageID(id)
+	}
+	bs := retro.BootstrapState{
+		LastSnap:     retro.SnapshotID(b.meta.LastSnap),
+		SnapLSNs:     b.meta.SnapLSNs,
+		Entries:      b.entries,
+		PagelogPages: b.meta.PagelogPages,
+	}
+	if err := eng.Retro().ApplyBootstrap(bs, b.plPages); err != nil {
+		return err
+	}
+	if err := eng.MainStore().ApplyBootstrap(b.meta.LSN, int(b.meta.NumPages), b.pages, free); err != nil {
+		return err
+	}
+	for _, a := range b.annots {
+		if err := r.applyAnnot(a); err != nil {
+			return err
+		}
+	}
+	r.bootstraps.Add(1)
+	r.mu.Lock()
+	r.horizon = b.meta.LastSnap
+	r.lsn = b.meta.LSN
+	r.booted = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	sp.SetInt("pages", int64(len(b.pages))).
+		SetInt("pagelog_pages", b.meta.PagelogPages).
+		SetInt("last_snap", int64(b.meta.LastSnap))
+	return nil
+}

@@ -1,0 +1,208 @@
+package retro
+
+import (
+	"errors"
+	"fmt"
+
+	"rql/internal/storage"
+)
+
+// Replication hooks. The primary side observes every commit as a
+// CommitDelta (SetCommitObserver) and exports a consistent bootstrap
+// cut (ExportBootstrap/ExportPagelog); the replica side applies deltas
+// (ApplyCommitDelta) and bootstrap state (ApplyBootstrap) so that its
+// Pagelog byte-for-byte and its Maplog entry-for-entry equal the
+// primary's. Offsets shipped in deltas are therefore valid verbatim on
+// the replica, and SPT construction — including the Skippy levels,
+// which rebuild deterministically from the same declare/append
+// sequence — yields identical page tables and figure counters.
+
+// ErrReplDiverged reports replicated retro state that no longer lines
+// up with the local Pagelog/Maplog; the replica must re-sync.
+var ErrReplDiverged = errors.New("retro: replicated state diverged")
+
+// ReplCapture is one captured pre-state within a replicated commit.
+type ReplCapture struct {
+	Page storage.PageID
+	Data *storage.PageData
+}
+
+// CommitDelta is everything a replication stream ships per commit.
+// Page pointers are the committed versions themselves (immutable after
+// commit under the store's copy-on-write discipline), so building a
+// delta copies no page data.
+type CommitDelta struct {
+	LSN      uint64
+	SnapTag  SnapshotID // Maplog tag of Captures (0 when none)
+	PlBase   int64      // Pagelog size before this commit's captures
+	Captures []ReplCapture
+	Pages    []storage.ReplPage // post-images; Data nil = freed
+	Freed    []storage.PageID
+	Declare  bool
+	SnapID   SnapshotID // assigned snapshot id when Declare
+}
+
+// SetCommitObserver registers fn to see every main-store commit, called
+// on the commit path under the system's mutex — it must not block or
+// re-enter the store. nil unregisters.
+func (s *System) SetCommitObserver(fn func(CommitDelta)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = fn
+}
+
+// ApplyCommitDelta applies one replicated commit's Pagelog appends and
+// Maplog effects. It runs from ApplyReplicated's pre callback, i.e. at
+// the same point of the commit sequence the primary's hook ran, and
+// verifies the replica's logs line up with the primary's offsets before
+// appending.
+func (s *System) ApplyCommitDelta(d *CommitDelta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(d.Captures) > 0 {
+		if got := s.pl.size(); got != d.PlBase {
+			return fmt.Errorf("%w: pagelog at %d, primary commit expects %d", ErrReplDiverged, got, d.PlBase)
+		}
+		if last := s.ml.lastSnap(); last != d.SnapTag {
+			return fmt.Errorf("%w: maplog tag %d, primary commit expects %d", ErrReplDiverged, last, d.SnapTag)
+		}
+		for _, c := range d.Captures {
+			off, err := s.pl.append(c.Data)
+			if err != nil {
+				return err
+			}
+			s.ml.append(d.SnapTag, c.Page, off)
+			s.lastCapture[c.Page] = d.SnapTag
+			s.stats.PagelogWrites.Add(1)
+		}
+	}
+	if d.Declare {
+		id := s.ml.declare()
+		if id != d.SnapID {
+			return fmt.Errorf("%w: declared snapshot %d, primary declared %d", ErrReplDiverged, id, d.SnapID)
+		}
+		s.snapLSN = append(s.snapLSN, d.LSN)
+		s.stats.Snapshots.Add(1)
+	}
+	return nil
+}
+
+// BootstrapEntry is one level-0 Maplog entry in a bootstrap export.
+type BootstrapEntry struct {
+	Snap SnapshotID
+	Page storage.PageID
+	Off  int64
+}
+
+// BootstrapState is the retro half of a replication bootstrap: the
+// snapshot metadata and raw Maplog, from which the replica replays the
+// primary's declare/append sequence. Pagelog pages ship separately
+// (ExportPagelog) because of their bulk.
+type BootstrapState struct {
+	LastSnap     SnapshotID
+	SnapLSNs     []uint64
+	Entries      []BootstrapEntry
+	PagelogPages int64
+}
+
+// ExportBootstrap snapshots the Maplog and snapshot metadata for a
+// bootstrap. The caller must have quiesced commits (it holds the
+// store's writer lock) so this cut is consistent with the store LSN it
+// exports alongside. It fails if retention has truncated history:
+// replay could then no longer reproduce the primary's skip-merge
+// levels.
+func (s *System) ExportBootstrap() (BootstrapState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return BootstrapState{}, ErrClosed
+	}
+	if s.ml.minSnap > 1 {
+		return BootstrapState{}, errors.New("retro: bootstrap export after retention truncation is not supported")
+	}
+	bs := BootstrapState{
+		LastSnap:     s.ml.lastSnap(),
+		SnapLSNs:     append([]uint64(nil), s.snapLSN...),
+		PagelogPages: s.pl.size(),
+	}
+	bs.Entries = make([]BootstrapEntry, len(s.ml.entries))
+	for i, e := range s.ml.entries {
+		bs.Entries[i] = BootstrapEntry{Snap: e.snap, Page: e.page, Off: e.off}
+	}
+	return bs, nil
+}
+
+// ExportPagelog reads up to max consecutive Pagelog pages starting at
+// offset off, for shipping bootstrap chunks.
+func (s *System) ExportPagelog(off int64, max int) ([]*storage.PageData, error) {
+	return s.pl.readRun(off, max)
+}
+
+// BeginExport pins the system against Compact for the duration of a
+// bootstrap export (Pagelog offsets must not be remapped while pages
+// stream out). Pair with EndExport.
+func (s *System) BeginExport() {
+	s.mu.Lock()
+	s.openReaders++
+	s.mu.Unlock()
+}
+
+// EndExport releases the BeginExport pin.
+func (s *System) EndExport() {
+	s.mu.Lock()
+	s.openReaders--
+	s.mu.Unlock()
+}
+
+// ApplyBootstrap loads an exported retro state into an empty system:
+// the Pagelog pages verbatim, then the primary's declare/append
+// sequence replayed in order, which reproduces segStart and the Skippy
+// levels exactly (skip-merging is deterministic in that sequence).
+func (s *System) ApplyBootstrap(bs BootstrapState, plPages []*storage.PageData) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.ml.lastSnap() != 0 || len(s.ml.entries) != 0 || s.pl.size() != 0 {
+		return errors.New("retro: bootstrap into a non-empty snapshot system")
+	}
+	for _, p := range plPages {
+		if _, err := s.pl.append(p); err != nil {
+			return err
+		}
+	}
+	if got := s.pl.size(); got != bs.PagelogPages {
+		return fmt.Errorf("%w: bootstrap pagelog %d pages, expected %d", ErrReplDiverged, got, bs.PagelogPages)
+	}
+	if uint64(len(bs.SnapLSNs)) != uint64(bs.LastSnap) {
+		return fmt.Errorf("%w: bootstrap has %d snapLSNs for %d snapshots", ErrReplDiverged, len(bs.SnapLSNs), bs.LastSnap)
+	}
+	idx := 0
+	for snap := SnapshotID(1); snap <= bs.LastSnap; snap++ {
+		// declare(snap) precedes the entries tagged snap in the
+		// primary's timeline: entries are tagged with the latest
+		// declared snapshot.
+		if id := s.ml.declare(); id != snap {
+			return fmt.Errorf("%w: bootstrap replay declared %d, expected %d", ErrReplDiverged, id, snap)
+		}
+		for idx < len(bs.Entries) && bs.Entries[idx].Snap == snap {
+			e := bs.Entries[idx]
+			s.ml.append(e.Snap, e.Page, e.Off)
+			s.lastCapture[e.Page] = e.Snap
+			idx++
+		}
+	}
+	if idx != len(bs.Entries) {
+		return fmt.Errorf("%w: %d bootstrap maplog entries with out-of-range tags", ErrReplDiverged, len(bs.Entries)-idx)
+	}
+	s.snapLSN = append(s.snapLSN[:0], bs.SnapLSNs...)
+	// Mirror the primary's cumulative counters for the shipped history
+	// so the replica's /metrics line up.
+	s.stats.Snapshots.Add(uint64(bs.LastSnap))
+	s.stats.PagelogWrites.Add(uint64(len(plPages)))
+	return nil
+}

@@ -76,6 +76,10 @@ type System struct {
 	missMu  sync.Mutex
 	missing map[int64]*missCall
 
+	// observer, when set, sees every main-store commit as a CommitDelta
+	// (replication primary). Invoked under s.mu on the commit path.
+	observer func(CommitDelta)
+
 	stats Stats
 }
 
@@ -139,6 +143,10 @@ func (s *System) Committing(dirty []storage.DirtyPage, declare bool, newLSN uint
 	if s.closed {
 		return 0, ErrClosed
 	}
+	var delta *CommitDelta
+	if s.observer != nil {
+		delta = &CommitDelta{LSN: newLSN, PlBase: s.pl.size()}
+	}
 	last := s.ml.lastSnap()
 	if last >= 1 {
 		for _, d := range dirty {
@@ -155,15 +163,33 @@ func (s *System) Committing(dirty []storage.DirtyPage, declare bool, newLSN uint
 			s.ml.append(last, d.ID, off)
 			s.lastCapture[d.ID] = last
 			s.stats.PagelogWrites.Add(1)
+			if delta != nil {
+				delta.Captures = append(delta.Captures, ReplCapture{Page: d.ID, Data: d.Pre})
+			}
+		}
+		if delta != nil && len(delta.Captures) > 0 {
+			delta.SnapTag = last
 		}
 	}
-	if !declare {
-		return 0, nil
+	var snapID uint64
+	if declare {
+		id := s.ml.declare()
+		s.snapLSN = append(s.snapLSN, newLSN)
+		s.stats.Snapshots.Add(1)
+		snapID = uint64(id)
 	}
-	id := s.ml.declare()
-	s.snapLSN = append(s.snapLSN, newLSN)
-	s.stats.Snapshots.Add(1)
-	return uint64(id), nil
+	if delta != nil {
+		delta.Declare = declare
+		delta.SnapID = SnapshotID(snapID)
+		for _, d := range dirty {
+			delta.Pages = append(delta.Pages, storage.ReplPage{ID: d.ID, Data: d.New})
+			if d.New == nil {
+				delta.Freed = append(delta.Freed, d.ID)
+			}
+		}
+		s.observer(*delta)
+	}
+	return snapID, nil
 }
 
 // LastSnapshot returns the most recently declared snapshot id (0 if none).

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rql/internal/obs"
+	"rql/internal/wire"
 )
 
 // DebugHandler returns the rqld debug endpoint: a plain-text metrics
@@ -101,6 +102,34 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		} else {
 			fmt.Fprintf(w, "request_latency_le{+Inf} %d\n", c)
 		}
+	}
+
+	// Replication state: role and applied horizon always; per-replica
+	// lag and bytes shipped on a primary, stream counters on a replica.
+	rs := s.ReplStats()
+	role := "primary"
+	if rs.Role == wire.RoleReplica {
+		role = "replica"
+	}
+	fmt.Fprintf(w, "repl_role{%s} 1\n", role)
+	fmt.Fprintf(w, "repl_horizon %d\n", rs.Horizon)
+	fmt.Fprintf(w, "repl_lsn %d\n", rs.LSN)
+	if rs.Role == wire.RoleReplica {
+		fmt.Fprintf(w, "repl_bytes_received %d\n", rs.BytesReceived)
+		fmt.Fprintf(w, "repl_deltas_applied %d\n", rs.DeltasApplied)
+		fmt.Fprintf(w, "repl_snapshots_applied %d\n", rs.SnapshotsApplied)
+		fmt.Fprintf(w, "repl_bootstraps %d\n", rs.Bootstraps)
+		fmt.Fprintf(w, "repl_reconnects %d\n", rs.Reconnects)
+	}
+	for _, rep := range rs.Replicas {
+		lag := uint64(0)
+		if rs.Horizon > rep.AckedSnap {
+			lag = rs.Horizon - rep.AckedSnap
+		}
+		fmt.Fprintf(w, "repl_replica_connected{%s} %d\n", rep.ID, boolMetric(rep.Connected))
+		fmt.Fprintf(w, "repl_replica_acked_snapshot{%s} %d\n", rep.ID, rep.AckedSnap)
+		fmt.Fprintf(w, "repl_replica_lag_snapshots{%s} %d\n", rep.ID, lag)
+		fmt.Fprintf(w, "repl_replica_sent_bytes{%s} %d\n", rep.ID, rep.SentBytes)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rql"
+	"rql/internal/repl"
 	"rql/internal/wire"
 )
 
@@ -74,6 +75,11 @@ type Server struct {
 	lis      net.Listener
 	sessions map[*session]struct{}
 	draining bool
+
+	// Replication roles (v4). primary feeds subscriber streams;
+	// replica, when set, marks this server as a read-only replica.
+	primary *repl.Primary
+	replica *repl.Replica
 
 	wg    sync.WaitGroup
 	stats serverStats
@@ -182,6 +188,7 @@ func (s *Server) Shutdown() {
 	}
 	s.draining = true
 	lis := s.lis
+	primary := s.primary
 	sessions := make([]*session, 0, len(s.sessions))
 	for sess := range s.sessions {
 		sessions = append(sessions, sess)
@@ -190,6 +197,12 @@ func (s *Server) Shutdown() {
 
 	if lis != nil {
 		lis.Close()
+	}
+	// Replication streams are long-lived "busy" sessions; sever them so
+	// the drain below is not held hostage by a feeder waiting for
+	// commits that will never come.
+	if primary != nil {
+		primary.DisconnectAll()
 	}
 	// Idle sessions close immediately; busy ones finish their request.
 	for _, sess := range sessions {

@@ -29,6 +29,7 @@ type session struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	conn *rql.Conn
+	ver  int // negotiated protocol version (min of client and server)
 
 	mu            sync.Mutex
 	busy          bool // a request is executing
@@ -131,14 +132,23 @@ func (ss *session) handshake() error {
 		ss.flush()
 		return wire.ErrBadMagic
 	}
-	if v := d.Uvarint(); d.Err() != nil || v > wire.ProtocolVersion {
-		err := fmt.Errorf("server: unsupported protocol version %d (server speaks %d)", v, wire.ProtocolVersion)
+	v := d.Uvarint()
+	if d.Err() != nil || v == 0 {
+		err := fmt.Errorf("server: bad protocol version %d", v)
 		ss.writeError(err)
 		ss.flush()
 		return err
 	}
+	// Both sides speak min(client, server): an older client keeps its
+	// feature set against a newer server (and vice versa) instead of
+	// erroring on the version number. Requests above the negotiated
+	// version are rejected per-request (see handleReplSub).
+	ss.ver = wire.ProtocolVersion
+	if int(v) < ss.ver {
+		ss.ver = int(v)
+	}
 	e := &wire.Enc{}
-	e.Uvarint(wire.ProtocolVersion)
+	e.Uvarint(uint64(ss.ver))
 	e.String("rqld")
 	if err := ss.writeFrame(wire.RespHello, e.B); err != nil {
 		return err
@@ -183,6 +193,12 @@ func (ss *session) dispatch(op byte, payload []byte) error {
 	case wire.ReqReset:
 		ss.srv.ResetStats()
 		return ss.writeFrame(wire.RespPong, nil)
+	case wire.ReqHorizon:
+		return ss.handleHorizon()
+	case wire.ReqReplStats:
+		return ss.handleReplStats()
+	case wire.ReqReplSub:
+		return ss.handleReplSub(payload)
 	default:
 		// Unknown opcode: the stream cannot be trusted any further.
 		ss.writeError(fmt.Errorf("server: unknown opcode %#x", op))
@@ -385,6 +401,12 @@ func opName(op byte) string {
 		return "slow"
 	case wire.ReqReset:
 		return "reset"
+	case wire.ReqHorizon:
+		return "horizon"
+	case wire.ReqReplStats:
+		return "repl_stats"
+	case wire.ReqReplSub:
+		return "repl_subscribe"
 	default:
 		return "unknown"
 	}

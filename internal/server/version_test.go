@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+
+	"rql/internal/wire"
+)
+
+// rawHello performs the wire handshake at an arbitrary client version
+// and returns the version the server replied with.
+func rawHello(t *testing.T, br *bufio.Reader, bw *bufio.Writer, ver uint64) uint64 {
+	t.Helper()
+	e := &wire.Enc{}
+	e.String(wire.Magic)
+	e.Uvarint(ver)
+	if err := wire.WriteFrame(bw, wire.ReqHello, e.B); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != wire.RespHello {
+		t.Fatalf("handshake reply %#x, want RespHello", op)
+	}
+	d := &wire.Dec{B: payload}
+	got := d.Uvarint()
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	return got
+}
+
+// TestCrossVersionHandshake pins the min-negotiation contract: a v3
+// client keeps its session at v3 and can run statements, but the
+// replication surface added in v4 is cleanly rejected; a client from
+// the future (v5) is answered with the server's own version.
+func TestCrossVersionHandshake(t *testing.T) {
+	_, addr := startServer(t, Config{})
+
+	t.Run("v3-degrades", func(t *testing.T) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		if got := rawHello(t, br, bw, 3); got != 3 {
+			t.Fatalf("server negotiated v%d with a v3 client, want 3", got)
+		}
+
+		// The pre-v4 surface still works at v3.
+		e := &wire.Enc{}
+		e.Uvarint(0) // asOf
+		e.String(`CREATE TABLE v3t (x INTEGER); INSERT INTO v3t VALUES (7)`)
+		e.Row(nil)
+		if err := wire.WriteFrame(bw, wire.ReqExec, e.B); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		for {
+			op, payload, err := wire.ReadFrame(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op == wire.RespError {
+				t.Fatalf("v3 exec failed: %v", wire.DecodeError(payload))
+			}
+			if op == wire.RespDone {
+				break
+			}
+		}
+
+		// The v4 replication surface is rejected without breaking the
+		// session framing.
+		e = &wire.Enc{}
+		wire.EncodeReplSubscribe(e, wire.ReplSubscribe{ID: "old-client"})
+		if err := wire.WriteFrame(bw, wire.ReqReplSub, e.B); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		op, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op != wire.RespError {
+			t.Fatalf("v3 ReqReplSub answered with %#x, want RespError", op)
+		}
+		msg := wire.DecodeError(payload).Error()
+		if !strings.Contains(msg, "protocol v4") {
+			t.Fatalf("rejection should name the required version, got %q", msg)
+		}
+	})
+
+	t.Run("v5-capped", func(t *testing.T) {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		if got := rawHello(t, br, bw, wire.ProtocolVersion+1); got != wire.ProtocolVersion {
+			t.Fatalf("server negotiated v%d with a v%d client, want v%d",
+				got, wire.ProtocolVersion+1, wire.ProtocolVersion)
+		}
+	})
+
+	t.Run("client-conn-negotiates", func(t *testing.T) {
+		c := dial(t, addr)
+		if c.Version() != wire.ProtocolVersion {
+			t.Fatalf("client negotiated v%d, want v%d", c.Version(), wire.ProtocolVersion)
+		}
+		h, err := c.Horizon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Role != wire.RolePrimary {
+			t.Fatalf("plain server reports role %d, want primary", h.Role)
+		}
+	})
+}

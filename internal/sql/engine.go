@@ -38,11 +38,35 @@ type DB struct {
 	mu    sync.Mutex
 	funcs map[string]*FuncDef
 
+	// annotHook, when set, observes snapshot annotations (SnapIds rows
+	// registered via core.RecordSnapshot). Replication ships them
+	// logically: SnapIds lives in the non-snapshotable side store, which
+	// page-level deltas do not cover.
+	annotHook func(snapID uint64, ts, label string)
+
 	// Current-state schema caches, valid while the store LSN matches.
 	mainSchemaLSN uint64
 	mainSchema    *schema
 	sideSchemaLSN uint64
 	sideSchema    *schema
+}
+
+// SetAnnotationHook registers fn to observe snapshot annotations; nil
+// unregisters. fn runs on the annotating connection's goroutine.
+func (db *DB) SetAnnotationHook(fn func(snapID uint64, ts, label string)) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.annotHook = fn
+}
+
+// NotifyAnnotation invokes the annotation hook, if any.
+func (db *DB) NotifyAnnotation(snapID uint64, ts, label string) {
+	db.mu.Lock()
+	fn := db.annotHook
+	db.mu.Unlock()
+	if fn != nil {
+		fn(snapID, ts, label)
+	}
 }
 
 // Open creates a new database.
@@ -297,6 +321,9 @@ func (c *Conn) LastStats() ExecStats { return c.lastStats }
 // LastSnapshot returns the snapshot id declared by the most recent
 // COMMIT WITH SNAPSHOT on this connection.
 func (c *Conn) LastSnapshot() uint64 { return c.lastSnapshot }
+
+// DB returns the database this connection belongs to.
+func (c *Conn) DB() *DB { return c.db }
 
 // InTx reports whether an explicit transaction is open.
 func (c *Conn) InTx() bool { return c.mainTx != nil }

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Replication support. A replica store is a normal Store whose state is
+// advanced only by ApplyReplicated / ApplyBootstrap (which bypass the
+// writer-transaction path and its commit hook) while SetReadOnly keeps
+// local writers out. Replicated commits install exactly the page
+// versions the primary's commit installed, at the same LSNs, so the
+// replica's MVCC state is byte-identical to the primary's at every
+// commit boundary.
+
+// ErrReplMismatch reports a replicated commit that does not extend the
+// local LSN sequence — the replica has diverged and must re-sync.
+var ErrReplMismatch = errors.New("storage: replicated commit does not extend local state")
+
+// ReplPage is one page's post-state in a replicated commit.
+// Data == nil marks the page freed by the commit.
+type ReplPage struct {
+	ID   PageID
+	Data *PageData
+}
+
+// ReplCommit is one primary commit as shipped on a replication stream.
+type ReplCommit struct {
+	LSN   uint64
+	Pages []ReplPage // post-images in the primary's commit order
+	Freed []PageID   // ids among Pages with nil Data, for the free list
+}
+
+// SetReadOnly makes Begin fail with err until called again with nil.
+// Replicated applies are unaffected; MVCC readers are unaffected.
+func (s *Store) SetReadOnly(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readOnly = err
+}
+
+// ApplyReplicated installs a group of replicated commits atomically:
+// the store's mutex is held across the whole group, so concurrent
+// readers pin either the LSN before the group or the LSN after it —
+// never a torn prefix. That is what keeps a replica's visible state on
+// snapshot boundaries when the group is one snapshot's commits.
+//
+// pre(i) runs before commit i's versions install, under the store
+// mutex — the same position the primary's commit hook runs at — and is
+// where the Retro system applies the commit's Pagelog/Maplog effects.
+// An error from pre aborts the group mid-way; the caller must treat the
+// store as diverged (commits before i are fully applied).
+func (s *Store) ApplyReplicated(commits []ReplCommit, pre func(i int) error) error {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	for i, c := range commits {
+		if c.LSN != s.lsn+1 {
+			return fmt.Errorf("%w: commit LSN %d, store at %d", ErrReplMismatch, c.LSN, s.lsn)
+		}
+		if pre != nil {
+			if err := pre(i); err != nil {
+				return err
+			}
+		}
+		s.lsn++
+		keep := s.minReaderLSN(s.lsn)
+		for _, p := range c.Pages {
+			s.installVersion(p.ID, &pageVersion{lsn: s.lsn, data: p.Data}, keep)
+		}
+		s.free = append(s.free, c.Freed...)
+		s.stats.Commits.Add(1)
+		s.stats.PagesWritten.Add(uint64(len(c.Pages)))
+	}
+	return nil
+}
+
+// ApplyBootstrap loads a full replicated state into an empty store:
+// page slots sized to numPages, the given current-state images
+// installed at lsn, the free list replaced. Pages absent from the list
+// have no version and read as free, matching the primary.
+func (s *Store) ApplyBootstrap(lsn uint64, numPages int, pages []ReplPage, free []PageID) error {
+	s.writer.Lock()
+	defer s.writer.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if len(s.readers) > 0 {
+		return errors.New("storage: bootstrap with active readers")
+	}
+	if lsn < s.lsn {
+		return fmt.Errorf("%w: bootstrap LSN %d behind local %d", ErrReplMismatch, lsn, s.lsn)
+	}
+	s.pages = make([]*pageVersion, numPages)
+	for _, p := range pages {
+		if p.ID == 0 || int(p.ID) > numPages {
+			return fmt.Errorf("%w: bootstrap page %d outside %d slots", ErrReplMismatch, p.ID, numPages)
+		}
+		s.pages[p.ID-1] = &pageVersion{lsn: lsn, data: p.Data}
+	}
+	s.free = append([]PageID(nil), free...)
+	s.lsn = lsn
+	return nil
+}
+
+// PageAt returns the content of page id visible at lsn, or nil when the
+// page is absent at that LSN. Unlike readVersion it does not count a
+// DBRead: replication bootstrap export must not disturb the primary's
+// figure counters.
+func (s *Store) PageAt(id PageID, lsn uint64) *PageData {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id == 0 || int(id) > len(s.pages) {
+		return nil
+	}
+	for v := s.pages[id-1]; v != nil; v = v.prev {
+		if v.lsn <= lsn {
+			return v.data
+		}
+	}
+	return nil
+}
+
+// FreeList returns a copy of the free-list page ids.
+func (s *Store) FreeList() []PageID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]PageID(nil), s.free...)
+}

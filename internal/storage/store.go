@@ -20,13 +20,14 @@ type pageVersion struct {
 type Store struct {
 	writer sync.Mutex // held by the active writer transaction
 
-	mu      sync.RWMutex // guards everything below
-	pages   []*pageVersion
-	free    []PageID
-	lsn     uint64
-	readers map[uint64]int // read LSN -> active reader count
-	hook    CommitHook
-	closed  bool
+	mu       sync.RWMutex // guards everything below
+	pages    []*pageVersion
+	free     []PageID
+	lsn      uint64
+	readers  map[uint64]int // read LSN -> active reader count
+	hook     CommitHook
+	closed   bool
+	readOnly error // non-nil: Begin fails with this error (replica mode)
 
 	stats Stats
 }
@@ -90,6 +91,10 @@ func (s *Store) Begin() (*Tx, error) {
 	if s.closed {
 		s.writer.Unlock()
 		return nil, ErrStoreClosed
+	}
+	if s.readOnly != nil {
+		s.writer.Unlock()
+		return nil, s.readOnly
 	}
 	return &Tx{
 		store: s,

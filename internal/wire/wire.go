@@ -29,8 +29,16 @@ import (
 // ProtocolVersion is bumped on incompatible frame-format changes.
 // v2 added the pipelined-I/O and device-model statistics fields; v3
 // added tracing (TRACE/SLOW/RESET requests, the trace ID on RespDone)
-// and the latency-histogram bucket bounds in ServerStats.
-const ProtocolVersion = 3
+// and the latency-histogram bucket bounds in ServerStats; v4 added
+// replication (HORIZON, REPL SUBSCRIBE/ACK/STATS and the bootstrap,
+// delta and annotation stream frames) and HELLO version negotiation:
+// both sides speak min(client, server), so a v3 client against a v4
+// server degrades cleanly to the v3 feature set instead of erroring.
+const ProtocolVersion = 4
+
+// ReplProtocolVersion is the lowest negotiated version that carries the
+// replication and horizon frames.
+const ReplProtocolVersion = 4
 
 // Magic opens the client hello.
 const Magic = "RQL1"
@@ -52,6 +60,12 @@ const (
 	ReqTrace byte = 0x0A // cmd byte (TraceOff/TraceOn/TraceFetch), trace id
 	ReqSlow  byte = 0x0B // — slow-query log
 	ReqReset byte = 0x0C // — reset server/storage/retro counters
+
+	// v4 replication / cluster requests.
+	ReqHorizon   byte = 0x0D // — role, applied snapshot horizon, LSN
+	ReqReplSub   byte = 0x0E // replica id, last applied snapshot — open stream
+	ReqReplStats byte = 0x0F // — replication stats (role-dependent)
+	ReqReplAck   byte = 0x10 // applied snapshot, LSN, bytes — sent on the stream
 )
 
 // ReqTrace command bytes.
@@ -76,6 +90,13 @@ const (
 	RespPong   byte = 0x8B // — (also acks ReqReset and TraceOn/TraceOff)
 	RespTrace  byte = 0x8C // span list
 	RespSlow   byte = 0x8D // slow-query entries
+
+	// v4 replication / cluster responses.
+	RespHorizon   byte = 0x8E // HorizonInfo
+	RespReplBoot  byte = 0x8F // bootstrap chunk (kind byte + body)
+	RespReplDelta byte = 0x90 // one replicated commit (possibly chunked)
+	RespReplAnnot byte = 0x91 // one SnapIds annotation event
+	RespReplStats byte = 0x92 // ReplStats
 )
 
 // Mechanism kinds carried by ReqMech.

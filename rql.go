@@ -155,6 +155,11 @@ func Open(opts Options) (*DB, error) {
 // Close releases the database.
 func (db *DB) Close() error { return db.inner.Close() }
 
+// Engine exposes the underlying SQL engine. It exists for in-process
+// infrastructure layered on the database — the replication subsystem
+// and the server — not for application queries, which go through Conn.
+func (db *DB) Engine() *sql.DB { return db.inner }
+
 // RegisterFunc registers a scalar function or UDF.
 func (db *DB) RegisterFunc(def FuncDef) { db.inner.RegisterFunc(def) }
 
