@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt trace-check repl-smoke bench bench-smoke bench-compare microbench
+.PHONY: all check build vet test race fmt trace-check repl-smoke groupcommit-smoke bench bench-smoke bench-compare microbench
 
 all: check
 
 # check is the tier-1 gate: build, vet, race-enabled tests, gofmt as a
-# failing check, the tracing-overhead budget, and the replication smoke.
-check: build vet race fmt trace-check repl-smoke
+# failing check, the tracing-overhead budget, the replication smoke,
+# and the group-commit stress smoke.
+check: build vet race fmt trace-check repl-smoke groupcommit-smoke
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,14 @@ trace-check:
 # stress run with a mid-run replica kill and restart.
 repl-smoke:
 	$(GO) test -race -run 'TestRepl|TestCrossVersion' ./internal/repl ./internal/server
+
+# groupcommit-smoke runs the group-commit correctness surface under the
+# race detector: the concurrent-writer stress harness with its analytic
+# shadow model, the serial-equivalence property test (group commit must
+# be byte-identical to serial commits), and the conflict/abandon/ctx
+# storage tests.
+groupcommit-smoke:
+	$(GO) test -race -run 'TestGroupCommit|TestExplicitTxConflict|TestAutocommitConflictRetry|TestConnContextCancelsWriterWait|TestBeginCtx|TestQuiesce' . ./internal/storage ./internal/sql ./internal/server
 
 # bench appends a machine-readable batch-SPT run to BENCH_rql.json:
 # wall time, Maplog entries scanned, cache hit rates, and delta-pruning

@@ -504,7 +504,7 @@ func (c *Conn) ServerStats() (ServerStats, error) {
 		switch op {
 		case wire.RespStats:
 			d := &wire.Dec{B: payload}
-			out = wire.DecodeServerStats(d)
+			out = wire.DecodeServerStats(d, c.version)
 			if d.Err() != nil {
 				return true, c.fail(d.Err())
 			}

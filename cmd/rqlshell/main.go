@@ -245,6 +245,9 @@ Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .mech
 			fmt.Printf("device: queue depth %d, %d commands (%d overlapped), busy %v\n",
 				rs.DeviceQueueDepth, rs.DeviceReads, rs.OverlappedReads,
 				time.Duration(rs.DeviceBusyNS))
+			sst := env.db.StorageStats()
+			printGroupCommit(sst.Commits, sst.Groups, sst.Conflicts,
+				sst.QueueWaitNS, rs.DeviceFlushes, sst.GroupSizeBuckets[:])
 		case env.remote != nil:
 			ss, err := env.remote.ServerStats()
 			if err != nil {
@@ -483,4 +486,27 @@ func printServerStats(ss client.ServerStats) {
 	fmt.Printf("device: queue depth %d, %d commands (%d overlapped), busy %v\n",
 		ss.DeviceQueueDepth, ss.DeviceReads, ss.OverlappedReads,
 		time.Duration(ss.DeviceBusyNS))
+	printGroupCommit(ss.Commits, ss.CommitGroups, ss.CommitConflicts,
+		ss.CommitQueueWaitNS, ss.DeviceFlushes, ss.GroupSizeBuckets[:])
+}
+
+// printGroupCommit renders the commit-group counters: groups drained,
+// mean group size, conflict aborts, queue wait, device flushes, and the
+// group-size histogram (a legacy-path commit is a group of one).
+func printGroupCommit(commits, groups, conflicts, waitNS, flushes uint64, buckets []uint64) {
+	mean := 0.0
+	if groups > 0 {
+		mean = float64(commits) / float64(groups)
+	}
+	fmt.Printf("commit groups: %d (mean size %.2f), %d conflicts aborted, queue wait %v, %d device flushes\n",
+		groups, mean, conflicts, time.Duration(waitNS), flushes)
+	var hist strings.Builder
+	for i, c := range buckets {
+		if i < len(wire.GroupSizeBounds) {
+			fmt.Fprintf(&hist, " <=%d:%d", wire.GroupSizeBounds[i], c)
+		} else {
+			fmt.Fprintf(&hist, " +Inf:%d", c)
+		}
+	}
+	fmt.Printf("group size:%s\n", hist.String())
 }

@@ -1,0 +1,142 @@
+package rql_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rql"
+)
+
+// runRetroWorkload drives one deterministic single-threaded workload —
+// DDL, inserts, updates, deletes, snapshots, then all four RQL
+// mechanisms — and returns every observable output: the mechanism
+// result tables, an AS OF sweep, and the full storage and retro
+// counter snapshots (the series behind figures 6–13).
+func runRetroWorkload(t *testing.T, db *rql.DB) (results map[string][]string, storage rql.StorageStats, retro rql.RetroStats) {
+	t.Helper()
+	conn := db.Conn()
+	exec := func(sql string) {
+		t.Helper()
+		if err := conn.Exec(sql, nil); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	query := func(sql string) []string {
+		t.Helper()
+		rows, err := conn.Query(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		out := make([]string, 0, len(rows.Rows))
+		for _, r := range rows.Rows {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.String()
+			}
+			out = append(out, strings.Join(parts, "|"))
+		}
+		return out
+	}
+
+	exec(`CREATE TABLE accounts (id INTEGER, owner TEXT, balance INTEGER)`)
+	exec(`CREATE INDEX accounts_id ON accounts (id)`)
+	for i := 1; i <= 20; i++ {
+		exec(fmt.Sprintf(`INSERT INTO accounts VALUES (%d, 'owner%d', %d)`, i, i, i*100))
+	}
+	var snaps []uint64
+	for step := 0; step < 6; step++ {
+		id, err := conn.DeclareSnapshot(fmt.Sprintf("step-%d", step))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, id)
+		exec(fmt.Sprintf(`UPDATE accounts SET balance = balance + %d WHERE id <= %d`, step+1, 10+step))
+		exec(fmt.Sprintf(`DELETE FROM accounts WHERE id = %d`, 20-step))
+		exec(fmt.Sprintf(`INSERT INTO accounts VALUES (%d, 'late%d', %d)`, 100+step, step, step))
+	}
+
+	results = map[string][]string{}
+	if _, err := conn.CollateData(`SELECT snap_id FROM SnapIds`,
+		`SELECT id, balance, current_snapshot() AS sid FROM accounts WHERE id <= 5`,
+		"GCollate"); err != nil {
+		t.Fatal(err)
+	}
+	results["collate"] = query(`SELECT sid, id, balance FROM GCollate ORDER BY sid, id`)
+
+	if _, err := conn.AggregateDataInVariable(`SELECT snap_id FROM SnapIds`,
+		`SELECT SUM(balance) FROM accounts`, "GAggVar", "max"); err != nil {
+		t.Fatal(err)
+	}
+	results["aggvar"] = query(`SELECT * FROM GAggVar`)
+
+	if _, err := conn.AggregateDataInTable(`SELECT snap_id FROM SnapIds`,
+		`SELECT owner, balance AS b FROM accounts WHERE id <= 3`,
+		"GAggTab", "(b,MAX)"); err != nil {
+		t.Fatal(err)
+	}
+	results["aggtab"] = query(`SELECT owner, b FROM GAggTab ORDER BY owner`)
+
+	if _, err := conn.CollateDataIntoIntervals(`SELECT snap_id FROM SnapIds`,
+		`SELECT id FROM accounts WHERE id >= 15`, "GIntervals"); err != nil {
+		t.Fatal(err)
+	}
+	results["intervals"] = query(`SELECT * FROM GIntervals ORDER BY id, start_snapshot`)
+
+	for _, id := range snaps {
+		results["asof"] = append(results["asof"],
+			query(fmt.Sprintf(`SELECT AS OF %d COUNT(*), SUM(balance) FROM accounts`, id))...)
+	}
+	return results, db.StorageStats(), db.RetroStats()
+}
+
+// TestGroupCommitSerialEquivalence is the property test behind the
+// figure-series acceptance bar: the identical single-threaded workload
+// run with group commit ON and OFF must produce byte-identical results
+// for all four mechanisms AND byte-identical storage/retro counter
+// snapshots — a serial caller cannot tell the two write paths apart, so
+// the paper-mode figure 6–13 series are unchanged by the pipeline.
+func TestGroupCommitSerialEquivalence(t *testing.T) {
+	run := func(group bool) (map[string][]string, rql.StorageStats, rql.RetroStats) {
+		db, err := rql.Open(rql.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		db.SetGroupCommit(group)
+		if db.GroupCommit() != group {
+			t.Fatalf("GroupCommit() = %v, want %v", db.GroupCommit(), group)
+		}
+		return runRetroWorkload(t, db)
+	}
+
+	gRes, gStore, gRetro := run(true)
+	sRes, sStore, sRetro := run(false)
+
+	for _, key := range []string{"collate", "aggvar", "aggtab", "intervals", "asof"} {
+		if !reflect.DeepEqual(gRes[key], sRes[key]) {
+			t.Errorf("%s results diverge:\n group: %v\nserial: %v", key, gRes[key], sRes[key])
+		}
+	}
+	// Full counter-snapshot equality: every figure series derives from
+	// these counters, so equality here is equality of the figures. The
+	// group-commit counters themselves must match too — a legacy commit
+	// is a group of one through the same apply path. Only the wall-time
+	// accumulators are excluded: they measure elapsed time, not logical
+	// work, and differ between any two runs regardless of mode.
+	gStore.QueueWaitNS, sStore.QueueWaitNS = 0, 0
+	gRetro.DeviceBusyNS, sRetro.DeviceBusyNS = 0, 0
+	if gStore != sStore {
+		t.Errorf("storage counters diverge:\n group: %+v\nserial: %+v", gStore, sStore)
+	}
+	if gRetro != sRetro {
+		t.Errorf("retro counters diverge:\n group: %+v\nserial: %+v", gRetro, sRetro)
+	}
+	if gStore.Groups == 0 || gStore.Commits < gStore.Groups {
+		t.Errorf("implausible group accounting: %+v", gStore)
+	}
+	if gRetro.DeviceFlushes != gStore.Groups {
+		t.Errorf("DeviceFlushes = %d, want one per group (%d)", gRetro.DeviceFlushes, gStore.Groups)
+	}
+}

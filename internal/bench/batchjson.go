@@ -84,6 +84,9 @@ type BatchReport struct {
 	Tracing *TracingResult `json:"tracing,omitempty"`
 	// The replica fan-out experiment (absent in pre-replication runs).
 	Fanout *FanoutResult `json:"fanout,omitempty"`
+	// The group-commit write-throughput experiment (absent in
+	// pre-group-commit runs).
+	GroupCommit []GroupCommitResult `json:"group_commit,omitempty"`
 }
 
 // batchWorkers is the parallel worker count used by the experiment.
@@ -313,6 +316,9 @@ func (r *Runner) BatchReport() (*BatchReport, error) {
 	if err := r.fanoutBatch(rep); err != nil {
 		return nil, err
 	}
+	if err := r.groupCommitBatch(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -494,6 +500,26 @@ func (r *Runner) Batch() error {
 			"\nreplica fan-out (%d sessions, %d snapshots): single node %s (%.0f q/s), %d replicas %s (%.0f q/s) → %.2fx\n",
 			f.Sessions, f.Snapshots, f.Single.Wall, f.Single.QPS,
 			f.Replicas, f.Fanout.Wall, f.Fanout.QPS, f.Speedup)
+	}
+	if len(rep.GroupCommit) > 0 {
+		gtab := &Table{
+			Title: "Group commit: serial vs batched commit path (sleeping device)",
+			Note: fmt.Sprintf("each commit group costs one %v device flush; writers insert into private tables (no conflicts)",
+				groupCommitLatency),
+			Headers: []string{"writers", "serial wall", "grouped wall", "speedup",
+				"serial c/s", "grouped c/s", "groups", "mean size", "flushes"},
+		}
+		for _, res := range rep.GroupCommit {
+			gtab.Add(res.Writers,
+				time.Duration(res.Serial.WallNS), time.Duration(res.Grouped.WallNS),
+				fmt.Sprintf("%.2fx", res.Speedup),
+				fmt.Sprintf("%.0f", res.Serial.CommitsPerSec),
+				fmt.Sprintf("%.0f", res.Grouped.CommitsPerSec),
+				res.Grouped.Groups,
+				fmt.Sprintf("%.2f", res.Grouped.MeanGroupSize),
+				res.Grouped.Flushes)
+		}
+		gtab.Fprint(r.Out)
 	}
 	return nil
 }

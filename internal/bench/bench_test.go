@@ -220,6 +220,34 @@ func TestBatchReportQuick(t *testing.T) {
 		f.Single.Queries == 0 || f.Single.Queries != f.Fanout.Queries {
 		t.Errorf("fan-out sides malformed: %+v", f)
 	}
+	// The group-commit phase must have timed both write paths, batched
+	// commits into genuinely fewer flushes, and won at 8+ writers.
+	if len(rep.GroupCommit) == 0 {
+		t.Fatal("report missing the group-commit phase")
+	}
+	for _, res := range rep.GroupCommit {
+		t.Logf("group-commit %2dw: serial %s (%.0f c/s, %d flushes) grouped %s (%.0f c/s, %d flushes) → %.2fx",
+			res.Writers, res.Serial.Wall, res.Serial.CommitsPerSec, res.Serial.Flushes,
+			res.Grouped.Wall, res.Grouped.CommitsPerSec, res.Grouped.Flushes, res.Speedup)
+		if res.Serial.WallNS <= 0 || res.Grouped.WallNS <= 0 ||
+			res.Serial.Commits != res.Grouped.Commits || res.Serial.Commits == 0 {
+			t.Errorf("group-commit %dw sides malformed: %+v", res.Writers, res)
+		}
+		if res.Serial.Flushes != res.Serial.Commits {
+			t.Errorf("group-commit %dw: serial side flushed %d times for %d commits, want one per commit",
+				res.Writers, res.Serial.Flushes, res.Serial.Commits)
+		}
+		if res.Writers > 1 {
+			if res.Grouped.Flushes >= res.Serial.Flushes {
+				t.Errorf("group-commit %dw: grouped side flushed %d times, serial %d — batching must reduce flushes",
+					res.Writers, res.Grouped.Flushes, res.Serial.Flushes)
+			}
+			if res.Speedup < 3 {
+				t.Errorf("group-commit %dw: speedup %.2fx, want >= 3x on the sleeping device",
+					res.Writers, res.Speedup)
+			}
+		}
+	}
 	// The runs file appends instead of overwriting; a legacy flat
 	// report is wrapped as the first run, and two runs can be compared.
 	path := t.TempDir() + "/BENCH_rql.json"

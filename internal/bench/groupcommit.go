@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rql"
+)
+
+// The group-commit experiment measures write throughput under
+// concurrent sessions on a sleeping device: every commit group costs
+// one fsync-equivalent flush (the modeled read latency), so the serial
+// path pays one device round-trip per commit while the group-commit
+// pipeline amortizes it over whole batches. Writers insert into
+// private tables — disjoint page sets — so the comparison isolates
+// batching from conflict aborts.
+
+// GroupCommitSide is one write path's measurement within a
+// GroupCommitResult.
+type GroupCommitSide struct {
+	Wall          string  `json:"wall"`
+	WallNS        int64   `json:"wall_ns"`
+	Commits       uint64  `json:"commits"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	Groups        uint64  `json:"groups"`
+	MeanGroupSize float64 `json:"mean_group_size"`
+	Flushes       uint64  `json:"device_flushes"`
+	Conflicts     uint64  `json:"conflicts"`
+}
+
+// GroupCommitResult compares serial vs grouped commits for one writer
+// count.
+type GroupCommitResult struct {
+	Writers int             `json:"writers"`
+	Ops     int             `json:"ops_per_writer"`
+	Serial  GroupCommitSide `json:"serial"`
+	Grouped GroupCommitSide `json:"grouped"`
+	Speedup float64         `json:"speedup"` // serial wall / grouped wall
+}
+
+// groupCommitLatency models the device flush: the cost of making one
+// commit group durable, matching the pipeline phase's cold-tier read.
+const groupCommitLatency = time.Millisecond
+
+// groupCommitBatch runs the commits/sec phase: for each writer count,
+// the same insert workload is timed through the legacy serial commit
+// path and through the group-commit pipeline on a sleeping device.
+func (r *Runner) groupCommitBatch(rep *BatchReport) error {
+	ops := 25
+	if r.Cfg.Quick {
+		ops = 10
+	}
+	writerCounts := []int{1, 8, 32}
+	fmt.Fprintf(r.Out, "[setup] building group-commit environment: sleeping device (%v/flush), %d ops/writer...\n",
+		groupCommitLatency, ops)
+
+	db, err := rql.Open(rql.Options{
+		SleepOnRead:          true,
+		SimulatedReadLatency: groupCommitLatency,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	setup := db.Conn()
+
+	table := 0
+	runSide := func(writers int, grouped bool) (GroupCommitSide, error) {
+		db.SetGroupCommit(grouped)
+		defer db.SetGroupCommit(true)
+		// Fresh tables per side, created outside the timed region.
+		names := make([]string, writers)
+		for w := range names {
+			table++
+			names[w] = fmt.Sprintf("gc_%d", table)
+			if err := setup.Exec(fmt.Sprintf(`CREATE TABLE %s (i INTEGER)`, names[w]), nil); err != nil {
+				return GroupCommitSide{}, err
+			}
+		}
+		db.ResetStats()
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c := db.Conn()
+				for i := 0; i < ops; i++ {
+					if err := c.Exec(fmt.Sprintf(`INSERT INTO %s VALUES (%d)`, names[w], i), nil); err != nil {
+						errs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return GroupCommitSide{}, err
+		}
+		ss := db.StorageStats()
+		rs := db.RetroStats()
+		side := GroupCommitSide{
+			Wall:      wall.Round(time.Microsecond).String(),
+			WallNS:    wall.Nanoseconds(),
+			Commits:   ss.Commits,
+			Groups:    ss.Groups,
+			Flushes:   rs.DeviceFlushes,
+			Conflicts: ss.Conflicts,
+		}
+		if wall > 0 {
+			side.CommitsPerSec = float64(ss.Commits) / wall.Seconds()
+		}
+		if ss.Groups > 0 {
+			side.MeanGroupSize = float64(ss.Commits) / float64(ss.Groups)
+		}
+		if want := uint64(writers * ops); ss.Commits != want {
+			return side, fmt.Errorf("group-commit phase: %d commits accounted, want %d", ss.Commits, want)
+		}
+		if rs.DeviceFlushes != ss.Groups {
+			return side, fmt.Errorf("group-commit phase: %d flushes for %d groups, want one per group",
+				rs.DeviceFlushes, ss.Groups)
+		}
+		return side, nil
+	}
+
+	for _, writers := range writerCounts {
+		serial, err := runSide(writers, false)
+		if err != nil {
+			return err
+		}
+		grouped, err := runSide(writers, true)
+		if err != nil {
+			return err
+		}
+		res := GroupCommitResult{Writers: writers, Ops: ops, Serial: serial, Grouped: grouped}
+		if grouped.WallNS > 0 {
+			res.Speedup = float64(serial.WallNS) / float64(grouped.WallNS)
+		}
+		rep.GroupCommit = append(rep.GroupCommit, res)
+	}
+	return nil
+}
+
+// compareGroupCommit diffs the group-commit phase of two reports
+// through the same regression check as the batch sides. Runs predating
+// the phase have nothing to match.
+func compareGroupCommit(old, cur *BatchReport, out io.Writer, check func(mech, side string, old, cur BatchSide)) {
+	if len(old.GroupCommit) == 0 || len(cur.GroupCommit) == 0 {
+		return
+	}
+	prev := map[int]GroupCommitResult{}
+	for _, res := range old.GroupCommit {
+		prev[res.Writers] = res
+	}
+	tab := &Table{
+		Title:   "Group commit: newest run vs previous",
+		Headers: []string{"writers", "serial Δ", "grouped Δ", "speedup", "commits/s", "mean group"},
+	}
+	for _, res := range cur.GroupCommit {
+		p, ok := prev[res.Writers]
+		if !ok || p.Ops != res.Ops {
+			continue
+		}
+		label := fmt.Sprintf("group-commit/%dw", res.Writers)
+		check(label, "serial",
+			BatchSide{WallNS: p.Serial.WallNS}, BatchSide{WallNS: res.Serial.WallNS})
+		check(label, "grouped",
+			BatchSide{WallNS: p.Grouped.WallNS}, BatchSide{WallNS: res.Grouped.WallNS})
+		tab.Add(res.Writers,
+			wallDelta(BatchSide{WallNS: p.Serial.WallNS}, BatchSide{WallNS: res.Serial.WallNS}),
+			wallDelta(BatchSide{WallNS: p.Grouped.WallNS}, BatchSide{WallNS: res.Grouped.WallNS}),
+			fmt.Sprintf("%.2fx", res.Speedup),
+			fmt.Sprintf("%.0f", res.Grouped.CommitsPerSec),
+			fmt.Sprintf("%.2f", res.Grouped.MeanGroupSize))
+	}
+	tab.Fprint(out)
+}

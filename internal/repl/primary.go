@@ -133,16 +133,22 @@ func (p *Primary) DisconnectAll() {
 }
 
 // onCommit runs on the commit path (under the store and retro locks);
-// it must only append to the log.
-func (p *Primary) onCommit(d retro.CommitDelta) {
+// it must only append to the log. It receives one whole commit group
+// per call, appended under a single lock hold and announced with one
+// broadcast, so the feeder wakes once per group and ships the group's
+// deltas in one write batch.
+func (p *Primary) onCommit(ds []retro.CommitDelta) {
 	p.mu.Lock()
-	ev := &event{seq: p.nextSeq, commit: &d}
-	p.nextSeq++
-	p.events = append(p.events, ev)
-	if d.Declare {
-		p.declSeq[uint64(d.SnapID)] = ev.seq
-		p.declIDs = append(p.declIDs, uint64(d.SnapID))
-		p.trimLocked()
+	for i := range ds {
+		d := ds[i]
+		ev := &event{seq: p.nextSeq, commit: &d}
+		p.nextSeq++
+		p.events = append(p.events, ev)
+		if d.Declare {
+			p.declSeq[uint64(d.SnapID)] = ev.seq
+			p.declIDs = append(p.declIDs, uint64(d.SnapID))
+			p.trimLocked()
+		}
 	}
 	p.mu.Unlock()
 	p.cond.Broadcast()
@@ -368,23 +374,27 @@ func (p *Primary) sendBootstrap(st *stream, bw *bufio.Writer) (startSeq uint64, 
 	rsys.BeginExport()
 	defer rsys.EndExport()
 
-	// Consistent cut: take the writer lock (commits happen only under
-	// it), freezing store LSN, retro state and the event log together;
-	// pin an MVCC read at that LSN; record where the delta stream will
-	// continue; then release the writer. The bulk export below reads
+	// Consistent cut: quiesce the commit path (legacy writers, commit-
+	// group leaders and replicated applies all pass through the writer
+	// semaphore), freezing store LSN, retro state and the event log
+	// together; pin an MVCC read at that LSN; record where the delta
+	// stream will continue; then release. The bulk export below reads
 	// the pinned LSN and the append-only log prefixes at leisure.
-	wtx, err := store.Begin()
+	// Group-mode sessions may stage (and even allocate pages) during
+	// the cut — uncommitted allocations have no versions, so the
+	// export skips them, and their commits queue behind the quiesce.
+	release, err := store.Quiesce()
 	if err != nil {
 		return 0, err
 	}
 	boot, err := rsys.ExportBootstrap()
 	if err != nil {
-		wtx.Rollback()
+		release()
 		return 0, err
 	}
 	rt, err := store.BeginRead()
 	if err != nil {
-		wtx.Rollback()
+		release()
 		return 0, err
 	}
 	defer rt.Close()
@@ -393,7 +403,7 @@ func (p *Primary) sendBootstrap(st *stream, bw *bufio.Writer) (startSeq uint64, 
 	p.mu.Lock()
 	startSeq = p.nextSeq
 	p.mu.Unlock()
-	wtx.Rollback()
+	release()
 
 	cutLSN := rt.LSN()
 	meta := wire.ReplBootMeta{

@@ -47,6 +47,17 @@ type pagelog struct {
 	mem  []*storage.PageData
 	n    int64
 
+	// Staged appends (group commit): between beginStage and
+	// flushStaged, append buffers page pointers instead of writing,
+	// handing out the offsets the pages will occupy; flushStaged then
+	// performs one backing write for the whole group. size() includes
+	// staged pages so offset arithmetic (PlBase, Maplog entries) is
+	// identical with staging on or off. The caller (System) holds its
+	// mutex across the stage, so no reader can chase a staged offset
+	// before the flush.
+	staging bool
+	staged  []*storage.PageData
+
 	injectReadErr error // test hook: fail the next read
 }
 
@@ -61,10 +72,17 @@ func newPagelog(path string) (*pagelog, error) {
 	return &pagelog{file: f, path: path, base: path}, nil
 }
 
-// append stores a copy of data and returns its offset.
+// append stores a copy of data and returns its offset. In staging
+// mode the referenced page (an immutable committed version) is only
+// recorded; flushStaged writes the batch.
 func (pl *pagelog) append(data *storage.PageData) (int64, error) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	if pl.staging {
+		off := pl.n + int64(len(pl.staged))
+		pl.staged = append(pl.staged, data)
+		return off, nil
+	}
 	off := pl.n
 	if pl.file != nil {
 		if _, err := pl.file.WriteAt(data[:], off*storage.PageSize); err != nil {
@@ -132,10 +150,48 @@ func (pl *pagelog) readRun(off int64, n int) ([]*storage.PageData, error) {
 	return out, nil
 }
 
+// beginStage switches append into staging mode (see the struct doc).
+func (pl *pagelog) beginStage() {
+	pl.mu.Lock()
+	pl.staging = true
+	pl.mu.Unlock()
+}
+
+// flushStaged writes every staged page with one backing WriteAt (one
+// copy per page for the memory backing) and leaves staging mode.
+func (pl *pagelog) flushStaged() error {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.staging = false
+	if len(pl.staged) == 0 {
+		return nil
+	}
+	if pl.file != nil {
+		buf := make([]byte, len(pl.staged)*storage.PageSize)
+		for i, d := range pl.staged {
+			copy(buf[i*storage.PageSize:], d[:])
+		}
+		if _, err := pl.file.WriteAt(buf, pl.n*storage.PageSize); err != nil {
+			pl.staged = pl.staged[:0]
+			return fmt.Errorf("retro: pagelog group write: %w", err)
+		}
+	} else {
+		for _, d := range pl.staged {
+			cp := new(storage.PageData)
+			*cp = *d
+			pl.mem = append(pl.mem, cp)
+		}
+	}
+	pl.n += int64(len(pl.staged))
+	pl.staged = pl.staged[:0]
+	return nil
+}
+
+// size returns the log length in pages, staged appends included.
 func (pl *pagelog) size() int64 {
 	pl.mu.RLock()
 	defer pl.mu.RUnlock()
-	return pl.n
+	return pl.n + int64(len(pl.staged))
 }
 
 func (pl *pagelog) close() error {

@@ -42,10 +42,11 @@ type CommitDelta struct {
 	SnapID   SnapshotID // assigned snapshot id when Declare
 }
 
-// SetCommitObserver registers fn to see every main-store commit, called
-// on the commit path under the system's mutex — it must not block or
-// re-enter the store. nil unregisters.
-func (s *System) SetCommitObserver(fn func(CommitDelta)) {
+// SetCommitObserver registers fn to see every main-store commit group
+// as a batch of CommitDeltas in commit order (a legacy-mode commit is
+// a batch of one). Called on the commit path under the system's mutex
+// — it must not block or re-enter the store. nil unregisters.
+func (s *System) SetCommitObserver(fn func([]CommitDelta)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.observer = fn

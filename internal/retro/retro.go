@@ -76,9 +76,18 @@ type System struct {
 	missMu  sync.Mutex
 	missing map[int64]*missCall
 
-	// observer, when set, sees every main-store commit as a CommitDelta
-	// (replication primary). Invoked under s.mu on the commit path.
-	observer func(CommitDelta)
+	// observer, when set, sees every main-store commit group as a
+	// batch of CommitDeltas (replication primary). Invoked under s.mu
+	// on the commit path; a legacy-mode commit delivers a batch of one.
+	observer func([]CommitDelta)
+
+	// staging is true while a commit group is open (BeginGroup..
+	// EndGroup): s.mu is held by the group, Pagelog appends buffer
+	// until the group flush, and observer deltas collect in
+	// groupDeltas. Only the writer-semaphore holder opens groups and
+	// calls Committing, so the flag needs no extra synchronization.
+	staging     bool
+	groupDeltas []CommitDelta
 
 	stats Stats
 }
@@ -136,10 +145,20 @@ func (s *System) Close() error {
 
 // Committing implements storage.CommitHook: capture pre-states for the
 // latest declared snapshot (first-modification-wins) and, when declare
-// is set, assign the next snapshot id.
+// is set, assign the next snapshot id. Inside a commit group
+// (BeginGroup..EndGroup) s.mu is already held by the group and appends
+// stage until the group flush; outside one (a direct call, e.g. from a
+// unit test) it locks s.mu itself and the effects land immediately.
 func (s *System) Committing(dirty []storage.DirtyPage, declare bool, newLSN uint64) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if !s.staging {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.committingLocked(dirty, declare, newLSN)
+}
+
+// committingLocked is Committing's body. Callers hold s.mu.
+func (s *System) committingLocked(dirty []storage.DirtyPage, declare bool, newLSN uint64) (uint64, error) {
 	if s.closed {
 		return 0, ErrClosed
 	}
@@ -187,9 +206,56 @@ func (s *System) Committing(dirty []storage.DirtyPage, declare bool, newLSN uint
 				delta.Freed = append(delta.Freed, d.ID)
 			}
 		}
-		s.observer(*delta)
+		if s.staging {
+			s.groupDeltas = append(s.groupDeltas, *delta)
+		} else {
+			s.observer([]CommitDelta{*delta})
+		}
 	}
 	return snapID, nil
+}
+
+// BeginGroup implements storage.GroupCommitHook: it takes the system
+// mutex for the whole commit group and switches the Pagelog to staged
+// appends, so the group's captures flush as one backing write and no
+// reader can observe a Maplog entry whose Pagelog offset is not yet
+// written.
+func (s *System) BeginGroup() {
+	s.mu.Lock()
+	s.staging = true
+	s.pl.beginStage()
+}
+
+// EndGroup flushes the group's staged Pagelog appends with one backing
+// write, delivers the group's commit deltas to the observer as one
+// batch, and releases the system mutex taken by BeginGroup.
+func (s *System) EndGroup() {
+	if err := s.pl.flushStaged(); err != nil {
+		// The group's page versions are already installed in the
+		// store; with the archive write lost the snapshot log has
+		// diverged, so fail the system rather than serve wrong
+		// pre-states later.
+		s.closed = true
+	}
+	s.staging = false
+	if s.observer != nil && len(s.groupDeltas) > 0 {
+		s.observer(s.groupDeltas)
+	}
+	s.groupDeltas = nil
+	s.mu.Unlock()
+}
+
+// GroupDurable implements storage.GroupCommitHook: one modeled
+// fsync-equivalent device round-trip for the whole group, counted as a
+// DeviceFlush and — on a sleeping device — paid as one device latency
+// regardless of how many commits the group carried. Called after the
+// store mutex is released, so the next group stages while this one
+// flushes.
+func (s *System) GroupDurable(commits int) {
+	s.stats.DeviceFlushes.Add(1)
+	if s.sleepOnRd && s.simLatency > 0 {
+		time.Sleep(s.simLatency)
+	}
 }
 
 // LastSnapshot returns the most recently declared snapshot id (0 if none).

@@ -31,6 +31,11 @@ type Stats struct {
 	DeviceReads     atomic.Uint64
 	OverlappedReads atomic.Uint64
 	DeviceBusyNS    atomic.Uint64
+
+	// DeviceFlushes counts fsync-equivalent commit flushes: one per
+	// commit group (group commit on) or one per commit (off). With
+	// Commits it proves the batching the group-commit bench claims.
+	DeviceFlushes atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -54,6 +59,7 @@ type StatsSnapshot struct {
 	DeviceReads      uint64
 	OverlappedReads  uint64
 	DeviceBusyNS     uint64
+	DeviceFlushes    uint64
 	DeviceQueueDepth uint64
 }
 
@@ -76,6 +82,7 @@ func (s *Stats) Reset() {
 	s.DeviceReads.Store(0)
 	s.OverlappedReads.Store(0)
 	s.DeviceBusyNS.Store(0)
+	s.DeviceFlushes.Store(0)
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -95,5 +102,6 @@ func (s *Stats) snapshot() StatsSnapshot {
 		DeviceReads:     s.DeviceReads.Load(),
 		OverlappedReads: s.OverlappedReads.Load(),
 		DeviceBusyNS:    s.DeviceBusyNS.Load(),
+		DeviceFlushes:   s.DeviceFlushes.Load(),
 	}
 }

@@ -90,6 +90,10 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		{"device_overlapped_reads", st.OverlappedReads},
 		{"device_busy_ns", st.DeviceBusyNS},
 		{"device_queue_depth", st.DeviceQueueDepth},
+		{"commit_groups", st.CommitGroups},
+		{"commit_conflicts", st.CommitConflicts},
+		{"commit_queue_wait_ns", st.CommitQueueWaitNS},
+		{"device_flushes", st.DeviceFlushes},
 		{"tracing_enabled", boolMetric(obs.Enabled())},
 		{"slow_threshold_ns", uint64(obs.SlowThreshold())},
 	}
@@ -101,6 +105,13 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "request_latency_le{%v} %d\n", st.LatencyBounds[i], c)
 		} else {
 			fmt.Fprintf(w, "request_latency_le{+Inf} %d\n", c)
+		}
+	}
+	for i, c := range st.GroupSizeBuckets {
+		if i < len(wire.GroupSizeBounds) {
+			fmt.Fprintf(w, "commit_group_size_le{%d} %d\n", wire.GroupSizeBounds[i], c)
+		} else {
+			fmt.Fprintf(w, "commit_group_size_le{+Inf} %d\n", c)
 		}
 	}
 

@@ -21,6 +21,7 @@ import (
 
 	"rql"
 	"rql/internal/repl"
+	"rql/internal/storage"
 	"rql/internal/wire"
 )
 
@@ -252,8 +253,17 @@ func (s *Server) Stats() wire.ServerStats {
 	out.OverlappedReads = rs.OverlappedReads
 	out.DeviceBusyNS = rs.DeviceBusyNS
 	out.DeviceQueueDepth = rs.DeviceQueueDepth
+	out.CommitGroups = ss.Groups
+	out.CommitConflicts = ss.Conflicts
+	out.CommitQueueWaitNS = ss.QueueWaitNS
+	out.GroupSizeBuckets = ss.GroupSizeBuckets
+	out.DeviceFlushes = rs.DeviceFlushes
 	return out
 }
+
+// The STATS frame copies the storage histogram verbatim; a mismatch in
+// bucket counts fails here instead of shifting counts at runtime.
+var _ = [1]struct{}{}[wire.NumGroupSizeBuckets-storage.NumGroupSizeBuckets]
 
 // ResetStats zeroes the server's cumulative counters (latency histogram
 // included) and the served database's storage/snapshot-system counters

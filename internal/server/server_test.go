@@ -243,8 +243,10 @@ func TestTransactions(t *testing.T) {
 }
 
 // TestDisconnectReleasesWriterLock kills a client mid-transaction and
-// checks the session teardown rolls back, releasing the single-writer
-// lock for the next client.
+// checks the session teardown rolls back its staged write set — under
+// group commit a BEGIN holds no lock, but the staged transaction pins
+// its MVCC baseline and its allocations, and teardown must release
+// both without poisoning the commit queue for later sessions.
 func TestDisconnectReleasesWriterLock(t *testing.T) {
 	_, addr := startServer(t, Config{})
 
@@ -277,6 +279,27 @@ func TestDisconnectReleasesWriterLock(t *testing.T) {
 	}
 	if got := flatten(rows); got != "2" {
 		t.Fatalf("table = %q, want just the second client's row (first rolled back)", got)
+	}
+
+	// The commit queue outlives the dead session: explicit transactions
+	// and snapshot declarations keep working, and the dead session's
+	// staged pages were reclaimed rather than leaked into a snapshot.
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Exec(`INSERT INTO t VALUES (3)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c2.CommitWithSnapshot()
+	if err != nil {
+		t.Fatalf("COMMIT WITH SNAPSHOT after dead session: %v", err)
+	}
+	rows, err = c2.Query(fmt.Sprintf(`SELECT AS OF %d a FROM t`, snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flatten(rows); got != "2,3" {
+		t.Fatalf("snapshot state = %q, want \"2,3\"", got)
 	}
 }
 

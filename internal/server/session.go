@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -31,18 +32,27 @@ type session struct {
 	conn *rql.Conn
 	ver  int // negotiated protocol version (min of client and server)
 
+	// cancel fires the session's lifetime context: the Conn's writer
+	// waits (legacy writer lock, group-commit queue) abort instead of
+	// parking a dead session's transaction forever.
+	cancel context.CancelFunc
+
 	mu            sync.Mutex
 	busy          bool // a request is executing
 	closeWhenIdle bool // drain: exit after the in-flight request
 }
 
 func newSession(s *Server, nc net.Conn) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	conn := s.db.Conn()
+	conn.SetContext(ctx)
 	return &session{
-		srv:  s,
-		nc:   nc,
-		br:   bufio.NewReaderSize(nc, 32<<10),
-		bw:   bufio.NewWriterSize(nc, 32<<10),
-		conn: s.db.Conn(),
+		srv:    s,
+		nc:     nc,
+		br:     bufio.NewReaderSize(nc, 32<<10),
+		bw:     bufio.NewWriterSize(nc, 32<<10),
+		conn:   conn,
+		cancel: cancel,
 	}
 }
 
@@ -59,8 +69,13 @@ func (ss *session) beginShutdown() {
 	}
 }
 
-// forceClose severs the connection regardless of in-flight work.
-func (ss *session) forceClose() { ss.nc.Close() }
+// forceClose severs the connection regardless of in-flight work and
+// cancels the session context, unblocking a writer parked behind the
+// writer lock or the commit queue.
+func (ss *session) forceClose() {
+	ss.cancel()
+	ss.nc.Close()
+}
 
 func (ss *session) setBusy(b bool) (exit bool) {
 	ss.mu.Lock()
@@ -73,8 +88,10 @@ func (ss *session) setBusy(b bool) (exit bool) {
 // client goes away, a protocol error occurs, or the server drains.
 func (ss *session) run() {
 	defer func() {
-		// Release the single-writer lock if the client died mid
-		// transaction, and drop the connection.
+		// Roll back if the client died mid transaction — releasing the
+		// writer lock (legacy path) or the staged write set and its
+		// snapshot pin (group-commit path) — and drop the connection.
+		ss.cancel()
 		if ss.conn.InTx() {
 			ss.conn.Rollback()
 		}
@@ -170,7 +187,7 @@ func (ss *session) dispatch(op byte, payload []byte) error {
 		return ss.handleMech(payload)
 	case wire.ReqStats:
 		e := &wire.Enc{}
-		wire.EncodeServerStats(e, ss.srv.Stats())
+		wire.EncodeServerStats(e, ss.srv.Stats(), ss.ver)
 		return ss.writeFrame(wire.RespStats, e.B)
 	case wire.ReqObjs:
 		return ss.handleObjects()

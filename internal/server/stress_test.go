@@ -226,3 +226,260 @@ func TestStress32Sessions(t *testing.T) {
 		t.Errorf("STATS reply missing batch SPT builds: %+v", st)
 	}
 }
+
+// TestGroupCommitStress is the group-commit correctness harness: the
+// reader checks of TestStress32Sessions plus N concurrent writer
+// sessions — half hammering one shared table (a conflict-inducing mix
+// resolved by the engine's autocommit retry), half creating and filling
+// private tables (concurrent DDL plus disjoint writes that should batch
+// without conflicts) — while the TPC-H refresh workload advances the
+// snapshot timeline through explicit COMMIT WITH SNAPSHOT transactions.
+// Every read is checked against the same analytic shadow model, every
+// write must land exactly once, and the STATS counters must account
+// every commit to a group. Run with -race.
+func TestGroupCommitStress(t *testing.T) {
+	const (
+		sharedWriters  = 4
+		privateWriters = 4
+		writerOps      = 40
+		readers        = 8
+		steps          = 8  // refresh cycles (snapshots declared)
+		ops            = 30 // orders refreshed per snapshot
+	)
+
+	db, err := rql.Open(rql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	gen := tpch.NewGenerator(0.001, 7)
+	wconn := db.Conn()
+	minKey, _, err := tpch.Load(wconn.Conn, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := int64(gen.Orders())
+	if err := wconn.Exec(`CREATE TABLE shared_log (w INTEGER, i INTEGER)`, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(db, Config{})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(lis) }()
+	addr := lis.Addr().String()
+
+	type expect struct{ count, min, max, sum int64 }
+	expectAt := func(k int64) expect {
+		lo := minKey + k*ops
+		hi := lo + orders - 1
+		return expect{count: orders, min: lo, max: hi, sum: (lo + hi) * orders / 2}
+	}
+	var (
+		mu     sync.Mutex
+		snaps  []uint64
+		shadow = map[uint64]expect{}
+	)
+	publish := func(id uint64, e expect) {
+		mu.Lock()
+		snaps = append(snaps, id)
+		shadow[id] = e
+		mu.Unlock()
+	}
+	pick := func(rng *rand.Rand) (uint64, expect) {
+		mu.Lock()
+		defer mu.Unlock()
+		id := snaps[rng.Intn(len(snaps))]
+		return id, shadow[id]
+	}
+	snap0, err := wconn.DeclareSnapshot("initial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	publish(snap0, expectAt(0))
+
+	writerDone := make(chan struct{})
+	var writerErr error
+	go func() {
+		defer close(writerDone)
+		w := tpch.NewWorkload(wconn.Conn, gen, minKey, ops)
+		for k := int64(1); k <= steps; k++ {
+			id, err := w.Step()
+			if err != nil {
+				writerErr = fmt.Errorf("refresh step %d: %w", k, err)
+				return
+			}
+			publish(id, expectAt(k))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sharedWriters+privateWriters+readers)
+
+	// Conflict-inducing mix: all shared writers insert into ONE table,
+	// so concurrently staged statements hit the same leaf page and lose
+	// first-committer-wins races; the engine's autocommit retry must
+	// land every row exactly once anyway.
+	for w := 0; w < sharedWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < writerOps; i++ {
+				if err := c.Exec(fmt.Sprintf(`INSERT INTO shared_log VALUES (%d, %d)`, w, i), nil); err != nil {
+					errs <- fmt.Errorf("shared writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Disjoint writers: concurrent CREATE TABLE (catalog-page conflicts,
+	// retried) then private inserts that should group without aborts.
+	for w := 0; w < privateWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Exec(fmt.Sprintf(`CREATE TABLE priv_%d (i INTEGER)`, w), nil); err != nil {
+				errs <- fmt.Errorf("private writer %d create: %w", w, err)
+				return
+			}
+			for i := 0; i < writerOps; i++ {
+				if err := c.Exec(fmt.Sprintf(`INSERT INTO priv_%d VALUES (%d)`, w, i), nil); err != nil {
+					errs <- fmt.Errorf("private writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			done := false
+			for i := 0; i < 6 || !done; i++ {
+				id, want := pick(rng)
+				rows, err := c.Query(fmt.Sprintf(
+					`SELECT AS OF %d COUNT(*), MIN(o_orderkey), MAX(o_orderkey), SUM(o_orderkey) FROM orders`, id))
+				if err != nil {
+					errs <- fmt.Errorf("reader %d, snapshot %d: %w", r, id, err)
+					return
+				}
+				got := expect{
+					count: rows.Rows[0][0].Int(),
+					min:   rows.Rows[0][1].Int(),
+					max:   rows.Rows[0][2].Int(),
+					sum:   rows.Rows[0][3].Int(),
+				}
+				if got != want {
+					errs <- fmt.Errorf("reader %d, snapshot %d: read %+v, want %+v", r, id, got, want)
+					return
+				}
+				// Current state: refreshes are atomic, and the shared
+				// table never shows a torn or duplicated insert.
+				rows, err = c.Query(`SELECT COUNT(*) FROM orders`)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d current: %w", r, err)
+					return
+				}
+				if n := rows.Rows[0][0].Int(); n != orders {
+					errs <- fmt.Errorf("reader %d saw torn refresh: %d live orders, want %d", r, n, orders)
+					return
+				}
+				rows, err = c.Query(`SELECT COUNT(*) FROM shared_log`)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d shared_log: %w", r, err)
+					return
+				}
+				if n := rows.Rows[0][0].Int(); n > sharedWriters*writerOps {
+					errs <- fmt.Errorf("reader %d saw %d shared_log rows, max possible %d (duplicated retry?)",
+						r, n, sharedWriters*writerOps)
+					return
+				}
+				select {
+				case <-writerDone:
+					done = true
+				default:
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	<-writerDone
+	if writerErr != nil {
+		t.Fatal(writerErr)
+	}
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every write landed exactly once.
+	rows, err := wconn.Query(`SELECT COUNT(*), COUNT(DISTINCT w) FROM shared_log`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, w := rows.Rows[0][0].Int(), rows.Rows[0][1].Int(); n != sharedWriters*writerOps || w != sharedWriters {
+		t.Errorf("shared_log has %d rows from %d writers, want %d from %d",
+			n, w, sharedWriters*writerOps, sharedWriters)
+	}
+	for w := 0; w < privateWriters; w++ {
+		rows, err := wconn.Query(fmt.Sprintf(`SELECT COUNT(*) FROM priv_%d`, w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := rows.Rows[0][0].Int(); n != writerOps {
+			t.Errorf("priv_%d has %d rows, want %d", w, n, writerOps)
+		}
+	}
+
+	srv.Shutdown()
+	if err := <-served; err != ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+
+	// The counters must account every commit to a group and keep the
+	// group-size histogram consistent; conflicts depend on scheduling,
+	// so they are reported, not asserted.
+	st := srv.Stats()
+	if st.CommitGroups == 0 || st.Commits < st.CommitGroups {
+		t.Errorf("implausible group accounting: groups=%d commits=%d", st.CommitGroups, st.Commits)
+	}
+	var bucketed uint64
+	for _, c := range st.GroupSizeBuckets {
+		bucketed += c
+	}
+	if bucketed != st.CommitGroups {
+		t.Errorf("group-size histogram accounts %d groups, want %d", bucketed, st.CommitGroups)
+	}
+	if st.DeviceFlushes != st.CommitGroups {
+		t.Errorf("DeviceFlushes = %d, want one per group (%d)", st.DeviceFlushes, st.CommitGroups)
+	}
+	t.Logf("groups=%d commits=%d conflicts=%d mean-size=%.2f queue-wait=%dns",
+		st.CommitGroups, st.Commits, st.CommitConflicts,
+		float64(st.Commits)/float64(st.CommitGroups), st.CommitQueueWaitNS)
+}

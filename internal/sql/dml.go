@@ -2,8 +2,10 @@ package sql
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"rql/internal/btree"
 	"rql/internal/record"
@@ -77,7 +79,7 @@ func (c *Conn) newWriteEnv(toSide bool, params []record.Value, stats *ExecStats)
 	w.ec = ec
 
 	if toSide {
-		tx, err := c.db.side.Begin()
+		tx, err := c.db.side.BeginCtx(c.ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +101,7 @@ func (c *Conn) newWriteEnv(toSide bool, params []record.Value, stats *ExecStats)
 		if c.mainTx != nil {
 			w.tx, w.own = c.mainTx, false
 		} else {
-			tx, err := c.db.main.Begin()
+			tx, err := c.db.main.BeginCtx(c.ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -133,8 +135,47 @@ func (c *Conn) newWriteEnv(toSide bool, params []record.Value, stats *ExecStats)
 	return w, nil
 }
 
-// execWrite executes a non-SELECT, non-transaction-control statement.
+// conflictBackoff caps the per-attempt backoff of the autocommit
+// conflict retry loop (see retryWrite).
+const conflictBackoff = time.Millisecond
+
+// retryWrite runs fn, retrying on ErrWriteConflict when the statement
+// autocommits (no explicit transaction is open — inside one, the
+// conflict belongs to the client, surfacing at COMMIT). Each attempt
+// runs on a fresh snapshot with freshly loaded schemas, so re-execution
+// is equivalent to the client resubmitting the statement. The loop is
+// unbounded: a conflict abort means some other transaction committed,
+// so the system as a whole always progresses; a growing, capped backoff
+// keeps an unlucky statement from starving under sustained contention.
+// stats is reset between attempts so only the winning execution is
+// accounted.
+func (c *Conn) retryWrite(stats *ExecStats, fn func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil || !errors.Is(err, storage.ErrWriteConflict) || c.mainTx != nil {
+			return err
+		}
+		*stats = ExecStats{}
+		if attempt >= 4 {
+			d := time.Duration(attempt) * 50 * time.Microsecond
+			if d > conflictBackoff {
+				d = conflictBackoff
+			}
+			time.Sleep(d)
+		}
+	}
+}
+
+// execWrite executes a non-SELECT, non-transaction-control statement,
+// transparently retrying autocommit statements that lose a
+// first-committer-wins conflict in the commit group.
 func (c *Conn) execWrite(stmt Statement, params []record.Value, stats *ExecStats) error {
+	return c.retryWrite(stats, func() error {
+		return c.execWriteOnce(stmt, params, stats)
+	})
+}
+
+func (c *Conn) execWriteOnce(stmt Statement, params []record.Value, stats *ExecStats) error {
 	toSide, err := c.targetStore(stmt)
 	if err != nil {
 		return err
@@ -723,24 +764,27 @@ func (c *Conn) BulkInsert(table string, rows [][]record.Value) error {
 	if err != nil {
 		return err
 	}
-	w, err := c.newWriteEnv(toSide, nil, &ExecStats{})
-	if err != nil {
-		return err
-	}
-	err = func() error {
-		t, sch, err := w.writeTable(table)
+	var stats ExecStats
+	return c.retryWrite(&stats, func() error {
+		w, err := c.newWriteEnv(toSide, nil, &stats)
 		if err != nil {
 			return err
 		}
-		for _, row := range rows {
-			vals := append([]record.Value(nil), row...)
-			if _, err := insertRow(w.tx, t, sch, vals); err != nil {
+		err = func() error {
+			t, sch, err := w.writeTable(table)
+			if err != nil {
 				return err
 			}
-		}
-		return nil
-	}()
-	return w.finish(err)
+			for _, row := range rows {
+				vals := append([]record.Value(nil), row...)
+				if _, err := insertRow(w.tx, t, sch, vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		return w.finish(err)
+	})
 }
 
 func (c *Conn) tableIsTemp(name string) (bool, error) {

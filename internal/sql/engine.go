@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -96,8 +97,25 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	// The snapshotable main store commits through the group-commit
+	// pipeline by default: sessions stage write sets concurrently and
+	// the commit queue batches them (storage/group.go); autocommit
+	// statements aborted first-committer-wins retry transparently
+	// (execWrite). The side store keeps the legacy exclusive writer
+	// lock — parallel mechanism workers rely on it to serialize
+	// result-table writes without conflict aborts.
+	db.main.SetGroupCommit(true)
 	return db, nil
 }
+
+// SetGroupCommit toggles the main store's group-commit pipeline
+// (default on). Off restores the exclusive writer-lock commit path —
+// the serial baseline of the commits/sec bench. Must not be toggled
+// while writer transactions are in flight.
+func (db *DB) SetGroupCommit(on bool) { db.main.SetGroupCommit(on) }
+
+// GroupCommit reports whether the main store commits in groups.
+func (db *DB) GroupCommit() bool { return db.main.GroupCommit() }
 
 // Close releases the database.
 func (db *DB) Close() error {
@@ -205,7 +223,20 @@ type Conn struct {
 	span      *obs.Span
 	curStmt   *obs.Span
 	lastTrace uint64
+
+	// Ambient context (SetContext): writer-transaction Begin honors
+	// its cancellation/deadline while waiting for the legacy writer
+	// lock, and a staged group commit abandons its queue slot if the
+	// context fires before the leader claims it. nil = background.
+	ctx context.Context
 }
+
+// SetContext sets the connection's ambient context. Writer Begin
+// (legacy writer-lock wait) and group-commit queue waits honor its
+// cancellation and deadline; a nil ctx restores context.Background().
+// The server points this at the session's lifetime context so a dead
+// client never leaves a writer parked in the commit queue.
+func (c *Conn) SetContext(ctx context.Context) { c.ctx = ctx }
 
 // SetTraceSpan sets the parent span for statements executed on this
 // connection. With a nil parent (the default), each statement batch
@@ -443,7 +474,7 @@ func (c *Conn) Begin() error {
 	if c.mainTx != nil {
 		return ErrTxOpen
 	}
-	tx, err := c.db.main.Begin()
+	tx, err := c.db.main.BeginCtx(c.ctx)
 	if err != nil {
 		return err
 	}

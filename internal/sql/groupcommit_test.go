@@ -1,0 +1,145 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rql/internal/storage"
+)
+
+// TestExplicitTxConflict pins the SQL surface of first-committer-wins:
+// two explicit transactions staged against the same baseline insert
+// into the same table (hence the same leaf page); the first COMMIT
+// wins, the second surfaces ErrWriteConflict and is rolled back.
+func TestExplicitTxConflict(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	c1, c2 := db.Conn(), db.Conn()
+	mustExec(t, c1, `CREATE TABLE t (a INTEGER)`)
+
+	if err := c1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err, "BEGIN must not block on another open transaction")
+	}
+	mustExec(t, c1, `INSERT INTO t VALUES (1)`)
+	mustExec(t, c2, `INSERT INTO t VALUES (2)`)
+	if err := c1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Commit(); !errors.Is(err, storage.ErrWriteConflict) {
+		t.Fatalf("second COMMIT = %v, want ErrWriteConflict", err)
+	}
+	if got := q(t, c1, `SELECT a FROM t`); len(got) != 1 || got[0] != "1" {
+		t.Fatalf("table = %v, want only the winner's row", got)
+	}
+	if c2.InTx() {
+		t.Error("losing transaction should be closed after the conflict")
+	}
+	if st := db.MainStore().Stats(); st.Conflicts != 1 {
+		t.Errorf("Conflicts = %d, want 1", st.Conflicts)
+	}
+
+	// The loser retries on a fresh snapshot and succeeds.
+	if err := c2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, c2, `INSERT INTO t VALUES (2)`)
+	if err := c2.Commit(); err != nil {
+		t.Fatalf("retried COMMIT: %v", err)
+	}
+	if got := q(t, c1, `SELECT a FROM t ORDER BY a`); fmt.Sprint(got) != "[1 2]" {
+		t.Fatalf("table after retry = %v", got)
+	}
+}
+
+// TestAutocommitConflictRetry hammers one table with concurrent
+// autocommit INSERTs from many connections: the engine's transparent
+// conflict retry must land every row exactly once.
+func TestAutocommitConflictRetry(t *testing.T) {
+	const writers, each = 8, 25
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	setup := db.Conn()
+	mustExec(t, setup, `CREATE TABLE t (w INTEGER, i INTEGER)`)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := db.Conn()
+			for i := 0; i < each; i++ {
+				if err := c.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, w, i), nil); err != nil {
+					errs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got := q(t, setup, `SELECT COUNT(*), COUNT(DISTINCT w) FROM t`)
+	if len(got) != 1 || got[0] != fmt.Sprintf("%d|%d", writers*each, writers) {
+		t.Fatalf("after concurrent autocommit inserts: %v, want [%d|%d]",
+			got, writers*each, writers)
+	}
+	st := db.MainStore().Stats()
+	if st.Commits < writers*each {
+		t.Errorf("Commits = %d, want >= %d", st.Commits, writers*each)
+	}
+	t.Logf("groups=%d commits=%d conflicts=%d", st.Groups, st.Commits, st.Conflicts)
+}
+
+// TestConnContextCancelsWriterWait: a connection whose ambient context
+// is cancelled must not block in BEGIN (and a side-store write must
+// not park forever behind the side store's legacy writer lock).
+func TestConnContextCancelsWriterWait(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	c := db.Conn()
+	mustExec(t, c, `CREATE TEMP TABLE s (a INTEGER)`)
+
+	// Hold the side store's legacy writer lock directly.
+	holder, err := db.side.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c2 := db.Conn()
+	c2.SetContext(ctx)
+	got := make(chan error, 1)
+	go func() { got <- c2.Exec(`INSERT INTO s VALUES (1)`, nil) }()
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("side write with cancelled ctx = %v, want context.Canceled", err)
+	}
+	holder.Rollback()
+
+	// An already-cancelled context also fails main-store BEGIN fast.
+	if err := c2.Begin(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BEGIN with cancelled ctx = %v, want context.Canceled", err)
+	}
+	// Clearing the context restores normal operation.
+	c2.SetContext(nil)
+	mustExec(t, c2, `INSERT INTO s VALUES (2)`)
+}

@@ -51,8 +51,8 @@ func (s *Store) SetReadOnly(err error) {
 // An error from pre aborts the group mid-way; the caller must treat the
 // store as diverged (commits before i are fully applied).
 func (s *Store) ApplyReplicated(commits []ReplCommit, pre func(i int) error) error {
-	s.writer.Lock()
-	defer s.writer.Unlock()
+	s.writerSem <- struct{}{}
+	defer s.releaseWriter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -84,8 +84,8 @@ func (s *Store) ApplyReplicated(commits []ReplCommit, pre func(i int) error) err
 // installed at lsn, the free list replaced. Pages absent from the list
 // have no version and read as free, matching the primary.
 func (s *Store) ApplyBootstrap(lsn uint64, numPages int, pages []ReplPage, free []PageID) error {
-	s.writer.Lock()
-	defer s.writer.Unlock()
+	s.writerSem <- struct{}{}
+	defer s.releaseWriter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {

@@ -8,6 +8,16 @@ type Stats struct {
 	Commits      atomic.Uint64 // committed writer transactions
 	PagesWritten atomic.Uint64 // page versions installed by commits
 	DBReads      atomic.Uint64 // page reads served from the current DB
+
+	// Group commit (group.go). Legacy-mode commits count as groups of
+	// one, so Commits/Groups is the mean group size in either mode.
+	Groups      atomic.Uint64 // commit groups applied
+	Conflicts   atomic.Uint64 // transactions aborted first-committer-wins
+	QueueWaitNS atomic.Uint64 // cumulative commit-queue wait, nanoseconds
+
+	// GroupSizeBuckets histograms applied group sizes; bucket i counts
+	// groups of size <= GroupSizeBounds[i], the last bucket is +Inf.
+	GroupSizeBuckets [NumGroupSizeBuckets]atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -15,14 +25,26 @@ type StatsSnapshot struct {
 	Commits      uint64
 	PagesWritten uint64
 	DBReads      uint64
+
+	Groups           uint64
+	Conflicts        uint64
+	QueueWaitNS      uint64
+	GroupSizeBuckets [NumGroupSizeBuckets]uint64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
+	snap := StatsSnapshot{
 		Commits:      s.Commits.Load(),
 		PagesWritten: s.PagesWritten.Load(),
 		DBReads:      s.DBReads.Load(),
+		Groups:       s.Groups.Load(),
+		Conflicts:    s.Conflicts.Load(),
+		QueueWaitNS:  s.QueueWaitNS.Load(),
 	}
+	for i := range s.GroupSizeBuckets {
+		snap.GroupSizeBuckets[i] = s.GroupSizeBuckets[i].Load()
+	}
+	return snap
 }
 
 // Reset zeroes all counters. Page state is untouched: the store keeps
@@ -31,4 +53,10 @@ func (s *Stats) Reset() {
 	s.Commits.Store(0)
 	s.PagesWritten.Store(0)
 	s.DBReads.Store(0)
+	s.Groups.Store(0)
+	s.Conflicts.Store(0)
+	s.QueueWaitNS.Store(0)
+	for i := range s.GroupSizeBuckets {
+		s.GroupSizeBuckets[i].Store(0)
+	}
 }

@@ -1,7 +1,7 @@
 package storage
 
 import (
-	"sort"
+	"context"
 	"sync"
 )
 
@@ -15,10 +15,26 @@ type pageVersion struct {
 	prev *pageVersion
 }
 
-// Store is the in-memory transactional page store. It supports one
-// writer at a time and any number of concurrent MVCC readers.
+// Store is the in-memory transactional page store. Commits are
+// serialized — one commit lands at a time — and any number of MVCC
+// readers run concurrently. Two writer models share that invariant
+// (see group.go): in the legacy model the active writer transaction
+// holds the writer semaphore from Begin to Commit/Rollback; in
+// group-commit mode transactions stage concurrently and a commit-queue
+// leader applies them in batches.
 type Store struct {
-	writer sync.Mutex // held by the active writer transaction
+	// writerSem is the single-writer semaphore (capacity 1). A channel
+	// rather than a mutex so acquisition can honor context
+	// cancellation (BeginCtx) and so it is not goroutine-owned: in
+	// group mode the commit-queue leader acquires and releases it on
+	// behalf of many staging transactions.
+	writerSem chan struct{}
+
+	// Commit queue (group-commit mode). qmu guards queue and
+	// leaderActive; the leader drains the queue holding writerSem.
+	qmu          sync.Mutex
+	queue        []*commitReq
+	leaderActive bool
 
 	mu       sync.RWMutex // guards everything below
 	pages    []*pageVersion
@@ -28,13 +44,17 @@ type Store struct {
 	hook     CommitHook
 	closed   bool
 	readOnly error // non-nil: Begin fails with this error (replica mode)
+	grouped  bool  // group-commit mode toggle (SetGroupCommit)
 
 	stats Stats
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{readers: make(map[uint64]int)}
+	return &Store{
+		writerSem: make(chan struct{}, 1),
+		readers:   make(map[uint64]int),
+	}
 }
 
 // SetCommitHook installs the commit hook (the Retro snapshot system).
@@ -43,6 +63,23 @@ func (s *Store) SetCommitHook(h CommitHook) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.hook = h
+}
+
+// SetGroupCommit switches the store between the legacy exclusive
+// writer-lock commit path (off, the default) and the batched
+// group-commit pipeline (on; see group.go). It must not be toggled
+// while writer transactions are in flight.
+func (s *Store) SetGroupCommit(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grouped = on
+}
+
+// GroupCommit reports whether group-commit mode is on.
+func (s *Store) GroupCommit() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.grouped
 }
 
 // Close marks the store closed; subsequent Begin calls fail.
@@ -80,28 +117,73 @@ func (s *Store) Stats() StatsSnapshot { return s.stats.snapshot() }
 // ResetStats zeroes the store's counters (see Stats.Reset).
 func (s *Store) ResetStats() { s.stats.Reset() }
 
-// Begin starts a writer transaction. It blocks until any other writer
-// finishes (single-writer model; the paper's BDB uses finer-grained
-// locking, but RQL's workloads are single-writer and the simplification
-// does not affect the studied behaviours).
-func (s *Store) Begin() (*Tx, error) {
-	s.writer.Lock()
+// Begin starts a writer transaction. In legacy mode it blocks until
+// any other writer finishes (single-writer model; the paper's BDB uses
+// finer-grained locking, but the simplification does not affect the
+// studied behaviours). In group-commit mode it returns immediately:
+// the transaction stages against an MVCC pin at the current LSN and
+// write-write conflicts surface as ErrWriteConflict at commit.
+func (s *Store) Begin() (*Tx, error) { return s.BeginCtx(context.Background()) }
+
+// BeginCtx is Begin honoring context cancellation: a writer blocked
+// behind the legacy writer lock returns ctx.Err() when the context is
+// done instead of blocking forever. The context also bounds the
+// transaction's commit-queue wait in group mode (see Tx.finish).
+func (s *Store) BeginCtx(ctx context.Context) (*Tx, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	grouped := s.grouped
+	s.mu.RUnlock()
+	if !grouped {
+		select {
+		case s.writerSem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if s.closed {
+			s.releaseWriter()
+			return nil, ErrStoreClosed
+		}
+		if s.readOnly != nil {
+			s.releaseWriter()
+			return nil, s.readOnly
+		}
+		return &Tx{
+			store: s,
+			dirty: make(map[PageID]*PageData),
+			base:  s.lsn,
+			ctx:   ctx,
+		}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.writer.Unlock()
 		return nil, ErrStoreClosed
 	}
 	if s.readOnly != nil {
-		s.writer.Unlock()
 		return nil, s.readOnly
 	}
+	// Pin the base LSN like a reader: concurrent commits must not
+	// prune the versions this transaction's staged reads resolve to.
+	s.readers[s.lsn]++
 	return &Tx{
-		store: s,
-		dirty: make(map[PageID]*PageData),
-		base:  s.lsn,
+		store:   s,
+		dirty:   make(map[PageID]*PageData),
+		base:    s.lsn,
+		ctx:     ctx,
+		grouped: true,
+		pinned:  true,
 	}, nil
 }
+
+func (s *Store) releaseWriter() { <-s.writerSem }
 
 // BeginRead starts an MVCC read-only transaction pinned at the current
 // commit LSN. It never blocks writers; the version chains retain any
@@ -146,58 +228,6 @@ func (s *Store) readVersion(id PageID, readLSN uint64) (*PageData, error) {
 	return nil, nil
 }
 
-// commit applies a transaction's effects: assigns the next LSN, invokes
-// the commit hook (Retro pre-state capture / snapshot declaration),
-// installs new page versions, prunes version chains no active reader
-// needs, and updates the free list.
-func (s *Store) commit(tx *Tx, declare bool) (snapID uint64, err error) {
-	sp := tx.span.Child("storage.commit")
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	// Assemble the dirty set in a deterministic order: content
-	// changes, then frees.
-	dirty := make([]DirtyPage, 0, len(tx.dirty)+len(tx.freed))
-	for id, data := range tx.dirty {
-		var pre *PageData
-		if head := s.currentVersion(id); head != nil {
-			pre = head.data
-		}
-		dirty = append(dirty, DirtyPage{ID: id, Pre: pre, New: data})
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i].ID < dirty[j].ID })
-	for _, id := range tx.freed {
-		var pre *PageData
-		if head := s.currentVersion(id); head != nil {
-			pre = head.data
-		}
-		dirty = append(dirty, DirtyPage{ID: id, Pre: pre, New: nil})
-	}
-
-	if s.hook != nil {
-		snapID, err = s.hook.Committing(dirty, declare, s.lsn+1)
-		if err != nil {
-			return 0, err
-		}
-	}
-
-	s.lsn++
-	newLSN := s.lsn
-	keep := s.minReaderLSN(newLSN)
-	for _, d := range dirty {
-		s.installVersion(d.ID, &pageVersion{lsn: newLSN, data: d.New}, keep)
-	}
-	s.free = append(s.free, tx.freed...)
-	s.stats.Commits.Add(1)
-	s.stats.PagesWritten.Add(uint64(len(dirty)))
-	sp.SetInt("pages", int64(len(dirty))).SetInt("lsn", int64(newLSN))
-	if declare {
-		sp.SetInt("snapshot", int64(snapID))
-	}
-	sp.End()
-	return snapID, nil
-}
-
 // currentVersion returns the newest committed version of a page, or
 // nil when the page has never been written. Callers must hold s.mu.
 func (s *Store) currentVersion(id PageID) *pageVersion {
@@ -227,7 +257,10 @@ func (s *Store) installVersion(id PageID, v *pageVersion, keep uint64) {
 
 // allocate hands out a page id for a writer transaction, reusing the
 // free list when possible. Version chains make reuse safe: readers
-// pinned before the free still resolve their own versions.
+// pinned before the free still resolve their own versions. Ids are
+// handed out exclusively, so concurrently staging transactions never
+// receive the same id (the basis of the conflict check's
+// allocated-page exemption).
 func (s *Store) allocate() PageID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -250,6 +283,11 @@ func (s *Store) unallocate(ids []PageID) {
 func (s *Store) endRead(lsn uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.endReadLocked(lsn)
+}
+
+// endReadLocked drops one reader pin at lsn. Callers hold s.mu.
+func (s *Store) endReadLocked(lsn uint64) {
 	if n := s.readers[lsn]; n > 1 {
 		s.readers[lsn] = n - 1
 	} else {

@@ -1,12 +1,19 @@
 package storage
 
-import "rql/internal/obs"
+import (
+	"context"
+
+	"rql/internal/obs"
+)
 
 // Tx is a writer transaction. Reads see the transaction's own writes
-// first, then the newest committed state. All mutations are buffered in
-// a dirty set and become visible atomically at Commit.
+// first, then the newest committed state as of the transaction's base
+// LSN. All mutations are buffered in a dirty set and become visible
+// atomically at Commit.
 //
-// Tx is not safe for concurrent use by multiple goroutines.
+// Tx is not safe for concurrent use by multiple goroutines, but in
+// group-commit mode many transactions stage concurrently, one per
+// goroutine (see group.go).
 type Tx struct {
 	store     *Store
 	dirty     map[PageID]*PageData
@@ -15,7 +22,10 @@ type Tx struct {
 	allocated map[PageID]bool
 	base      uint64 // commit LSN at Begin; reads resolve against it
 	done      bool
-	span      *obs.Span // parent for the commit span; nil when untraced
+	grouped   bool            // staged via the commit queue (no writer semaphore held)
+	pinned    bool            // base LSN pinned in store.readers (group mode)
+	ctx       context.Context // bounds commit-queue waits; nil = background
+	span      *obs.Span       // parent for the commit span; nil when untraced
 }
 
 // SetTraceSpan parents this transaction's commit span under sp. A nil
@@ -136,14 +146,39 @@ func (tx *Tx) finish(declare bool) (uint64, error) {
 		return 0, ErrTxDone
 	}
 	tx.done = true
-	defer tx.store.writer.Unlock()
-	snapID, err := tx.store.commit(tx, declare)
-	if err != nil {
-		// The hook vetoed the commit; roll back allocations.
-		tx.rollbackAllocations()
-		return 0, err
+	req := &commitReq{tx: tx, declare: declare, done: make(chan commitResult, 1)}
+	if !tx.grouped {
+		// Legacy path: this goroutine has held the writer semaphore
+		// since Begin; apply directly as a group of one so hook
+		// ordering and counters match the grouped path exactly.
+		defer tx.store.releaseWriter()
+		tx.store.applyGroup([]*commitReq{req})
+		res := <-req.done
+		return res.snapID, res.err
 	}
-	return snapID, nil
+	tx.store.enqueueCommit(req)
+	ctx := tx.ctx
+	if ctx == nil {
+		res := <-req.done
+		return res.snapID, res.err
+	}
+	select {
+	case res := <-req.done:
+		return res.snapID, res.err
+	case <-ctx.Done():
+		if req.state.CompareAndSwap(reqPending, reqAbandoned) {
+			// The leader had not reached this request, so the commit
+			// never happened; unpin and release allocations here.
+			tx.releasePin()
+			tx.rollbackAllocations()
+			return 0, ctx.Err()
+		}
+		// Claimed: the commit is being (or has been) applied. Report
+		// the real outcome — returning ctx.Err() would disown a
+		// commit that is already durable.
+		res := <-req.done
+		return res.snapID, res.err
+	}
 }
 
 // Rollback discards the transaction's changes.
@@ -152,8 +187,20 @@ func (tx *Tx) Rollback() {
 		return
 	}
 	tx.done = true
+	tx.releasePin()
 	tx.rollbackAllocations()
-	tx.store.writer.Unlock()
+	if !tx.grouped {
+		tx.store.releaseWriter()
+	}
+}
+
+// releasePin drops the transaction's MVCC base pin (group mode; no-op
+// otherwise). Callers must not hold the store mutex.
+func (tx *Tx) releasePin() {
+	if tx.pinned {
+		tx.pinned = false
+		tx.store.endRead(tx.base)
+	}
 }
 
 func (tx *Tx) rollbackAllocations() {

@@ -33,8 +33,10 @@ import (
 // replication (HORIZON, REPL SUBSCRIBE/ACK/STATS and the bootstrap,
 // delta and annotation stream frames) and HELLO version negotiation:
 // both sides speak min(client, server), so a v3 client against a v4
-// server degrades cleanly to the v3 feature set instead of erroring.
-const ProtocolVersion = 4
+// server degrades cleanly to the v3 feature set instead of erroring;
+// v5 added the group-commit counters (commit groups, group-size
+// histogram, conflicts, queue wait, device flushes) to ServerStats.
+const ProtocolVersion = 5
 
 // ReplProtocolVersion is the lowest negotiated version that carries the
 // replication and horizon frames.
@@ -576,10 +578,37 @@ type ServerStats struct {
 	OverlappedReads  uint64
 	DeviceBusyNS     uint64
 	DeviceQueueDepth uint64
+
+	// Group-commit counters (v5; zero when the peer negotiated v4 or
+	// lower). CommitGroups counts commit-queue drains — a legacy-path
+	// commit is a group of one, so Commits/CommitGroups is the mean
+	// group size. GroupSizeBuckets histograms the committed-transaction
+	// count per group against GroupSizeBounds (final +Inf bucket
+	// implicit). DeviceFlushes counts fsync-equivalent flush
+	// round-trips: one per group, so against Commits it proves the
+	// batching.
+	CommitGroups      uint64
+	CommitConflicts   uint64
+	CommitQueueWaitNS uint64
+	GroupSizeBuckets  [NumGroupSizeBuckets]uint64
+	DeviceFlushes     uint64
 }
 
-// EncodeServerStats appends a ServerStats body.
-func EncodeServerStats(e *Enc, s ServerStats) {
+// NumGroupSizeBuckets includes the implicit +Inf bucket. It mirrors
+// storage.NumGroupSizeBuckets; the two are tied together by a
+// compile-time assertion in internal/server.
+const NumGroupSizeBuckets = 7
+
+// GroupSizeBounds are the upper bounds (inclusive) of the commit
+// group-size histogram; the final +Inf bucket is implicit. As with
+// HistogramBuckets, the fixed array size ties the bound count to
+// NumGroupSizeBuckets at compile time.
+var GroupSizeBounds = [NumGroupSizeBuckets - 1]uint64{1, 2, 4, 8, 16, 32}
+
+// EncodeServerStats appends a ServerStats body in the layout of
+// negotiated protocol version ver: the group-commit counters are
+// appended only for ver >= 5, so a v4 peer sees exactly the v4 frame.
+func EncodeServerStats(e *Enc, s ServerStats, ver int) {
 	e.Uvarint(s.ConnsAccepted)
 	e.Uvarint(s.ConnsActive)
 	e.Uvarint(s.QueriesServed)
@@ -613,10 +642,22 @@ func EncodeServerStats(e *Enc, s ServerStats) {
 	e.Uvarint(s.OverlappedReads)
 	e.Uvarint(s.DeviceBusyNS)
 	e.Uvarint(s.DeviceQueueDepth)
+	if ver >= 5 {
+		e.Uvarint(s.CommitGroups)
+		e.Uvarint(s.CommitConflicts)
+		e.Uvarint(s.CommitQueueWaitNS)
+		e.Uvarint(uint64(len(s.GroupSizeBuckets)))
+		for _, c := range s.GroupSizeBuckets {
+			e.Uvarint(c)
+		}
+		e.Uvarint(s.DeviceFlushes)
+	}
 }
 
-// DecodeServerStats reads a ServerStats body.
-func DecodeServerStats(d *Dec) ServerStats {
+// DecodeServerStats reads a ServerStats body encoded at negotiated
+// protocol version ver; for ver < 5 the group-commit counters stay
+// zero.
+func DecodeServerStats(d *Dec, ver int) ServerStats {
 	var s ServerStats
 	s.ConnsAccepted = d.Uvarint()
 	s.ConnsActive = d.Uvarint()
@@ -654,6 +695,19 @@ func DecodeServerStats(d *Dec) ServerStats {
 	s.OverlappedReads = d.Uvarint()
 	s.DeviceBusyNS = d.Uvarint()
 	s.DeviceQueueDepth = d.Uvarint()
+	if ver >= 5 {
+		s.CommitGroups = d.Uvarint()
+		s.CommitConflicts = d.Uvarint()
+		s.CommitQueueWaitNS = d.Uvarint()
+		n := d.Uvarint()
+		for i := uint64(0); i < n && d.Err() == nil; i++ {
+			c := d.Uvarint()
+			if i < NumGroupSizeBuckets {
+				s.GroupSizeBuckets[i] = c
+			}
+		}
+		s.DeviceFlushes = d.Uvarint()
+	}
 	return s
 }
 

@@ -169,11 +169,30 @@ func TestCompositeRoundTrips(t *testing.T) {
 		SPTBatchBuilds: 18, BatchSnapshots: 19, BatchMapScanned: 20,
 		ClusteredReads: 21, ClusteredPages: 22,
 		DeltaBuilds: 23, DeltaPages: 24,
+		CommitGroups: 25, CommitConflicts: 26, CommitQueueWaitNS: 27,
+		GroupSizeBuckets: [NumGroupSizeBuckets]uint64{1, 2, 3, 4, 5, 6, 7},
+		DeviceFlushes:    28,
 	}
 	e = &Enc{}
-	EncodeServerStats(e, ss)
-	if got := DecodeServerStats(&Dec{B: e.B}); got != ss {
+	EncodeServerStats(e, ss, ProtocolVersion)
+	if got := DecodeServerStats(&Dec{B: e.B}, ProtocolVersion); got != ss {
 		t.Fatalf("ServerStats = %+v, want %+v", got, ss)
+	}
+
+	// A v4 peer must see exactly the v4 frame: the group-commit fields
+	// are neither encoded nor decoded, leaving them zero.
+	e = &Enc{}
+	EncodeServerStats(e, ss, 4)
+	v4 := ss
+	v4.CommitGroups, v4.CommitConflicts, v4.CommitQueueWaitNS = 0, 0, 0
+	v4.GroupSizeBuckets = [NumGroupSizeBuckets]uint64{}
+	v4.DeviceFlushes = 0
+	d4 := &Dec{B: e.B}
+	if got := DecodeServerStats(d4, 4); got != v4 {
+		t.Fatalf("v4 ServerStats = %+v, want %+v", got, v4)
+	}
+	if len(d4.B) != 0 || d4.Err() != nil {
+		t.Fatalf("v4 frame not fully consumed: %d bytes left, err %v", len(d4.B), d4.Err())
 	}
 }
 
@@ -198,8 +217,8 @@ func TestHistogramShape(t *testing.T) {
 		LatencyBounds:  HistogramBuckets,
 	}
 	e := &Enc{}
-	EncodeServerStats(e, ss)
-	got := DecodeServerStats(&Dec{B: e.B})
+	EncodeServerStats(e, ss, ProtocolVersion)
+	got := DecodeServerStats(&Dec{B: e.B}, ProtocolVersion)
 	if got.LatencyBuckets != ss.LatencyBuckets {
 		t.Fatalf("buckets = %v, want %v", got.LatencyBuckets, ss.LatencyBuckets)
 	}

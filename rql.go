@@ -42,19 +42,28 @@
 // goroutine (or per network session — internal/server does exactly
 // this): each Conn carries its own explicit-transaction state,
 // per-statement statistics, and snapshot read contexts, while the DB
-// underneath serializes writers on a single-writer commit path and
-// serves any number of concurrent MVCC snapshot readers. The shared
-// pieces — schema caches, the UDF registry, the Retro snapshot system
-// and its page cache, and the store's version chains — are internally
-// synchronized.
+// underneath serves any number of concurrent MVCC snapshot readers.
+// The shared pieces — schema caches, the UDF registry, the Retro
+// snapshot system and its page cache, and the store's version chains —
+// are internally synchronized.
+//
+// Writers commit through a group-commit pipeline (on by default; see
+// SetGroupCommit). BEGIN does not take a lock: each writer stages its
+// write set privately against a snapshot-isolation baseline, and COMMIT
+// enqueues it on a commit queue whose leader drains whole batches —
+// first-committer-wins conflict detection on overlapping page writes,
+// consecutive LSNs, and one device flush per group. Non-conflicting
+// writers therefore commit concurrently; a writer that loses a conflict
+// race gets ErrWriteConflict at COMMIT (autocommit statements retry
+// transparently inside the engine), and a long-running BEGIN no longer
+// blocks other writers.
 //
 // Two cross-session conventions follow from the paper's two-database
 // layout: temporary tables (including SnapIds and the RQL result tables
 // T) live in one side store shared by every Conn of a DB, so concurrent
-// mechanism runs must use distinct result-table names; and a Conn that
-// holds an explicit transaction (BEGIN without COMMIT) holds the
-// single-writer lock, blocking other writers until it commits or rolls
-// back.
+// mechanism runs must use distinct result-table names; and writes to
+// that side store keep the legacy exclusive-writer path, so concurrent
+// result-table writers serialize rather than conflict.
 package rql
 
 import (
@@ -154,6 +163,23 @@ func Open(opts Options) (*DB, error) {
 
 // Close releases the database.
 func (db *DB) Close() error { return db.inner.Close() }
+
+// ErrWriteConflict is returned by COMMIT when a concurrent transaction
+// already committed a write to a page this transaction also wrote
+// (first-committer-wins under snapshot isolation). The losing
+// transaction is rolled back; the client retries it on a fresh
+// snapshot. Autocommit statements are retried by the engine itself.
+var ErrWriteConflict = storage.ErrWriteConflict
+
+// SetGroupCommit toggles the batched group-commit write path (on by
+// default). Off restores the legacy exclusive-writer commit path, in
+// which BEGIN blocks until the single writer lock is free — the serial
+// baseline used by the commits/sec benchmark. Must not be toggled
+// while writer transactions are in flight.
+func (db *DB) SetGroupCommit(on bool) { db.inner.SetGroupCommit(on) }
+
+// GroupCommit reports whether the group-commit write path is on.
+func (db *DB) GroupCommit() bool { return db.inner.GroupCommit() }
 
 // Engine exposes the underlying SQL engine. It exists for in-process
 // infrastructure layered on the database — the replication subsystem
