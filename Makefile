@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt trace-check repl-smoke groupcommit-smoke bench bench-smoke bench-compare microbench
+.PHONY: all check build vet test race fmt trace-check repl-smoke groupcommit-smoke compact-smoke bench bench-smoke bench-compare microbench
 
 all: check
 
 # check is the tier-1 gate: build, vet, race-enabled tests, gofmt as a
 # failing check, the tracing-overhead budget, the replication smoke,
-# and the group-commit stress smoke.
-check: build vet race fmt trace-check repl-smoke groupcommit-smoke
+# the group-commit stress smoke, and the compaction smoke.
+check: build vet race fmt trace-check repl-smoke groupcommit-smoke compact-smoke
 
 build:
 	$(GO) build ./...
@@ -47,11 +47,20 @@ repl-smoke:
 groupcommit-smoke:
 	$(GO) test -race -run 'TestGroupCommit|TestExplicitTxConflict|TestAutocommitConflictRetry|TestConnContextCancelsWriterWait|TestBeginCtx|TestQuiesce' . ./internal/storage ./internal/sql ./internal/server
 
+# compact-smoke runs the Pagelog-tiering correctness surface under the
+# race detector: sealed-read equivalence, seal crash safety, retention
+# drops, the concurrent seal/read/truncate stress loop, the
+# compaction-on-vs-off serial-equivalence property test, and
+# replication bootstrap over sealed segments.
+compact-smoke:
+	$(GO) test -race -run 'TestSeal|TestSegment|TestRetention|TestCompact|TestCompaction|TestPagelogClose|TestSnapshotValuesSurviveSealing|TestReplicaBootstrapWithSealedSegments' ./internal/retro ./internal/repl .
+
 # bench appends a machine-readable batch-SPT run to BENCH_rql.json:
 # wall time, Maplog entries scanned, cache hit rates, and delta-pruning
 # outcome per mechanism, sequential and parallel, for legacy vs
-# one-sweep batch construction vs batch + delta pruning. Each run is
-# stamped with the git revision and toggle flags.
+# one-sweep batch construction vs batch + delta pruning, plus the
+# group-commit and cold-sweep (flat vs tiered Pagelog at 10x history)
+# phases. Each run is stamped with the git revision and toggle flags.
 bench:
 	$(GO) run ./cmd/rqlbench -benchjson BENCH_rql.json
 

@@ -35,7 +35,11 @@ func main() {
 		pagelog     = flag.String("pagelog", "", "back the Pagelog with a file (empty = in memory)")
 		cachePages  = flag.Int("cache-pages", 0, "snapshot page cache capacity in pages (0 = default 16384, negative disables)")
 		readLatency = flag.Duration("read-latency", 0, "simulated per-Pagelog-read latency (0 = none)")
+		bandwidth   = flag.Int64("device-bandwidth", 0, "simulated device bandwidth in bytes/sec (0 = infinitely fast bus)")
 		skipFactor  = flag.Int("skip-factor", 0, "Skippy skip-merge fanout (0 = default 4)")
+		compact     = flag.Bool("compact", false, "enable the background Pagelog compactor (tiered archive)")
+		segPages    = flag.Int("segment-pages", 0, "pages per sealed segment when compaction is on (0 = default 1024)")
+		minTail     = flag.Int("min-tail-pages", 0, "unsealed tail pages the compactor leaves hot (0 = default 1024)")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "close sessions idle longer than this")
 		drain       = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown drain bound")
@@ -55,7 +59,13 @@ func main() {
 		PagelogPath:          *pagelog,
 		CachePages:           *cachePages,
 		SimulatedReadLatency: *readLatency,
+		SimulatedBandwidth:   *bandwidth,
 		SkipFactor:           *skipFactor,
+		Compaction: rql.CompactionOptions{
+			Enabled:      *compact,
+			SegmentPages: *segPages,
+			MinTailPages: *minTail,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rqld:", err)

@@ -483,9 +483,15 @@ func printServerStats(ss client.ServerStats) {
 		ss.ClusteredReads, ss.ClusteredPages)
 	fmt.Printf("deltas: %d delta set builds, %d delta pages retained\n",
 		ss.DeltaBuilds, ss.DeltaPages)
-	fmt.Printf("device: queue depth %d, %d commands (%d overlapped), busy %v\n",
+	fmt.Printf("device: queue depth %d, %d commands (%d overlapped), busy %v, %d bytes read\n",
 		ss.DeviceQueueDepth, ss.DeviceReads, ss.OverlappedReads,
-		time.Duration(ss.DeviceBusyNS))
+		time.Duration(ss.DeviceBusyNS), ss.DeviceBytesRead)
+	fmt.Printf("tiers: %d sealed segments (%d pages) + tail %d pages, %d logical bytes on %d disk bytes\n",
+		ss.Segments, ss.SegmentPages, ss.TailPages,
+		ss.PagelogLogicalBytes, ss.PagelogDiskBytes)
+	fmt.Printf("compactor: %d seals (%d pages sealed), %d retention drops (%d pages), %d block-cache hits\n",
+		ss.SegmentSeals, ss.SealedPages, ss.RetentionDrops,
+		ss.RetentionDroppedPages, ss.SegBlockHits)
 	printGroupCommit(ss.Commits, ss.CommitGroups, ss.CommitConflicts,
 		ss.CommitQueueWaitNS, ss.DeviceFlushes, ss.GroupSizeBuckets[:])
 }

@@ -16,6 +16,15 @@ import (
 // counter snapshots (the series behind figures 6–13).
 func runRetroWorkload(t *testing.T, db *rql.DB) (results map[string][]string, storage rql.StorageStats, retro rql.RetroStats) {
 	t.Helper()
+	return runRetroWorkloadHook(t, db, nil)
+}
+
+// runRetroWorkloadHook is runRetroWorkload with a hook that runs after
+// the history is built and before the mechanisms query it — the
+// compaction equivalence test seals the archive there, so the retro
+// reads deterministically cross sealed segments.
+func runRetroWorkloadHook(t *testing.T, db *rql.DB, beforeRetro func()) (results map[string][]string, storage rql.StorageStats, retro rql.RetroStats) {
+	t.Helper()
 	conn := db.Conn()
 	exec := func(sql string) {
 		t.Helper()
@@ -55,6 +64,10 @@ func runRetroWorkload(t *testing.T, db *rql.DB) (results map[string][]string, st
 		exec(fmt.Sprintf(`UPDATE accounts SET balance = balance + %d WHERE id <= %d`, step+1, 10+step))
 		exec(fmt.Sprintf(`DELETE FROM accounts WHERE id = %d`, 20-step))
 		exec(fmt.Sprintf(`INSERT INTO accounts VALUES (%d, 'late%d', %d)`, 100+step, step, step))
+	}
+
+	if beforeRetro != nil {
+		beforeRetro()
 	}
 
 	results = map[string][]string{}

@@ -87,6 +87,9 @@ type BatchReport struct {
 	// The group-commit write-throughput experiment (absent in
 	// pre-group-commit runs).
 	GroupCommit []GroupCommitResult `json:"group_commit,omitempty"`
+	// The tiered-Pagelog cold-sweep experiment (absent in pre-tiering
+	// runs).
+	ColdSweep *ColdSweepResult `json:"cold_sweep,omitempty"`
 }
 
 // batchWorkers is the parallel worker count used by the experiment.
@@ -319,6 +322,9 @@ func (r *Runner) BatchReport() (*BatchReport, error) {
 	if err := r.groupCommitBatch(rep); err != nil {
 		return nil, err
 	}
+	if err := r.coldSweepBatch(rep, reps); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -520,6 +526,27 @@ func (r *Runner) Batch() error {
 				res.Grouped.Flushes)
 		}
 		gtab.Fprint(r.Out)
+	}
+	if cs := rep.ColdSweep; cs != nil {
+		ctab := &Table{
+			Title: fmt.Sprintf("Cold sweep: flat vs tiered archive (full retrospection over all %d snapshots, 10x the base %d-snapshot window)", cs.History, cs.Window),
+			Note: fmt.Sprintf("%d pages; tiered = %d sealed segments (%d pages), %.1f MiB logical on %.1f MiB disk (%.2fx); billed reads identical by construction",
+				cs.PagelogPages, cs.Segments, cs.SealedPages,
+				float64(cs.LogicalBytes)/(1<<20), float64(cs.TieredDiskBytes)/(1<<20), cs.Compression),
+			Headers: []string{"mechanism", "flat wall", "tiered wall", "speedup",
+				"reads", "flat MiB", "tiered MiB", "byte ratio", "block hits"},
+		}
+		for _, m := range cs.Mechs {
+			ctab.Add(m.Mechanism,
+				time.Duration(m.Flat.WallNS), time.Duration(m.Tiered.WallNS),
+				fmt.Sprintf("%.2fx", m.Speedup),
+				m.Flat.PagelogReads,
+				fmt.Sprintf("%.1f", float64(m.Flat.DeviceBytes)/(1<<20)),
+				fmt.Sprintf("%.1f", float64(m.Tiered.DeviceBytes)/(1<<20)),
+				fmt.Sprintf("%.2fx", m.ByteRatio),
+				m.Tiered.BlockHits)
+		}
+		ctab.Fprint(r.Out)
 	}
 	return nil
 }

@@ -69,6 +69,14 @@ type Config struct {
 	// DeviceQueueDepth is the device pool's concurrency (0 = default 8;
 	// 1 = the strictly serial device of paper-replication mode).
 	DeviceQueueDepth int
+	// Bandwidth models the device's transfer rate in bytes/sec (0 =
+	// infinitely fast bus); the cold-sweep phase uses it to make the
+	// bytes a sweep moves show up as device time.
+	Bandwidth int64
+	// PagelogPath backs the archive with a file (empty = in memory).
+	PagelogPath string
+	// Compaction configures the tiered-Pagelog compactor (zero = off).
+	Compaction retro.CompactionOptions
 	// CachePages bounds the snapshot page cache.
 	CachePages int
 	// Seed makes data generation deterministic.
@@ -110,6 +118,9 @@ func NewEnv(uw UW, history int, cfg Config) (*Env, error) {
 		SimulatedReadLatency: cfg.ReadLatency,
 		SleepOnRead:          cfg.SleepOnRead,
 		DeviceQueueDepth:     cfg.DeviceQueueDepth,
+		SimulatedBandwidth:   cfg.Bandwidth,
+		PagelogPath:          cfg.PagelogPath,
+		Compaction:           cfg.Compaction,
 		CachePages:           cfg.CachePages,
 	}})
 	if err != nil {

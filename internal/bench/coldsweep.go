@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rql/internal/retro"
+)
+
+// The cold-sweep experiment measures what the tiered Pagelog buys on
+// deep retrospective sweeps: the same TPC-H history is archived twice
+// on a bandwidth-limited device — once flat (the seed layout) and once
+// with the background compactor sealing the cold bulk into
+// deduplicated, compressed segments — and the same cold full
+// retrospection (every snapshot of the 10×-deep history, the
+// mechanisms' canonical `SELECT snap_id FROM SnapIds` input) is timed
+// on both. Lazy capture scatters an old snapshot's pages across the
+// whole log (a page is archived when it is finally overwritten), so
+// the sweep ends up demanding essentially the entire archive; that is
+// exactly where the tiered side wins — it moves the deduplicated
+// compressed blocks (DeviceBytesRead) instead of every flat page, and
+// serves block-neighbour reads from the decompressed-block cache.
+// Lazy billing keeps the billed Pagelog reads identical on both
+// sides.
+
+// ColdSweepSide is one archive layout's measurement of the sweep.
+type ColdSweepSide struct {
+	Wall         string `json:"wall"`
+	WallNS       int64  `json:"wall_ns"`
+	PagelogReads int    `json:"pagelog_reads"`
+	DeviceBytes  uint64 `json:"device_bytes_read"`
+	BlockHits    uint64 `json:"seg_block_hits,omitempty"`
+}
+
+// ColdSweepMech compares the layouts for one mechanism.
+type ColdSweepMech struct {
+	Mechanism string        `json:"mechanism"`
+	Flat      ColdSweepSide `json:"flat"`
+	Tiered    ColdSweepSide `json:"tiered"`
+	Speedup   float64       `json:"speedup"`    // flat wall / tiered wall
+	ByteRatio float64       `json:"byte_ratio"` // flat bytes / tiered bytes
+}
+
+// ColdSweepResult is the cold-sweep phase of BENCH_rql.json.
+type ColdSweepResult struct {
+	Window          int             `json:"window"`  // base window; History is 10x this
+	History         int             `json:"history"` // total snapshots declared; all are swept
+	PagelogPages    int64           `json:"pagelog_pages"`
+	Segments        int             `json:"segments"`
+	SealedPages     int64           `json:"sealed_pages"`
+	LogicalBytes    int64           `json:"logical_bytes"`
+	FlatDiskBytes   int64           `json:"flat_disk_bytes"`
+	TieredDiskBytes int64           `json:"tiered_disk_bytes"`
+	Compression     float64         `json:"compression"` // logical / tiered disk
+	ReadLatencyNS   int64           `json:"read_latency_ns"`
+	Bandwidth       int64           `json:"bandwidth_bytes_per_sec"`
+	Mechs           []ColdSweepMech `json:"mechanisms"`
+}
+
+// Cold-sweep device model: a cold storage tier where moving bytes is
+// the dominant cost — 100µs per command plus 32 MiB/s of transfer, so
+// a 16-page clustered run costs ~2ms flat but only the compressed
+// block's transfer time sealed.
+const (
+	coldSweepLatency   = 100 * time.Microsecond
+	coldSweepBandwidth = 32 << 20 // bytes/sec
+	coldSweepMult      = 10       // history depth multiplier over the base window
+)
+
+// coldSweepBatch runs the tiered-vs-flat sweep phase and attaches the
+// result to rep.
+func (r *Runner) coldSweepBatch(rep *BatchReport, reps int) error {
+	window := 12
+	if r.Cfg.Quick {
+		window = 6
+	}
+	history := coldSweepMult * window
+	// The sweep is device-sleep dominated, so its wall times are stable;
+	// two cold reps bound the phase's cost at full scale.
+	if reps > 2 {
+		reps = 2
+	}
+
+	dir, err := os.MkdirTemp("", "rqlbench-coldsweep-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(r.Out, "[setup] building cold-sweep environments: SF=%g, %d snapshots (all swept), %v + %dMiB/s device, flat and tiered...\n",
+		r.Cfg.SF, history, coldSweepLatency, coldSweepBandwidth>>20)
+
+	build := func(name string, copts retro.CompactionOptions) (*Env, error) {
+		cfg := r.Cfg
+		cfg.SleepOnRead = true
+		cfg.ReadLatency = coldSweepLatency
+		cfg.Bandwidth = coldSweepBandwidth
+		cfg.DeviceQueueDepth = retro.DefaultQueueDepth
+		cfg.PagelogPath = filepath.Join(dir, name+".pagelog")
+		cfg.Compaction = copts
+		e, err := NewEnv(UW30, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Extend(history - 1); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+
+	flatEnv, err := build("flat", retro.CompactionOptions{})
+	if err != nil {
+		return fmt.Errorf("cold-sweep flat env: %w", err)
+	}
+	defer flatEnv.Close()
+	// The tiered side seals synchronously (a huge interval keeps the
+	// background loop quiet) with no hot-tail reserve, so the whole
+	// history the sweep touches is in cold segments.
+	tierEnv, err := build("tiered", retro.CompactionOptions{
+		Enabled:      true,
+		MinTailPages: -1,
+		Interval:     time.Hour,
+	})
+	if err != nil {
+		return fmt.Errorf("cold-sweep tiered env: %w", err)
+	}
+	defer tierEnv.Close()
+	if _, err := tierEnv.DB.Retro().SealNow(); err != nil {
+		return fmt.Errorf("cold-sweep seal: %w", err)
+	}
+
+	logical, flatDisk := flatEnv.DB.Retro().PagelogFootprint()
+	tLogical, tierDisk := tierEnv.DB.Retro().PagelogFootprint()
+	if logical != tLogical {
+		return fmt.Errorf("cold-sweep: flat and tiered archives diverged: %d vs %d logical bytes", logical, tLogical)
+	}
+	segs, sealedPages, _ := tierEnv.DB.Retro().PagelogTiers()
+
+	res := &ColdSweepResult{
+		Window:          window,
+		History:         int(tierEnv.Last),
+		PagelogPages:    tierEnv.DB.Retro().PagelogPages(),
+		Segments:        segs,
+		SealedPages:     sealedPages,
+		LogicalBytes:    logical,
+		FlatDiskBytes:   flatDisk,
+		TieredDiskBytes: tierDisk,
+		ReadLatencyNS:   int64(coldSweepLatency),
+		Bandwidth:       coldSweepBandwidth,
+	}
+	if tierDisk > 0 {
+		res.Compression = float64(logical) / float64(tierDisk)
+	}
+
+	// The swept snapshot set is the full history — a complete
+	// retrospection, the paper's canonical snapshot-set input.
+	qs := QsRange(2, uint64(history)+1, 1)
+	mechs := []struct {
+		label string
+		m     mech
+		qq    string
+	}{
+		{"CollateData", mechCollate, `SELECT o_orderkey FROM orders`},
+		{"AggregateDataInVariable", mech{name: "AggV", extra: "sum"},
+			`SELECT COUNT(*) FROM orders`},
+	}
+
+	measure := func(e *Env, m mech, qq string) (ColdSweepSide, error) {
+		var best ColdSweepSide
+		for i := 0; i < reps; i++ {
+			e.DB.Retro().ResetCache()
+			e.DB.Retro().ResetStats()
+			start := time.Now()
+			rs, err := e.run(m, qs, qq)
+			wall := time.Since(start)
+			if err != nil {
+				return best, err
+			}
+			st := e.DB.Retro().Stats()
+			s := ColdSweepSide{
+				Wall:         wall.Round(time.Microsecond).String(),
+				WallNS:       wall.Nanoseconds(),
+				PagelogReads: rs.Total().PagelogReads,
+				DeviceBytes:  st.DeviceBytesRead,
+				BlockHits:    st.SegBlockHits,
+			}
+			if best.WallNS == 0 || s.WallNS < best.WallNS {
+				best = s
+			}
+		}
+		return best, nil
+	}
+
+	for _, mm := range mechs {
+		flat, err := measure(flatEnv, mm.m, mm.qq)
+		if err != nil {
+			return fmt.Errorf("cold-sweep %s flat: %w", mm.label, err)
+		}
+		tiered, err := measure(tierEnv, mm.m, mm.qq)
+		if err != nil {
+			return fmt.Errorf("cold-sweep %s tiered: %w", mm.label, err)
+		}
+		// Lazy billing must be layout-oblivious: the sealed archive
+		// changes what a read costs, never how many reads are billed.
+		if flat.PagelogReads != tiered.PagelogReads {
+			return fmt.Errorf("cold-sweep %s: layout changed the billed reads: flat=%d tiered=%d",
+				mm.label, flat.PagelogReads, tiered.PagelogReads)
+		}
+		m := ColdSweepMech{Mechanism: mm.label, Flat: flat, Tiered: tiered}
+		if tiered.WallNS > 0 {
+			m.Speedup = float64(flat.WallNS) / float64(tiered.WallNS)
+		}
+		if tiered.DeviceBytes > 0 {
+			m.ByteRatio = float64(flat.DeviceBytes) / float64(tiered.DeviceBytes)
+		}
+		res.Mechs = append(res.Mechs, m)
+	}
+	rep.ColdSweep = res
+	return nil
+}
+
+// compareColdSweep diffs the cold-sweep phase of two reports through
+// the same regression check as the batch sides. Runs predating the
+// phase (or with a different sweep geometry) have nothing to match.
+func compareColdSweep(old, cur *BatchReport, out io.Writer, check func(mech, side string, old, cur BatchSide)) {
+	o, c := old.ColdSweep, cur.ColdSweep
+	if o == nil || c == nil {
+		return
+	}
+	if o.Window != c.Window || o.History != c.History {
+		fmt.Fprintf(out, "cold-sweep geometry changed (%d/%d -> %d/%d); not compared\n",
+			o.Window, o.History, c.Window, c.History)
+		return
+	}
+	prev := map[string]ColdSweepMech{}
+	for _, m := range o.Mechs {
+		prev[m.Mechanism] = m
+	}
+	tab := &Table{
+		Title:   "Cold sweep: newest run vs previous",
+		Headers: []string{"mechanism", "flat Δ", "tiered Δ", "speedup", "byte ratio"},
+	}
+	for _, m := range c.Mechs {
+		p, ok := prev[m.Mechanism]
+		if !ok {
+			continue
+		}
+		check("cold-sweep/"+m.Mechanism, "flat",
+			BatchSide{WallNS: p.Flat.WallNS}, BatchSide{WallNS: m.Flat.WallNS})
+		check("cold-sweep/"+m.Mechanism, "tiered",
+			BatchSide{WallNS: p.Tiered.WallNS}, BatchSide{WallNS: m.Tiered.WallNS})
+		tab.Add(m.Mechanism,
+			wallDelta(BatchSide{WallNS: p.Flat.WallNS}, BatchSide{WallNS: m.Flat.WallNS}),
+			wallDelta(BatchSide{WallNS: p.Tiered.WallNS}, BatchSide{WallNS: m.Tiered.WallNS}),
+			fmt.Sprintf("%.2fx", m.Speedup),
+			fmt.Sprintf("%.2fx", m.ByteRatio))
+	}
+	tab.Fprint(out)
+}

@@ -148,6 +148,7 @@ func Compare(path string, out io.Writer) error {
 	comparePipeline(old.Report, cur.Report, out, check)
 	compareFanout(old.Report, cur.Report, out, check)
 	compareGroupCommit(old.Report, cur.Report, out, check)
+	compareColdSweep(old.Report, cur.Report, out, check)
 	if len(regressions) > 0 {
 		return fmt.Errorf("bench: wall time regressed >%.0f%% on %d side(s): %s",
 			100*regressionLimit, len(regressions), strings.Join(regressions, ", "))

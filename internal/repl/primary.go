@@ -203,8 +203,11 @@ func (p *Primary) resolveStart(lastApplied uint64) (startSeq uint64, needBoot bo
 // ServeStream runs one replica subscription on an accepted connection.
 // It takes over the connection — the session layer hands it off after
 // decoding the subscribe request — and returns when the stream ends
-// (replica gone, primary closed, or backpressure disconnect).
-func (p *Primary) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, sub wire.ReplSubscribe) error {
+// (replica gone, primary closed, or backpressure disconnect). ver is
+// the session's negotiated protocol version; subscribers at v6+ get
+// sealed Pagelog segments shipped verbatim during bootstrap, older
+// ones get every archived page raw.
+func (p *Primary) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, sub wire.ReplSubscribe, ver int) error {
 	st := &stream{id: sub.ID, nc: nc}
 	if ra := nc.RemoteAddr(); ra != nil {
 		st.addr = ra.String()
@@ -230,7 +233,7 @@ func (p *Primary) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, s
 	startSeq, needBoot := p.resolveStart(sub.LastApplied)
 	if needBoot {
 		var err error
-		startSeq, err = p.sendBootstrap(st, bw)
+		startSeq, err = p.sendBootstrap(st, bw, ver)
 		if err != nil {
 			return fmt.Errorf("repl: bootstrap to %s: %w", sub.ID, err)
 		}
@@ -362,7 +365,7 @@ func (p *Primary) writeFrame(st *stream, bw *bufio.Writer, op byte, payload []by
 // sendBootstrap ships the full state: a consistent cut of the store,
 // Pagelog, Maplog and SnapIds. It returns the log seq the delta stream
 // continues from.
-func (p *Primary) sendBootstrap(st *stream, bw *bufio.Writer) (startSeq uint64, err error) {
+func (p *Primary) sendBootstrap(st *stream, bw *bufio.Writer, ver int) (startSeq uint64, err error) {
 	sp := obs.StartSpan(nil, "repl.bootstrap")
 	defer sp.End()
 	eng := p.db.Engine()
@@ -454,8 +457,30 @@ func (p *Primary) sendBootstrap(st *stream, bw *bufio.Writer) (startSeq uint64, 
 		return 0, err
 	}
 
-	// Pagelog prefix [0, boot.PagelogPages), in runs.
-	for off := int64(0); off < boot.PagelogPages; {
+	// Sealed cold segments first (v6+ subscribers): each ships as one
+	// blob at its compressed size and lands on the replica verbatim —
+	// no decompression or re-sealing on either side. Only segments
+	// wholly below the bootstrap cut qualify; ExportSealedSegments
+	// reports how far they reach and the raw loop below picks up there.
+	segStart := int64(0)
+	if ver >= 6 {
+		segs, covered, err := rsys.ExportSealedSegments(boot.PagelogPages)
+		if err != nil {
+			return 0, err
+		}
+		for _, sg := range segs {
+			e := &wire.Enc{}
+			e.Byte(wire.BootSegment)
+			wire.EncodeReplSegmentChunk(e, sg.Base, sg.Pages, sg.Blob)
+			if err := p.writeFrame(st, bw, wire.RespReplBoot, e.B); err != nil {
+				return 0, err
+			}
+		}
+		segStart = covered
+	}
+
+	// Pagelog prefix [segStart, boot.PagelogPages), in runs.
+	for off := segStart; off < boot.PagelogPages; {
 		n := bootPagesPerChunk
 		if rem := boot.PagelogPages - off; rem < int64(n) {
 			n = int(rem)

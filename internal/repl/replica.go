@@ -486,6 +486,8 @@ type bootCollector struct {
 	meta    wire.ReplBootMeta
 	gotMeta bool
 	pages   []storage.ReplPage
+	segs    []retro.SealedSegmentBlob // sealed cold segments (v6 primaries)
+	sealed  int64                     // Pagelog pages the segments cover
 	plPages []*storage.PageData
 	entries []retro.BootstrapEntry
 	annots  []wire.ReplAnnot
@@ -506,10 +508,24 @@ func (b *bootCollector) add(kind byte, d *wire.Dec) (done bool, err error) {
 			}
 			b.pages = append(b.pages, rp)
 		}
+	case wire.BootSegment:
+		base, pages, blob := wire.DecodeReplSegmentChunk(d)
+		if d.Err() != nil {
+			return false, d.Err()
+		}
+		if base != b.sealed || len(b.plPages) != 0 {
+			return false, fmt.Errorf("repl: segment chunk at %d, expected %d before raw pages", base, b.sealed)
+		}
+		b.segs = append(b.segs, retro.SealedSegmentBlob{
+			Base:  base,
+			Pages: pages,
+			Blob:  append([]byte(nil), blob...), // blob aliases the frame
+		})
+		b.sealed += pages
 	case wire.BootPagelog:
 		off, raw := wire.DecodeReplPagelogChunk(d)
-		if int64(len(b.plPages)) != off {
-			return false, fmt.Errorf("repl: pagelog chunk at %d, expected %d", off, len(b.plPages))
+		if b.sealed+int64(len(b.plPages)) != off {
+			return false, fmt.Errorf("repl: pagelog chunk at %d, expected %d", off, b.sealed+int64(len(b.plPages)))
 		}
 		for _, pg := range raw {
 			data := new(storage.PageData)
@@ -560,7 +576,7 @@ func (r *Replica) applyBootstrap(b *bootCollector) error {
 		Entries:      b.entries,
 		PagelogPages: b.meta.PagelogPages,
 	}
-	if err := eng.Retro().ApplyBootstrap(bs, b.plPages); err != nil {
+	if err := eng.Retro().ApplyBootstrap(bs, b.segs, b.plPages); err != nil {
 		return err
 	}
 	if err := eng.MainStore().ApplyBootstrap(b.meta.LSN, int(b.meta.NumPages), b.pages, free); err != nil {

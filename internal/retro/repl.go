@@ -137,9 +137,53 @@ func (s *System) ExportBootstrap() (BootstrapState, error) {
 }
 
 // ExportPagelog reads up to max consecutive Pagelog pages starting at
-// offset off, for shipping bootstrap chunks.
+// offset off, for shipping bootstrap chunks. It reads through tiers, so
+// it serves sealed ranges too (decompressed) — the raw-page fallback
+// for subscribers that do not speak segment shipping.
 func (s *System) ExportPagelog(off int64, max int) ([]*storage.PageData, error) {
-	return s.pl.readRun(off, max)
+	pages, _, _, err := s.pl.readRun(off, max)
+	return pages, err
+}
+
+// SealedSegmentBlob is one sealed segment as shipped during an
+// incremental bootstrap: the encoded blob verbatim, so the replica's
+// cold tier is byte-identical to the primary's and no decompression or
+// re-sealing happens on either side.
+type SealedSegmentBlob struct {
+	Base  int64 // first logical offset covered
+	Pages int64 // logical offsets covered
+	Blob  []byte
+}
+
+// ExportSealedSegments returns the encoded blobs of the sealed segments
+// that form a contiguous prefix [0, covered) of the Pagelog with
+// covered <= limit. Segments beyond limit (sealed after the bootstrap
+// cut was taken) are excluded; the caller ships [covered, limit) as raw
+// pages. The caller must hold a BeginExport pin so retention cannot
+// drop segments mid-export.
+func (s *System) ExportSealedSegments(limit int64) ([]SealedSegmentBlob, int64, error) {
+	s.mu.Lock()
+	pl := s.pl
+	s.mu.Unlock()
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	var out []SealedSegmentBlob
+	covered := int64(0)
+	for _, sg := range pl.segments {
+		if sg.base != covered || sg.base+sg.slots > limit {
+			break
+		}
+		blob := sg.blob
+		if sg.file != nil {
+			blob = make([]byte, sg.diskBytes)
+			if _, err := sg.file.ReadAt(blob, 0); err != nil {
+				return nil, 0, fmt.Errorf("retro: segment export read: %w", err)
+			}
+		}
+		out = append(out, SealedSegmentBlob{Base: sg.base, Pages: sg.slots, Blob: blob})
+		covered = sg.base + sg.slots
+	}
+	return out, covered, nil
 }
 
 // BeginExport pins the system against Compact for the duration of a
@@ -159,10 +203,13 @@ func (s *System) EndExport() {
 }
 
 // ApplyBootstrap loads an exported retro state into an empty system:
-// the Pagelog pages verbatim, then the primary's declare/append
+// shipped sealed segments installed verbatim as the cold tier, the raw
+// Pagelog pages appended after them, then the primary's declare/append
 // sequence replayed in order, which reproduces segStart and the Skippy
 // levels exactly (skip-merging is deterministic in that sequence).
-func (s *System) ApplyBootstrap(bs BootstrapState, plPages []*storage.PageData) error {
+// segs is nil when the primary shipped everything raw (flat Pagelog, or
+// a subscriber protocol without segment shipping).
+func (s *System) ApplyBootstrap(bs BootstrapState, segs []SealedSegmentBlob, plPages []*storage.PageData) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -170,6 +217,13 @@ func (s *System) ApplyBootstrap(bs BootstrapState, plPages []*storage.PageData) 
 	}
 	if s.ml.lastSnap() != 0 || len(s.ml.entries) != 0 || s.pl.size() != 0 {
 		return errors.New("retro: bootstrap into a non-empty snapshot system")
+	}
+	var sealedPages int64
+	for _, sb := range segs {
+		if err := s.pl.installShippedSegment(sb.Blob); err != nil {
+			return err
+		}
+		sealedPages += sb.Pages
 	}
 	for _, p := range plPages {
 		if _, err := s.pl.append(p); err != nil {
@@ -204,6 +258,6 @@ func (s *System) ApplyBootstrap(bs BootstrapState, plPages []*storage.PageData) 
 	// Mirror the primary's cumulative counters for the shipped history
 	// so the replica's /metrics line up.
 	s.stats.Snapshots.Add(uint64(bs.LastSnap))
-	s.stats.PagelogWrites.Add(uint64(len(plPages)))
+	s.stats.PagelogWrites.Add(uint64(sealedPages) + uint64(len(plPages)))
 	return nil
 }

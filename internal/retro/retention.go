@@ -3,7 +3,6 @@ package retro
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sort"
 
 	"rql/internal/storage"
@@ -33,8 +32,17 @@ func (s *System) TruncateBefore(keep SnapshotID) error {
 		return fmt.Errorf("%w: cannot truncate beyond snapshot %d", ErrNoSnapshot, s.ml.lastSnap())
 	}
 	s.ml.truncateBefore(keep)
+	// Retired mappings may leave whole sealed segments unreferenced;
+	// nudge the background compactor to unlink them promptly (the kick
+	// is a non-blocking channel send, safe under s.mu).
+	s.kickCompactor()
 	return nil
 }
+
+// DropExpiredSegments synchronously unlinks sealed segments that no
+// retained Maplog entry references (see compactor.go). It returns the
+// number of segments dropped; with open readers it drops nothing.
+func (s *System) DropExpiredSegments() int { return s.dropExpiredSegments() }
 
 // RetentionFloor returns the oldest snapshot id still openable.
 func (s *System) RetentionFloor() SnapshotID {
@@ -48,7 +56,14 @@ func (s *System) RetentionFloor() SnapshotID {
 // offset. It fails with ErrReadersActive while snapshot readers are
 // open. The snapshot page cache is reset (it is keyed by old offsets).
 // It returns the number of pages reclaimed.
+//
+// Unlike sealing (compactor.go), Compact moves offsets, so it excludes
+// the sealer via compactMu and produces a fresh flat generation —
+// sealed segments of the old generation are decompressed as needed,
+// copied live-page-by-live-page, and unlinked with the old tail.
 func (s *System) Compact() (int64, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -84,11 +99,7 @@ func (s *System) Compact() (int64, error) {
 	old := s.pl
 	s.pl = newPl
 	s.dev.pl.Store(newPl)
-	oldPath := old.path
-	old.close()
-	if oldPath != "" {
-		os.Remove(oldPath)
-	}
+	old.destroy()
 
 	// Remap the mappings in place.
 	for i := range s.ml.entries {
@@ -121,7 +132,7 @@ func (pl *pagelog) compactTo(remap map[int64]int64) (*pagelog, error) {
 		out.base = pl.base
 		out.gen = pl.gen + 1
 	} else {
-		out = &pagelog{}
+		out = &pagelog{bcache: newBlockCache()}
 	}
 	offs := make([]int64, 0, len(remap))
 	for off := range remap {
@@ -130,15 +141,10 @@ func (pl *pagelog) compactTo(remap map[int64]int64) (*pagelog, error) {
 	sortInt64s(offs)
 	var page storage.PageData
 	for _, off := range offs {
-		if off < 0 || off >= pl.n {
-			return nil, fmt.Errorf("%w: offset %d", ErrBadOffset, off)
-		}
-		if pl.file != nil {
-			if _, err := pl.file.ReadAt(page[:], off*storage.PageSize); err != nil {
-				return nil, fmt.Errorf("retro: compact read: %w", err)
-			}
-		} else {
-			page = *pl.mem[off]
+		// readPageLocked serves whichever tier holds the offset — the
+		// hot tail directly, sealed segments via block decompression.
+		if err := pl.readPageLocked(off, &page); err != nil {
+			return nil, fmt.Errorf("retro: compact read: %w", err)
 		}
 		newOff, err := out.appendLocked(&page)
 		if err != nil {

@@ -37,6 +37,16 @@ type Options struct {
 	// paper-replication mode. Logical counters (PagelogReads,
 	// CacheHits) are identical at every depth.
 	DeviceQueueDepth int
+	// SimulatedBandwidth models the device's transfer rate in
+	// bytes/second on top of the per-command SimulatedReadLatency
+	// (0 leaves transfer time unmodeled). Only meaningful with
+	// SleepOnRead; logical counters are unaffected.
+	SimulatedBandwidth int64
+	// Compaction configures the tiered Pagelog's background compactor
+	// (see compactor.go). The zero value leaves the Pagelog flat —
+	// every counter series and every byte on disk identical to a build
+	// without compaction support.
+	Compaction CompactionOptions
 }
 
 // DefaultReadLatency approximates one 4 KiB random read from the SATA
@@ -62,6 +72,15 @@ type System struct {
 	cache      *pageCache
 	simLatency time.Duration
 	sleepOnRd  bool
+
+	// compactMu serializes structural Pagelog rewrites — background
+	// seals (compactor.go) and full offset-remapping Compact
+	// (retention.go). Lock order: compactMu → s.mu → pl.mu.
+	compactMu   sync.Mutex
+	copts       CompactionOptions
+	compactStop chan struct{} // non-nil while the background compactor runs
+	compactDone chan struct{}
+	compactWake chan struct{} // kicks the compactor out of its interval sleep
 
 	// dev services every Pagelog read (demand misses, clustered
 	// prefetch runs, async fetches) with a bounded worker pool — the
@@ -120,9 +139,16 @@ func New(store *storage.Store, opts Options) (*System, error) {
 		missing:     make(map[int64]*missCall),
 		simLatency:  opts.SimulatedReadLatency,
 		sleepOnRd:   opts.SleepOnRead,
+		copts:       opts.Compaction.withDefaults(),
 	}
-	sys.dev = newDevicePool(pl, opts.DeviceQueueDepth, sys.simLatency, sys.sleepOnRd, &sys.stats)
+	sys.dev = newDevicePool(pl, opts.DeviceQueueDepth, sys.simLatency, opts.SimulatedBandwidth, sys.sleepOnRd, &sys.stats)
 	store.SetCommitHook(sys)
+	if sys.copts.Enabled {
+		sys.compactStop = make(chan struct{})
+		sys.compactDone = make(chan struct{})
+		sys.compactWake = make(chan struct{}, 1)
+		go sys.compactorLoop()
+	}
 	return sys, nil
 }
 
@@ -136,8 +162,17 @@ func (s *System) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	if s.compactStop != nil {
+		// Stop the background compactor before tearing down the Pagelog
+		// it seals into; compactMu acquisition below then guarantees no
+		// seal is mid-flight when the log closes.
+		close(s.compactStop)
+		<-s.compactDone
+	}
 	s.dev.close()
 	s.fetchWG.Wait()
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pl.close()
@@ -279,18 +314,58 @@ func (s *System) MaplogEntries() int {
 // modeled I/O time.
 func (s *System) ReadLatency() time.Duration { return s.simLatency }
 
-// ResetCache empties the snapshot page cache, producing the paper's
-// "all-cold" starting condition.
-func (s *System) ResetCache() { s.cache.reset() }
+// ResetCache empties the snapshot page cache and the decompressed
+// segment-block cache, producing the paper's "all-cold" starting
+// condition on a tiered archive too.
+func (s *System) ResetCache() {
+	s.cache.reset()
+	s.mu.Lock()
+	pl := s.pl
+	s.mu.Unlock()
+	if pl != nil {
+		pl.bcache.reset()
+	}
+}
 
 // CachedPages reports the number of pages currently cached.
 func (s *System) CachedPages() int { return s.cache.len() }
 
-// Stats returns a snapshot of the system's counters.
+// Stats returns a snapshot of the system's counters, plus the tier
+// gauges (segment count, per-tier pages, logical vs on-disk footprint)
+// read from the live Pagelog.
 func (s *System) Stats() StatsSnapshot {
 	st := s.stats.snapshot()
 	st.DeviceQueueDepth = uint64(s.dev.depth)
+	s.mu.Lock()
+	pl := s.pl
+	s.mu.Unlock()
+	segs, sealedPages, tailPages := pl.tiers()
+	logical, disk := pl.footprint()
+	st.Segments = uint64(segs)
+	st.SegmentPages = uint64(sealedPages)
+	st.TailPages = uint64(tailPages)
+	st.PagelogLogicalBytes = uint64(logical)
+	st.PagelogDiskBytes = uint64(disk)
 	return st
+}
+
+// PagelogFootprint reports the archive's live logical bytes against the
+// bytes its backing actually holds (sealed segments are deduplicated
+// and compressed; retention-dropped segments cost nothing).
+func (s *System) PagelogFootprint() (logicalBytes, diskBytes int64) {
+	s.mu.Lock()
+	pl := s.pl
+	s.mu.Unlock()
+	return pl.footprint()
+}
+
+// PagelogTiers reports the tier shape: sealed segment count, logical
+// pages held sealed, and pages still in the hot tail.
+func (s *System) PagelogTiers() (segments int, sealedPages, tailPages int64) {
+	s.mu.Lock()
+	pl := s.pl
+	s.mu.Unlock()
+	return pl.tiers()
 }
 
 // ResetStats zeroes the system's counters (see Stats.Reset).

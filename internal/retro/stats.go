@@ -36,6 +36,24 @@ type Stats struct {
 	// commit group (group commit on) or one per commit (off). With
 	// Commits it proves the batching the group-commit bench claims.
 	DeviceFlushes atomic.Uint64
+
+	// DeviceBytesRead accumulates the bytes device commands physically
+	// transferred: PageSize per flat/tail page, the compressed block
+	// length per cold block inflated, zero on a block-cache hit. The
+	// logical counters above are tier-oblivious; this one is where
+	// compression and dedup show up.
+	DeviceBytesRead atomic.Uint64
+
+	// Tiered-Pagelog compactor (compactor.go). SegmentSeals/SealedPages
+	// count sealing work; RetentionDrops/RetentionDroppedPages count
+	// sealed segments unlinked whole after TruncateBefore;
+	// SegBlockHits counts cold reads served from the decompressed-block
+	// cache without touching the backing.
+	SegmentSeals          atomic.Uint64
+	SealedPages           atomic.Uint64
+	RetentionDrops        atomic.Uint64
+	RetentionDroppedPages atomic.Uint64
+	SegBlockHits          atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
@@ -61,6 +79,24 @@ type StatsSnapshot struct {
 	DeviceBusyNS     uint64
 	DeviceFlushes    uint64
 	DeviceQueueDepth uint64
+	DeviceBytesRead  uint64
+
+	// Tiered Pagelog: compactor counters …
+	SegmentSeals          uint64
+	SealedPages           uint64
+	RetentionDrops        uint64
+	RetentionDroppedPages uint64
+	SegBlockHits          uint64
+
+	// … and point-in-time tier gauges, filled by System.Stats rather
+	// than accumulated: current sealed-segment count, logical pages per
+	// tier, and the archive's logical footprint against the bytes its
+	// backing actually holds (compression ratio = logical/disk).
+	Segments            uint64
+	SegmentPages        uint64
+	TailPages           uint64
+	PagelogLogicalBytes uint64
+	PagelogDiskBytes    uint64
 }
 
 // Reset zeroes all counters without disturbing the Pagelog, Maplog,
@@ -83,6 +119,12 @@ func (s *Stats) Reset() {
 	s.OverlappedReads.Store(0)
 	s.DeviceBusyNS.Store(0)
 	s.DeviceFlushes.Store(0)
+	s.DeviceBytesRead.Store(0)
+	s.SegmentSeals.Store(0)
+	s.SealedPages.Store(0)
+	s.RetentionDrops.Store(0)
+	s.RetentionDroppedPages.Store(0)
+	s.SegBlockHits.Store(0)
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -103,5 +145,12 @@ func (s *Stats) snapshot() StatsSnapshot {
 		OverlappedReads: s.OverlappedReads.Load(),
 		DeviceBusyNS:    s.DeviceBusyNS.Load(),
 		DeviceFlushes:   s.DeviceFlushes.Load(),
+		DeviceBytesRead: s.DeviceBytesRead.Load(),
+
+		SegmentSeals:          s.SegmentSeals.Load(),
+		SealedPages:           s.SealedPages.Load(),
+		RetentionDrops:        s.RetentionDrops.Load(),
+		RetentionDroppedPages: s.RetentionDroppedPages.Load(),
+		SegBlockHits:          s.SegBlockHits.Load(),
 	}
 }

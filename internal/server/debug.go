@@ -94,6 +94,17 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		{"commit_conflicts", st.CommitConflicts},
 		{"commit_queue_wait_ns", st.CommitQueueWaitNS},
 		{"device_flushes", st.DeviceFlushes},
+		{"device_bytes_read", st.DeviceBytesRead},
+		{"retro_segments", st.Segments},
+		{"retro_segment_pages", st.SegmentPages},
+		{"retro_tail_pages", st.TailPages},
+		{"retro_pagelog_logical_bytes", st.PagelogLogicalBytes},
+		{"retro_pagelog_disk_bytes", st.PagelogDiskBytes},
+		{"retro_segment_seals", st.SegmentSeals},
+		{"retro_sealed_pages", st.SealedPages},
+		{"retro_retention_drops", st.RetentionDrops},
+		{"retro_retention_dropped_pages", st.RetentionDroppedPages},
+		{"retro_seg_block_hits", st.SegBlockHits},
 		{"tracing_enabled", boolMetric(obs.Enabled())},
 		{"slow_threshold_ns", uint64(obs.SlowThreshold())},
 	}

@@ -126,7 +126,7 @@ func (ss *session) handleReplSub(payload []byte) error {
 	// Clear the session's idle deadline: the stream manages its own
 	// write deadlines, and reads (acks) are expected to be sparse.
 	ss.nc.SetReadDeadline(noDeadline)
-	if err := p.ServeStream(ss.nc, ss.br, ss.bw, sub); err != nil {
+	if err := p.ServeStream(ss.nc, ss.br, ss.bw, sub, ss.ver); err != nil {
 		return err
 	}
 	return errStreamDone

@@ -258,6 +258,17 @@ func (s *Server) Stats() wire.ServerStats {
 	out.CommitQueueWaitNS = ss.QueueWaitNS
 	out.GroupSizeBuckets = ss.GroupSizeBuckets
 	out.DeviceFlushes = rs.DeviceFlushes
+	out.Segments = rs.Segments
+	out.SegmentPages = rs.SegmentPages
+	out.TailPages = rs.TailPages
+	out.PagelogLogicalBytes = rs.PagelogLogicalBytes
+	out.PagelogDiskBytes = rs.PagelogDiskBytes
+	out.SegmentSeals = rs.SegmentSeals
+	out.SealedPages = rs.SealedPages
+	out.RetentionDrops = rs.RetentionDrops
+	out.RetentionDroppedPages = rs.RetentionDroppedPages
+	out.SegBlockHits = rs.SegBlockHits
+	out.DeviceBytesRead = rs.DeviceBytesRead
 	return out
 }
 

@@ -75,3 +75,19 @@ type CommitHook interface {
 }
 
 func (id PageID) String() string { return fmt.Sprintf("page %d", uint32(id)) }
+
+// Sum64 returns an FNV-1a hash of the page content. The retro package's
+// segment sealer uses it to deduplicate identical pre-states (hash
+// bucket, then full compare — the hash alone never decides equality).
+func (p *PageData) Sum64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

@@ -23,6 +23,7 @@ const (
 	BootAnnots  byte = iota // batch of SnapIds rows
 	BootDone    byte = iota // bootstrap complete
 	BootResume  byte = iota // no bootstrap; stream resumes past last applied
+	BootSegment byte = iota // one sealed Pagelog segment blob, verbatim (v6)
 )
 
 // Replication roles reported by HorizonInfo / ReplStats.
@@ -177,6 +178,32 @@ func DecodeReplPagelogChunk(d *Dec) (off int64, pages [][]byte) {
 		d.B = d.B[PageSize:]
 	}
 	return off, pages
+}
+
+// EncodeReplSegmentChunk appends a BootSegment chunk body: the logical
+// base offset and page count the segment covers, then its encoded blob
+// verbatim — the replica installs it without decompressing, so the cold
+// tier ships at its compressed size and lands byte-identical.
+func EncodeReplSegmentChunk(e *Enc, base, pages int64, blob []byte) {
+	e.Varint(base)
+	e.Varint(pages)
+	e.Uvarint(uint64(len(blob)))
+	e.B = append(e.B, blob...)
+}
+
+// DecodeReplSegmentChunk reads a BootSegment chunk body. The blob
+// aliases the frame payload; callers copy what they retain.
+func DecodeReplSegmentChunk(d *Dec) (base, pages int64, blob []byte) {
+	base = d.Varint()
+	pages = d.Varint()
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame || uint64(len(d.B)) < n {
+		d.fail()
+		return 0, 0, nil
+	}
+	blob = d.B[:n]
+	d.B = d.B[n:]
+	return base, pages, blob
 }
 
 // ReplMapEntry is one level-0 Maplog entry in a BootMaplog chunk.

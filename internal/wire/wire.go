@@ -35,8 +35,11 @@ import (
 // both sides speak min(client, server), so a v3 client against a v4
 // server degrades cleanly to the v3 feature set instead of erroring;
 // v5 added the group-commit counters (commit groups, group-size
-// histogram, conflicts, queue wait, device flushes) to ServerStats.
-const ProtocolVersion = 5
+// histogram, conflicts, queue wait, device flushes) to ServerStats;
+// v6 added the tiered-Pagelog counters (segment tiers, footprint,
+// compactor and retention activity, device bytes) to ServerStats and
+// the BootSegment bootstrap chunk that ships sealed segments verbatim.
+const ProtocolVersion = 6
 
 // ReplProtocolVersion is the lowest negotiated version that carries the
 // replication and horizon frames.
@@ -592,6 +595,27 @@ type ServerStats struct {
 	CommitQueueWaitNS uint64
 	GroupSizeBuckets  [NumGroupSizeBuckets]uint64
 	DeviceFlushes     uint64
+
+	// Tiered-Pagelog counters (v6; zero when the peer negotiated v5 or
+	// lower). Segments/SegmentPages/TailPages are point-in-time tier
+	// gauges; PagelogLogicalBytes vs PagelogDiskBytes is the archive's
+	// footprint (their ratio is the compression+dedup factor);
+	// SegmentSeals/SealedPages count compactor activity,
+	// RetentionDrops/RetentionDroppedPages whole-segment retention
+	// reclaims, SegBlockHits cold reads served from the decompressed-
+	// block cache, and DeviceBytesRead the bytes commands physically
+	// transferred.
+	Segments              uint64
+	SegmentPages          uint64
+	TailPages             uint64
+	PagelogLogicalBytes   uint64
+	PagelogDiskBytes      uint64
+	SegmentSeals          uint64
+	SealedPages           uint64
+	RetentionDrops        uint64
+	RetentionDroppedPages uint64
+	SegBlockHits          uint64
+	DeviceBytesRead       uint64
 }
 
 // NumGroupSizeBuckets includes the implicit +Inf bucket. It mirrors
@@ -652,6 +676,19 @@ func EncodeServerStats(e *Enc, s ServerStats, ver int) {
 		}
 		e.Uvarint(s.DeviceFlushes)
 	}
+	if ver >= 6 {
+		e.Uvarint(s.Segments)
+		e.Uvarint(s.SegmentPages)
+		e.Uvarint(s.TailPages)
+		e.Uvarint(s.PagelogLogicalBytes)
+		e.Uvarint(s.PagelogDiskBytes)
+		e.Uvarint(s.SegmentSeals)
+		e.Uvarint(s.SealedPages)
+		e.Uvarint(s.RetentionDrops)
+		e.Uvarint(s.RetentionDroppedPages)
+		e.Uvarint(s.SegBlockHits)
+		e.Uvarint(s.DeviceBytesRead)
+	}
 }
 
 // DecodeServerStats reads a ServerStats body encoded at negotiated
@@ -707,6 +744,19 @@ func DecodeServerStats(d *Dec, ver int) ServerStats {
 			}
 		}
 		s.DeviceFlushes = d.Uvarint()
+	}
+	if ver >= 6 {
+		s.Segments = d.Uvarint()
+		s.SegmentPages = d.Uvarint()
+		s.TailPages = d.Uvarint()
+		s.PagelogLogicalBytes = d.Uvarint()
+		s.PagelogDiskBytes = d.Uvarint()
+		s.SegmentSeals = d.Uvarint()
+		s.SealedPages = d.Uvarint()
+		s.RetentionDrops = d.Uvarint()
+		s.RetentionDroppedPages = d.Uvarint()
+		s.SegBlockHits = d.Uvarint()
+		s.DeviceBytesRead = d.Uvarint()
 	}
 	return s
 }

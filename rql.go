@@ -113,6 +113,9 @@ type (
 	StorageStats = storage.StatsSnapshot
 	// RetroStats is a point-in-time copy of the snapshot system's counters.
 	RetroStats = retro.StatsSnapshot
+	// CompactionOptions configures the tiered-Pagelog background
+	// compactor (sealed compressed cold segments behind a hot tail).
+	CompactionOptions = retro.CompactionOptions
 )
 
 // Options configures Open.
@@ -134,8 +137,16 @@ type Options struct {
 	// device of the paper-replication mode. Logical counters are
 	// identical at every depth.
 	DeviceQueueDepth int
+	// SimulatedBandwidth models the device's transfer rate in bytes
+	// per second: each command's service time grows by physical bytes
+	// moved / bandwidth. Zero models an infinitely fast bus (latency
+	// only), which keeps compaction invisible to modeled time.
+	SimulatedBandwidth int64
 	// SkipFactor is the Skippy skip-merge fanout (default 4).
 	SkipFactor int
+	// Compaction configures the tiered-Pagelog background compactor
+	// (off by default; see retro.CompactionOptions).
+	Compaction retro.CompactionOptions
 }
 
 // DB is a database with the Retro snapshot system and the RQL
@@ -153,7 +164,9 @@ func Open(opts Options) (*DB, error) {
 		SimulatedReadLatency: opts.SimulatedReadLatency,
 		SleepOnRead:          opts.SleepOnRead,
 		DeviceQueueDepth:     opts.DeviceQueueDepth,
+		SimulatedBandwidth:   opts.SimulatedBandwidth,
 		SkipFactor:           opts.SkipFactor,
+		Compaction:           opts.Compaction,
 	}})
 	if err != nil {
 		return nil, err
@@ -263,6 +276,23 @@ func (db *DB) StorageStats() StorageStats { return db.inner.MainStore().Stats() 
 // RetroStats reports the snapshot system's counters (snapshots
 // declared, Pagelog writes/reads, cache hits, SPT builds).
 func (db *DB) RetroStats() RetroStats { return db.inner.Retro().Stats() }
+
+// SealPagelog synchronously seals every eligible hot-tail run into
+// compressed cold segments and reports how many segments were sealed.
+// Requires compaction enabled in Options; a no-op (0, nil) otherwise.
+func (db *DB) SealPagelog() (int, error) { return db.inner.Retro().SealNow() }
+
+// DropExpiredSegments unlinks sealed segments that retention
+// (TRUNCATE RETROSPECTION BEFORE) has made wholly unreachable and
+// reports how many were dropped.
+func (db *DB) DropExpiredSegments() int { return db.inner.Retro().DropExpiredSegments() }
+
+// PagelogFootprint reports the archive's logical size (pages ×
+// PageSize) and its physical size after dedup and compression. Equal
+// when compaction is off or nothing is sealed.
+func (db *DB) PagelogFootprint() (logicalBytes, diskBytes int64) {
+	return db.inner.Retro().PagelogFootprint()
+}
 
 // ResetStats zeroes the cumulative storage and snapshot-system counters
 // and clears the last mechanism-run statistics. Page state, the
