@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: all check build vet test race fmt trace-check repl-smoke groupcommit-smoke compact-smoke bench bench-smoke bench-compare microbench
+.PHONY: all check build vet test race fmt trace-check repl-smoke groupcommit-smoke compact-smoke view-smoke bench bench-smoke bench-compare microbench
 
 all: check
 
 # check is the tier-1 gate: build, vet, race-enabled tests, gofmt as a
 # failing check, the tracing-overhead budget, the replication smoke,
-# the group-commit stress smoke, and the compaction smoke.
-check: build vet race fmt trace-check repl-smoke groupcommit-smoke compact-smoke
+# the group-commit stress smoke, the compaction smoke, and the
+# incremental-view smoke.
+check: build vet race fmt trace-check repl-smoke groupcommit-smoke compact-smoke view-smoke
 
 build:
 	$(GO) build ./...
@@ -54,6 +55,15 @@ groupcommit-smoke:
 # replication bootstrap over sealed segments.
 compact-smoke:
 	$(GO) test -race -run 'TestSeal|TestSegment|TestRetention|TestCompact|TestCompaction|TestPagelogClose|TestSnapshotValuesSurviveSealing|TestReplicaBootstrapWithSealedSegments' ./internal/retro ./internal/repl .
+
+# view-smoke runs the incremental materialized-view correctness
+# surface under the race detector: the incremental-vs-full-recompute
+# property test for all four mechanisms (prune on and off), the
+# restart-resume and DDL-lifecycle tests, subscription delivery with a
+# shadow model while a concurrent writer commits, and view replication
+# (bootstrap shipping, logical DDL events, replica-side maintenance).
+view-smoke:
+	$(GO) test -race -run 'TestRetroView|TestReplicatedRetroViews|TestViewSmoke' ./internal/core ./internal/repl ./internal/server
 
 # bench appends a machine-readable batch-SPT run to BENCH_rql.json:
 # wall time, Maplog entries scanned, cache hit rates, and delta-pruning

@@ -56,12 +56,17 @@ type Conn struct {
 	RequestTimeout time.Duration
 
 	fatal        error // sticky: protocol or I/O failure
+	streaming    bool  // a view subscription consumed the connection
 	lastStats    rql.ExecStats
 	lastSnapshot uint64
 	lastTrace    uint64
 	inTx         bool
 	version      int // negotiated protocol version (min of ours and the server's)
 }
+
+// errStreaming rejects requests on a connection consumed by a view
+// subscription.
+var errStreaming = errors.New("client: connection is consumed by a view subscription")
 
 // Dial connects to an rqld server.
 func Dial(addr string) (*Conn, error) { return DialTimeout(addr, 10*time.Second) }
@@ -156,6 +161,9 @@ func (c *Conn) request(op byte, payload []byte, handle func(op byte, payload []b
 	defer c.mu.Unlock()
 	if c.fatal != nil {
 		return c.fatal
+	}
+	if c.streaming {
+		return errStreaming
 	}
 	if c.RequestTimeout > 0 {
 		c.nc.SetDeadline(time.Now().Add(c.RequestTimeout))

@@ -1,0 +1,141 @@
+package client
+
+import (
+	"fmt"
+	"io"
+
+	"rql/internal/wire"
+)
+
+// ViewInfo is one materialized retro view's status as reported by the
+// server (VIEWS request / rqlshell .views).
+type ViewInfo = wire.ViewInfo
+
+// ViewBatch is one pushed refresh on a view subscription: the rows the
+// view materialized for one snapshot.
+type ViewBatch = wire.ViewBatch
+
+// Views lists every materialized retro view with its maintenance
+// counters. Needs a v7 server.
+func (c *Conn) Views() ([]ViewInfo, error) {
+	if c.version < wire.ViewProtocolVersion {
+		return nil, fmt.Errorf(
+			"client: VIEWS requires protocol v%d (server speaks v%d)",
+			wire.ViewProtocolVersion, c.version)
+	}
+	var out []ViewInfo
+	err := c.request(wire.ReqViews, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespViews:
+			d := &wire.Dec{B: payload}
+			out = wire.DecodeViews(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return out, err
+}
+
+// ViewStream is an open subscription to a view's extension stream. It
+// consumes its Conn: like the replication stream, a subscription takes
+// the connection over, so no other request can run on it until Close.
+type ViewStream struct {
+	c    *Conn
+	view string
+
+	// StartSnap is the view's refresh cursor at subscribe time; pushed
+	// batches continue from the snapshot after it.
+	StartSnap uint64
+}
+
+// SubscribeView opens a subscription to a view's extension stream: the
+// server pushes one ViewBatch per snapshot the view materializes from
+// now on. Needs a v7 server. The connection is consumed by the stream —
+// dial a dedicated Conn for a subscription. A subscriber that falls too
+// far behind is disconnected by the server (Next returns io.EOF).
+func (c *Conn) SubscribeView(view string) (*ViewStream, error) {
+	if c.version < wire.ViewProtocolVersion {
+		return nil, fmt.Errorf(
+			"client: SUBSCRIBE requires protocol v%d (server speaks v%d)",
+			wire.ViewProtocolVersion, c.version)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	if c.streaming {
+		return nil, errStreaming
+	}
+	e := &wire.Enc{}
+	wire.EncodeViewSubscribe(e, wire.ViewSubscribe{View: view})
+	if err := wire.WriteFrame(c.bw, wire.ReqViewSub, e.B); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	op, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	switch op {
+	case wire.RespViewBatch:
+		// Opening ack: the view's current cursor, no rows. The connection
+		// is a push stream from here on.
+		d := &wire.Dec{B: payload}
+		ack := wire.DecodeViewBatch(d)
+		if d.Err() != nil {
+			return nil, c.fail(d.Err())
+		}
+		c.streaming = true
+		return &ViewStream{c: c, view: view, StartSnap: ack.Snap}, nil
+	case wire.RespError:
+		return nil, wire.DecodeError(payload)
+	default:
+		return nil, c.unexpected(op)
+	}
+}
+
+// View returns the subscribed view's name.
+func (s *ViewStream) View() string { return s.view }
+
+// Next blocks for the next pushed batch. io.EOF means the stream ended
+// (view dropped, server shut down, or this subscriber fell behind and
+// was disconnected).
+func (s *ViewStream) Next() (ViewBatch, error) {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fatal != nil {
+		return ViewBatch{}, c.fatal
+	}
+	op, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		c.fail(err)
+		return ViewBatch{}, io.EOF
+	}
+	switch op {
+	case wire.RespViewBatch:
+		d := &wire.Dec{B: payload}
+		b := wire.DecodeViewBatch(d)
+		if d.Err() != nil {
+			return ViewBatch{}, c.fail(d.Err())
+		}
+		return b, nil
+	case wire.RespError:
+		return ViewBatch{}, wire.DecodeError(payload)
+	default:
+		return ViewBatch{}, c.unexpected(op)
+	}
+}
+
+// Close ends the subscription by closing the underlying connection (the
+// stream consumed it; there is no way back to request/response framing).
+func (s *ViewStream) Close() error { return s.c.Close() }

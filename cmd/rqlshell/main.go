@@ -16,6 +16,7 @@
 //	.snapshot [label]     declare a snapshot of the current state
 //	.stats                show last-statement and snapshot-system stats
 //	.stats reset          zero the cumulative counters
+//	.views                list materialized retro views and their counters
 //	.mech                 show the last RQL mechanism run's breakdown
 //	.trace on|off         toggle the span recorder
 //	.trace last           render the last statement's span tree
@@ -184,8 +185,10 @@ func dotCommand(env *shellEnv, cmd string) bool {
   SELECT AggregateDataInVariable(snap_id, 'Qq', 'T', 'min') FROM SnapIds;
   SELECT AggregateDataInTable(snap_id, 'Qq', 'T', '(c,max)') FROM SnapIds;
   SELECT CollateDataIntoIntervals(snap_id, 'Qq', 'T') FROM SnapIds;
-Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .mech
-              .replicas  .trace on|off|last  .slow [dur|off]  .quit`)
+  CREATE RETRO VIEW v AS CollateData('Qq');    incremental materialized view
+  DROP RETRO VIEW v;
+Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .views
+              .mech .replicas  .trace on|off|last  .slow [dur|off]  .quit`)
 	case ".tables":
 		objs, err := conn.Objects()
 		if err != nil {
@@ -247,7 +250,12 @@ Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .mech
 				time.Duration(rs.DeviceBusyNS))
 			sst := env.db.StorageStats()
 			printGroupCommit(sst.Commits, sst.Groups, sst.Conflicts,
-				sst.QueueWaitNS, rs.DeviceFlushes, sst.GroupSizeBuckets[:])
+				sst.QueueWaitNS, rs.DeviceFlushes, rs.GroupFlushesSkipped, sst.GroupSizeBuckets[:])
+			vs := env.db.ViewStats()
+			if vs.Views > 0 {
+				fmt.Printf("views: %d (%d refreshes, %d pruned), %d rows pushed to %d subscriber(s)\n",
+					vs.Views, vs.Refreshes, vs.PrunedRefreshes, vs.RowsPushed, vs.Subscribers)
+			}
 		case env.remote != nil:
 			ss, err := env.remote.ServerStats()
 			if err != nil {
@@ -255,6 +263,47 @@ Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .mech
 				break
 			}
 			printServerStats(ss)
+		}
+	case ".views":
+		var infos []client.ViewInfo
+		switch {
+		case env.db != nil:
+			for _, v := range env.db.Views() {
+				infos = append(infos, client.ViewInfo{
+					Name: v.Name, Mechanism: v.Mechanism,
+					LastSnap: v.LastSnap, Rows: uint64(v.Rows),
+					Refreshes: v.Refreshes, PrunedRefreshes: v.PrunedRefreshes,
+					RowsPushed: v.RowsPushed, Subscribers: uint64(v.Subscribers),
+					LastError: v.LastError,
+				})
+			}
+		case env.remote != nil:
+			var err error
+			infos, err = env.remote.Views()
+			if err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+		}
+		if len(infos) == 0 {
+			fmt.Println("no retro views (CREATE RETRO VIEW v AS CollateData('...');)")
+			break
+		}
+		cols := []string{"view", "mechanism", "last_snap", "rows", "refreshes", "pruned", "pushed", "subs"}
+		var rows [][]string
+		for _, v := range infos {
+			rows = append(rows, []string{
+				v.Name, v.Mechanism,
+				fmt.Sprint(v.LastSnap), fmt.Sprint(v.Rows),
+				fmt.Sprint(v.Refreshes), fmt.Sprint(v.PrunedRefreshes),
+				fmt.Sprint(v.RowsPushed), fmt.Sprint(v.Subscribers),
+			})
+		}
+		printTable(cols, rows)
+		for _, v := range infos {
+			if v.LastError != "" {
+				fmt.Printf("  %s last error: %s\n", v.Name, v.LastError)
+			}
 		}
 	case ".mech":
 		var run *rql.RunStats
@@ -493,19 +542,23 @@ func printServerStats(ss client.ServerStats) {
 		ss.SegmentSeals, ss.SealedPages, ss.RetentionDrops,
 		ss.RetentionDroppedPages, ss.SegBlockHits)
 	printGroupCommit(ss.Commits, ss.CommitGroups, ss.CommitConflicts,
-		ss.CommitQueueWaitNS, ss.DeviceFlushes, ss.GroupSizeBuckets[:])
+		ss.CommitQueueWaitNS, ss.DeviceFlushes, ss.GroupFlushesSkipped, ss.GroupSizeBuckets[:])
+	if ss.Views > 0 {
+		fmt.Printf("views: %d (%d refreshes, %d pruned), %d rows pushed to %d subscriber(s)\n",
+			ss.Views, ss.ViewRefreshes, ss.ViewPrunedRefreshes, ss.ViewRowsPushed, ss.ViewSubscribers)
+	}
 }
 
 // printGroupCommit renders the commit-group counters: groups drained,
 // mean group size, conflict aborts, queue wait, device flushes, and the
 // group-size histogram (a legacy-path commit is a group of one).
-func printGroupCommit(commits, groups, conflicts, waitNS, flushes uint64, buckets []uint64) {
+func printGroupCommit(commits, groups, conflicts, waitNS, flushes, skipped uint64, buckets []uint64) {
 	mean := 0.0
 	if groups > 0 {
 		mean = float64(commits) / float64(groups)
 	}
-	fmt.Printf("commit groups: %d (mean size %.2f), %d conflicts aborted, queue wait %v, %d device flushes\n",
-		groups, mean, conflicts, time.Duration(waitNS), flushes)
+	fmt.Printf("commit groups: %d (mean size %.2f), %d conflicts aborted, queue wait %v, %d device flushes (%d skipped)\n",
+		groups, mean, conflicts, time.Duration(waitNS), flushes, skipped)
 	var hist strings.Builder
 	for i, c := range buckets {
 		if i < len(wire.GroupSizeBounds) {

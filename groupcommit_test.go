@@ -149,7 +149,8 @@ func TestGroupCommitSerialEquivalence(t *testing.T) {
 	if gStore.Groups == 0 || gStore.Commits < gStore.Groups {
 		t.Errorf("implausible group accounting: %+v", gStore)
 	}
-	if gRetro.DeviceFlushes != gStore.Groups {
-		t.Errorf("DeviceFlushes = %d, want one per group (%d)", gRetro.DeviceFlushes, gStore.Groups)
+	if gRetro.DeviceFlushes+gRetro.GroupFlushesSkipped != gStore.Groups {
+		t.Errorf("DeviceFlushes = %d, GroupFlushesSkipped = %d, want one decision per group (%d)",
+			gRetro.DeviceFlushes, gRetro.GroupFlushesSkipped, gStore.Groups)
 	}
 }

@@ -90,6 +90,9 @@ type BatchReport struct {
 	// The tiered-Pagelog cold-sweep experiment (absent in pre-tiering
 	// runs).
 	ColdSweep *ColdSweepResult `json:"cold_sweep,omitempty"`
+	// The incremental view-refresh experiment (absent in pre-view
+	// runs).
+	ViewRefresh *ViewRefreshResult `json:"view_refresh,omitempty"`
 }
 
 // batchWorkers is the parallel worker count used by the experiment.
@@ -325,6 +328,9 @@ func (r *Runner) BatchReport() (*BatchReport, error) {
 	if err := r.coldSweepBatch(rep, reps); err != nil {
 		return nil, err
 	}
+	if err := r.viewRefreshBatch(rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 
@@ -547,6 +553,21 @@ func (r *Runner) Batch() error {
 				m.Tiered.BlockHits)
 		}
 		ctab.Fprint(r.Out)
+	}
+	if vr := rep.ViewRefresh; vr != nil {
+		vtab := &Table{
+			Title: fmt.Sprintf("View refresh: incremental extension vs full recompute per new snapshot (%s)", vr.Mechanism),
+			Note: fmt.Sprintf("incremental = min over %d reps, amortized over %d fresh snapshots; full = cold recompute over the whole history; sparse = 1 refresh per %d snapshots",
+				vr.Reps, viewRefreshStride, batchRefreshEvery),
+			Headers: []string{"pattern", "history", "incremental", "full recompute", "ratio", "rows", "pruned share"},
+		}
+		for _, p := range vr.Points {
+			vtab.Add(p.Pattern, p.History,
+				time.Duration(p.Incremental.WallNS), time.Duration(p.Full.WallNS),
+				fmt.Sprintf("%.0fx", p.Ratio), p.Rows,
+				fmt.Sprintf("%.2f", p.PrunedShare))
+		}
+		vtab.Fprint(r.Out)
 	}
 	return nil
 }

@@ -248,6 +248,38 @@ func TestBatchReportQuick(t *testing.T) {
 			}
 		}
 	}
+	// The view-refresh phase must show the tentpole property: extending
+	// the view by one snapshot beats a full recompute, by a growing
+	// margin as the history lengthens, and the sparse pattern pruned.
+	if rep.ViewRefresh == nil {
+		t.Fatal("report missing the view-refresh phase")
+	}
+	ratios := map[string][]float64{}
+	for _, p := range rep.ViewRefresh.Points {
+		t.Logf("view-refresh %-6s history %4d: incremental %s, full %s → %.0fx (pruned share %.2f)",
+			p.Pattern, p.History, p.Incremental.Wall, p.Full.Wall, p.Ratio, p.PrunedShare)
+		if p.Incremental.WallNS <= 0 || p.Full.WallNS <= 0 || p.Rows == 0 {
+			t.Errorf("view-refresh %s/%d malformed: %+v", p.Pattern, p.History, p)
+		}
+		if p.Ratio < 2 {
+			t.Errorf("view-refresh %s/%d: full/incremental ratio %.2fx, want >= 2x",
+				p.Pattern, p.History, p.Ratio)
+		}
+		if p.Pattern == "sparse" && p.PrunedShare == 0 {
+			t.Errorf("view-refresh sparse/%d: no refresh was pruned despite quiet snapshots", p.History)
+		}
+		ratios[p.Pattern] = append(ratios[p.Pattern], p.Ratio)
+	}
+	for pattern, rs := range ratios {
+		if len(rs) < 2 {
+			t.Errorf("view-refresh %s: only %d points", pattern, len(rs))
+			continue
+		}
+		if last := rs[len(rs)-1]; last < 1.2*rs[0] {
+			t.Errorf("view-refresh %s: ratio did not grow with history (%.1fx -> %.1fx); incremental cost must be history-independent",
+				pattern, rs[0], last)
+		}
+	}
 	// The runs file appends instead of overwriting; a legacy flat
 	// report is wrapped as the first run, and two runs can be compared.
 	path := t.TempDir() + "/BENCH_rql.json"

@@ -149,6 +149,7 @@ func Compare(path string, out io.Writer) error {
 	compareFanout(old.Report, cur.Report, out, check)
 	compareGroupCommit(old.Report, cur.Report, out, check)
 	compareColdSweep(old.Report, cur.Report, out, check)
+	compareViewRefresh(old.Report, cur.Report, out, check)
 	if len(regressions) > 0 {
 		return fmt.Errorf("bench: wall time regressed >%.0f%% on %d side(s): %s",
 			100*regressionLimit, len(regressions), strings.Join(regressions, ", "))

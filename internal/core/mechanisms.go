@@ -89,6 +89,16 @@ type mechState struct {
 	next   uint64
 	pipe   pipeState
 
+	// Incremental view maintenance (view.go). viewPrune, when non-nil,
+	// replaces the reader-set delta test in the prune check: views
+	// refresh one snapshot at a time with no batch reader set, so the
+	// "did anything on the read path change?" question is answered from
+	// the Maplog directly (retro.DirtyBetween). sink, when non-nil,
+	// observes every materialized row — executed or replayed — for
+	// subscriber pushes.
+	viewPrune func(prevSnap, snap uint64, readSet sql.PageSet) (checked, disjoint bool)
+	sink      func(snap uint64, row []record.Value)
+
 	run       *RunStats
 	iterUDF   time.Duration // UDF time accumulated in the current iteration
 	finalized bool
@@ -194,13 +204,28 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	// the cached output.
 	var memberIdx = -1
 	if st.pruneOn {
-		idx, intersected, prune := st.pruneCheck(&st.cache, snap, &cost)
-		memberIdx = idx
-		if intersected {
-			st.run.DeltaIntersections++
-		}
-		if prune {
-			return st.replayIteration(snap, idx, &cost)
+		if st.viewPrune != nil {
+			// View refresh path: the snapshot id doubles as the member
+			// index (snapshots materialize in declaration order).
+			memberIdx = int(snap)
+			if st.cache.valid {
+				checked, disjoint := st.viewPrune(st.prevSnap, snap, st.cache.readSet)
+				if checked {
+					st.run.DeltaIntersections++
+					if disjoint {
+						return st.replayIteration(snap, memberIdx, &cost)
+					}
+				}
+			}
+		} else {
+			idx, intersected, prune := st.pruneCheck(&st.cache, snap, &cost)
+			memberIdx = idx
+			if intersected {
+				st.run.DeltaIntersections++
+			}
+			if prune {
+				return st.replayIteration(snap, idx, &cost)
+			}
 		}
 	}
 
@@ -209,6 +234,9 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 		cost.QqRows++
 		if st.pruneOn && memberIdx >= 0 {
 			iterRows = cacheRow(iterRows, row)
+		}
+		if st.sink != nil {
+			st.sink(snap, row)
 		}
 		t0 := time.Now()
 		err := st.processRecord(snap, row, &cost)
@@ -269,6 +297,36 @@ func (st *mechState) createResultTable(conn *sql.Conn, snap uint64) error {
 	if err != nil {
 		return err
 	}
+	if err := st.resolveShape(cols); err != nil {
+		return err
+	}
+
+	var ddl strings.Builder
+	ddl.WriteString("CREATE TEMP TABLE ")
+	ddl.WriteString(sql.QuoteIdent(st.table))
+	ddl.WriteString(" (")
+	for i, c := range cols {
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		ddl.WriteString(sql.QuoteIdent(c))
+	}
+	if st.kind == mechIntervals {
+		ddl.WriteString(", start_snapshot INTEGER, end_snapshot INTEGER")
+	}
+	ddl.WriteString(")")
+	if err := conn.Exec(ddl.String(), nil); err != nil {
+		return err
+	}
+	st.created = true
+	return nil
+}
+
+// resolveShape derives the mechanism's column bookkeeping (qqCols,
+// aggregate/grouping indexes, accumulators) from Qq's output columns.
+// Called with freshly planned columns when the result table is created,
+// and with the persisted column list when a view's state is restored.
+func (st *mechState) resolveShape(cols []string) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("rql: %s: Qq returns no columns", st.kind)
 	}
@@ -320,25 +378,6 @@ func (st *mechState) createResultTable(conn *sql.Conn, snap uint64) error {
 			st.groupIdx[i] = i
 		}
 	}
-
-	var ddl strings.Builder
-	ddl.WriteString("CREATE TEMP TABLE ")
-	ddl.WriteString(sql.QuoteIdent(st.table))
-	ddl.WriteString(" (")
-	for i, c := range cols {
-		if i > 0 {
-			ddl.WriteString(", ")
-		}
-		ddl.WriteString(sql.QuoteIdent(c))
-	}
-	if st.kind == mechIntervals {
-		ddl.WriteString(", start_snapshot INTEGER, end_snapshot INTEGER")
-	}
-	ddl.WriteString(")")
-	if err := conn.Exec(ddl.String(), nil); err != nil {
-		return err
-	}
-	st.created = true
 	return nil
 }
 

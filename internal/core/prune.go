@@ -104,7 +104,11 @@ func (st *mechState) replayIteration(snap uint64, idx int, cost *IterationCost) 
 	t0 := time.Now()
 	for _, row := range st.cache.rows {
 		cost.QqRows++
-		if err := st.processRecord(snap, st.replayRow(row, snap), cost); err != nil {
+		rr := st.replayRow(row, snap)
+		if st.sink != nil {
+			st.sink(snap, rr)
+		}
+		if err := st.processRecord(snap, rr, cost); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,892 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rql/internal/record"
+	"rql/internal/retro"
+	"rql/internal/sql"
+	"rql/internal/storage"
+)
+
+// Materialized retro views: the batch mechanisms turned into live,
+// incrementally-maintained views. A view is one mechanism invocation
+// whose per-snapshot results persist in a side-store table named after
+// the view, together with a refresh cursor (the last materialized
+// snapshot id) and the mechanism's loop-body state (read-set, cached
+// rows, aggregate accumulators) in the rql_view_state side table. Each
+// COMMIT WITH SNAPSHOT extends the view by exactly one loop-body
+// iteration — delta-pruned through the Maplog when nothing on the
+// view's read path changed — instead of the O(n)-snapshot recompute a
+// fresh mechanism run would pay.
+//
+// The ViewManager implements sql.RetroViewHook (DDL callbacks), runs a
+// single background refresher goroutine woken by the post-commit
+// snapshot announcement (sql.DB.SetSnapshotHook), and fans newly
+// materialized rows out to subscribers. Replicas run one too: their
+// replication layer announces snapshots after each applied delta group,
+// and the side store is locally writable, so views refresh from shipped
+// deltas and subscriptions are served read-only.
+
+// viewStateTable is the side-store table holding each view's refresh
+// cursor and encoded mechanism state.
+const viewStateTable = "rql_view_state"
+
+// ViewBatch is one view extension delivered to subscribers: the rows
+// the view materialized for one snapshot (the Qq output at that
+// snapshot, re-tagged when replayed from the prune cache; the running
+// aggregate value for AggregateDataInVariable views).
+type ViewBatch struct {
+	View   string
+	Snap   uint64
+	Cols   []string
+	Rows   [][]record.Value
+	Pruned bool // materialized by cached-row replay, no query evaluation
+}
+
+// ViewSub is one subscription to a view's extension stream. Receive
+// from C; a closed C means the subscription ended (view dropped,
+// manager closed, or the subscriber fell too far behind and was
+// disconnected rather than allowed to stall the refresh path).
+type ViewSub struct {
+	C    <-chan ViewBatch
+	ch   chan ViewBatch
+	id   int
+	view string
+	m    *ViewManager
+}
+
+// Cancel ends the subscription and closes C.
+func (s *ViewSub) Cancel() {
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	if v := s.m.views[s.view]; v != nil {
+		if _, ok := v.subs[s.id]; ok {
+			delete(v.subs, s.id)
+			close(s.ch)
+		}
+	}
+}
+
+// ViewInfo is one view's status line (.views, wire ReqViews).
+type ViewInfo struct {
+	Name            string
+	Mechanism       string
+	LastSnap        uint64 // refresh cursor: last materialized snapshot
+	Rows            int    // rows currently in the result table
+	Refreshes       uint64 // snapshots materialized
+	PrunedRefreshes uint64 // of those, materialized by replay
+	RowsPushed      uint64 // rows delivered to subscribers
+	Subscribers     int
+	LastError       string
+}
+
+// viewState is the manager's per-view record.
+type viewState struct {
+	def sql.RetroViewDef
+
+	// runMu serializes materialization work on this view (the
+	// background refresher vs synchronous REFRESH RETRO VIEW).
+	runMu sync.Mutex
+	st    *mechState
+
+	cursor          atomic.Uint64 // last materialized snapshot
+	refreshes       atomic.Uint64
+	prunedRefreshes atomic.Uint64
+	rowsPushed      atomic.Uint64
+
+	subs    map[int]*ViewSub // guarded by manager mu
+	lastErr string           // guarded by manager mu
+}
+
+// ViewManager owns every materialized retro view of one database.
+type ViewManager struct {
+	db  *sql.DB
+	rql *RQL
+
+	mu     sync.Mutex
+	views  map[string]*viewState // lower-cased name
+	subSeq int
+	closed bool
+
+	// announced is the highest snapshot id known fully installed and
+	// readable: on a primary, set by the post-commit hook (the commit
+	// that declared it has returned, and groups drain in LSN order);
+	// on a replica, set after ApplyReplicated finished a delta group.
+	// The refresher materializes up to it and never past it — a
+	// declared-but-still-committing snapshot is left for the next wake.
+	announced atomic.Uint64
+
+	wake chan struct{} // capacity 1: refresher wake signal
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewViewManager loads the persisted view definitions and their refresh
+// state and returns a manager ready to Start. Call on an idle database
+// (open/attach time): it reads the side-store catalog and state table.
+func NewViewManager(db *sql.DB, r *RQL) (*ViewManager, error) {
+	m := &ViewManager{
+		db:    db,
+		rql:   r,
+		views: make(map[string]*viewState),
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	conn := db.Conn()
+	if err := conn.Exec(`CREATE TEMP TABLE IF NOT EXISTS `+viewStateTable+` (
+		name   TEXT,
+		seq    INTEGER,
+		cursor INTEGER,
+		state  BLOB
+	)`, nil); err != nil {
+		return nil, err
+	}
+	defs, err := db.ListViews()
+	if err != nil {
+		return nil, err
+	}
+	for _, def := range defs {
+		v, err := m.newViewState(def)
+		if err != nil {
+			return nil, fmt.Errorf("rql: reloading view %s: %w", def.Name, err)
+		}
+		if err := m.loadState(conn, v); err != nil {
+			return nil, fmt.Errorf("rql: reloading view %s state: %w", def.Name, err)
+		}
+		m.views[strings.ToLower(def.Name)] = v
+	}
+	m.announced.Store(uint64(db.Retro().LastSnapshot()))
+	return m, nil
+}
+
+// Start launches the background refresher. Views behind the last
+// announced snapshot (restart, or snapshots declared before Start)
+// catch up on the first pass.
+func (m *ViewManager) Start() {
+	go m.refresher()
+	m.poke()
+}
+
+// Close stops the refresher and closes every subscription.
+func (m *ViewManager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+	m.mu.Lock()
+	for _, v := range m.views {
+		for id, s := range v.subs {
+			delete(v.subs, id)
+			close(s.ch)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// AnnounceSnapshot records that snapshot id is installed and readable
+// and wakes the refresher. Monotonic: stale announcements are ignored.
+func (m *ViewManager) AnnounceSnapshot(id uint64) {
+	for {
+		cur := m.announced.Load()
+		if id <= cur || m.announced.CompareAndSwap(cur, id) {
+			break
+		}
+	}
+	m.poke()
+}
+
+func (m *ViewManager) poke() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *ViewManager) refresher() {
+	defer close(m.done)
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.wake:
+		}
+		m.refreshAll()
+	}
+}
+
+// refreshAll catches every view up to the current announce mark.
+func (m *ViewManager) refreshAll() {
+	target := m.announced.Load()
+	m.mu.Lock()
+	names := make([]string, 0, len(m.views))
+	for n := range m.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	m.mu.Unlock()
+	for _, n := range names {
+		m.mu.Lock()
+		v := m.views[n]
+		m.mu.Unlock()
+		if v == nil {
+			continue // dropped since the list was taken
+		}
+		if err := m.catchUp(v, target); err != nil {
+			m.mu.Lock()
+			if m.views[n] == v {
+				v.lastErr = err.Error()
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// sql.RetroViewHook
+// ---------------------------------------------------------------------------
+
+// mechKindByName resolves a mechanism name case-insensitively.
+func mechKindByName(name string) (mechKind, bool) {
+	for _, k := range []mechKind{mechCollate, mechAggVar, mechAggTable, mechIntervals} {
+		if strings.EqualFold(k.String(), name) {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// ValidateView rejects definitions the mechanisms could never run:
+// unknown mechanism, missing/superfluous second argument, unparsable
+// aggregate spec, or a Qq that is not a single SELECT. Column-level
+// checks happen at first materialization, like a mechanism run's.
+func (m *ViewManager) ValidateView(def sql.RetroViewDef) error {
+	kind, ok := mechKindByName(def.Mechanism)
+	if !ok {
+		return fmt.Errorf("rql: unknown mechanism %q (want CollateData, AggregateDataInVariable, AggregateDataInTable or CollateDataIntoIntervals)", def.Mechanism)
+	}
+	switch kind {
+	case mechCollate, mechIntervals:
+		if def.HasExtra {
+			return fmt.Errorf("rql: %s takes one argument (the retrospective query)", kind)
+		}
+	case mechAggVar:
+		if !def.HasExtra {
+			return fmt.Errorf("rql: %s needs an aggregate function argument", kind)
+		}
+		if monoidByName(def.Extra) == nil {
+			return fmt.Errorf("rql: unknown aggregate function %q (want min, max, sum, count or avg)", def.Extra)
+		}
+	case mechAggTable:
+		if !def.HasExtra {
+			return fmt.Errorf("rql: %s needs a ListOfColFuncPairs argument", kind)
+		}
+		if _, err := parsePairs(def.Extra); err != nil {
+			return err
+		}
+	}
+	stmt, err := sql.Parse(def.Qq)
+	if err != nil {
+		return fmt.Errorf("rql: view query: %w", err)
+	}
+	if _, ok := stmt.(*sql.SelectStmt); !ok {
+		return fmt.Errorf("rql: view query must be a single SELECT")
+	}
+	return nil
+}
+
+// ViewCreated registers a fresh view and schedules its backfill.
+func (m *ViewManager) ViewCreated(def sql.RetroViewDef) {
+	v, err := m.newViewState(def)
+	if err != nil {
+		return // ValidateView already vetted the definition
+	}
+	key := strings.ToLower(def.Name)
+	m.mu.Lock()
+	if m.closed || m.views[key] != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.views[key] = v
+	m.mu.Unlock()
+	// A dropped-and-recreated view must not resume from a stale cursor.
+	conn := m.db.Conn()
+	_ = conn.Exec("DELETE FROM "+viewStateTable+" WHERE name = ?", nil, record.Text(key))
+	m.poke()
+}
+
+// ViewDropped unregisters a view, closes its subscriptions, and deletes
+// its persisted refresh state (the result table was dropped with the
+// catalog entry, in the DDL's transaction).
+func (m *ViewManager) ViewDropped(name string) {
+	key := strings.ToLower(name)
+	m.mu.Lock()
+	v := m.views[key]
+	delete(m.views, key)
+	if v != nil {
+		for id, s := range v.subs {
+			delete(v.subs, id)
+			close(s.ch)
+		}
+	}
+	m.mu.Unlock()
+	if v == nil {
+		return
+	}
+	// Serialize with an in-flight catch-up so its state persist cannot
+	// resurrect the row after this delete.
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	conn := m.db.Conn()
+	_ = conn.Exec("DELETE FROM "+viewStateTable+" WHERE name = ?", nil, record.Text(key))
+}
+
+// ViewRefresh synchronously catches the named view up to the latest
+// announced snapshot (REFRESH RETRO VIEW).
+func (m *ViewManager) ViewRefresh(name string) error {
+	m.mu.Lock()
+	v := m.views[strings.ToLower(name)]
+	m.mu.Unlock()
+	if v == nil {
+		return fmt.Errorf("%w: %s", sql.ErrNoView, name)
+	}
+	err := m.catchUp(v, m.announced.Load())
+	m.mu.Lock()
+	if err != nil {
+		v.lastErr = err.Error()
+	} else {
+		v.lastErr = ""
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Materialization
+// ---------------------------------------------------------------------------
+
+// newViewState builds the long-lived mechanism state for a view
+// definition (cursor 0, nothing materialized).
+func (m *ViewManager) newViewState(def sql.RetroViewDef) (*viewState, error) {
+	kind, ok := mechKindByName(def.Mechanism)
+	if !ok {
+		return nil, fmt.Errorf("rql: unknown mechanism %q", def.Mechanism)
+	}
+	st := &mechState{
+		kind:   kind,
+		rql:    m.rql,
+		inited: true,
+		qq:     def.Qq,
+		table:  def.Name,
+		run:    &RunStats{Mechanism: kind.String()},
+	}
+	switch kind {
+	case mechAggVar:
+		st.monoid = monoidByName(def.Extra)
+		if st.monoid == nil {
+			return nil, fmt.Errorf("rql: unknown aggregate function %q", def.Extra)
+		}
+		st.curVal = record.Null()
+	case mechAggTable:
+		pairs, err := parsePairs(def.Extra)
+		if err != nil {
+			return nil, err
+		}
+		st.pairs = pairs
+	}
+	return &viewState{def: def, st: st, subs: make(map[int]*ViewSub)}, nil
+}
+
+// catchUp materializes v snapshot by snapshot up to target. Each
+// snapshot's result rows commit before the cursor and mechanism state
+// persist, and the extension is pushed to subscribers after both — a
+// snapshot is never announced downstream before it is durable.
+func (m *ViewManager) catchUp(v *viewState, target uint64) error {
+	v.runMu.Lock()
+	defer v.runMu.Unlock()
+	cur := v.cursor.Load()
+	if target <= cur {
+		return nil
+	}
+	start := cur + 1
+	// Retention may have dropped early history: a fresh view backfills
+	// from the oldest snapshot still openable.
+	if oldest := uint64(m.db.Retro().OldestSnapshot()); oldest > start {
+		start = oldest
+	}
+	if start > target {
+		return nil
+	}
+
+	conn := m.db.Conn()
+	st := v.st
+	st.run = &RunStats{Mechanism: st.kind.String()}
+
+	// Pruning: decided per catch-up from the run-level toggle and the
+	// static analysis, cached on the state (the definition never
+	// changes, so the analysis doesn't either).
+	st.pruneOn = false
+	if m.rql.pruneEnabled() {
+		info := conn.PruneInfo(st.qq)
+		if info.OK {
+			st.pruneOn = true
+			st.pruneInfo = info
+		} else {
+			st.run.PruneReason = "Qq not prune-safe: " + info.Reason
+		}
+	} else {
+		st.run.PruneReason = "delta pruning off (SetDeltaPrune)"
+	}
+	rsys := m.db.Retro()
+	st.viewPrune = func(prev, snap uint64, rs sql.PageSet) (checked, disjoint bool) {
+		if prev == 0 || len(rs) == 0 {
+			return false, false
+		}
+		dirty, ok := rsys.DirtyBetween(retro.SnapshotID(prev), retro.SnapshotID(snap))
+		if !ok {
+			return false, false
+		}
+		for p := range dirty {
+			if _, hit := rs[p]; hit {
+				return true, false
+			}
+		}
+		return true, true
+	}
+	conn.SetRecordReadSet(st.pruneOn)
+	defer func() {
+		conn.SetRecordReadSet(false)
+		st.viewPrune = nil
+		st.sink = nil
+		if st.writer != nil {
+			st.writer.Rollback()
+			st.writer = nil
+		}
+	}()
+
+	for snap := start; snap <= target; snap++ {
+		var rows [][]record.Value
+		st.sink = func(s uint64, row []record.Value) {
+			rows = cacheRow(rows, row)
+		}
+		prunedBefore := st.run.PrunedIterations
+		if err := st.iterate(conn, snap); err != nil {
+			return err
+		}
+		pruned := st.run.PrunedIterations > prunedBefore
+		// Result rows first …
+		if st.writer != nil {
+			if err := st.writer.Commit(); err != nil {
+				return err
+			}
+			st.writer = nil
+		}
+		if st.kind == mechAggVar && st.created {
+			val := st.curVal
+			if st.monoid.Name == avgName {
+				val = st.avgAcc.value()
+			}
+			if err := conn.Exec("DELETE FROM "+sql.QuoteIdent(st.table), nil); err != nil {
+				return err
+			}
+			if err := conn.Exec("INSERT INTO "+sql.QuoteIdent(st.table)+" VALUES (?)", nil, val); err != nil {
+				return err
+			}
+			rows = [][]record.Value{{val}}
+		}
+		// … then the cursor/state …
+		if err := m.persistState(conn, v, snap); err != nil {
+			return err
+		}
+		v.cursor.Store(snap)
+		v.refreshes.Add(1)
+		if pruned {
+			v.prunedRefreshes.Add(1)
+		}
+		// … then the push.
+		m.push(v, ViewBatch{
+			View:   v.def.Name,
+			Snap:   snap,
+			Cols:   append([]string(nil), st.qqCols...),
+			Rows:   rows,
+			Pruned: pruned,
+		})
+	}
+	return nil
+}
+
+// push delivers one extension batch to every subscriber. A subscriber
+// whose buffer is full is disconnected (channel closed) instead of
+// blocking the refresh path.
+func (m *ViewManager) push(v *viewState, b ViewBatch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id, s := range v.subs {
+		select {
+		case s.ch <- b:
+			v.rowsPushed.Add(uint64(len(b.Rows)))
+		default:
+			delete(v.subs, id)
+			close(s.ch)
+		}
+	}
+}
+
+// Subscribe opens a subscription to a view's extension stream. buf is
+// the per-subscriber batch buffer (min 1); a subscriber that falls more
+// than buf batches behind is disconnected.
+func (m *ViewManager) Subscribe(view string, buf int) (*ViewSub, error) {
+	if buf < 1 {
+		buf = 1
+	}
+	key := strings.ToLower(view)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := m.views[key]
+	if v == nil {
+		return nil, fmt.Errorf("%w: %s", sql.ErrNoView, view)
+	}
+	m.subSeq++
+	ch := make(chan ViewBatch, buf)
+	s := &ViewSub{C: ch, ch: ch, id: m.subSeq, view: key, m: m}
+	v.subs[s.id] = s
+	return s, nil
+}
+
+// Infos returns every view's status in name order.
+func (m *ViewManager) Infos() []ViewInfo {
+	m.mu.Lock()
+	type entry struct {
+		v       *viewState
+		lastErr string
+		subs    int
+	}
+	entries := make([]entry, 0, len(m.views))
+	for _, v := range m.views {
+		entries = append(entries, entry{v: v, lastErr: v.lastErr, subs: len(v.subs)})
+	}
+	m.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].v.def.Name < entries[j].v.def.Name })
+
+	conn := m.db.Conn()
+	out := make([]ViewInfo, 0, len(entries))
+	for _, e := range entries {
+		info := ViewInfo{
+			Name:            e.v.def.Name,
+			Mechanism:       e.v.def.Mechanism,
+			LastSnap:        e.v.cursor.Load(),
+			Refreshes:       e.v.refreshes.Load(),
+			PrunedRefreshes: e.v.prunedRefreshes.Load(),
+			RowsPushed:      e.v.rowsPushed.Load(),
+			Subscribers:     e.subs,
+			LastError:       e.lastErr,
+		}
+		if ts, err := conn.TableStats(e.v.def.Name); err == nil {
+			info.Rows = ts.Rows
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// ViewStats is the manager's aggregate counter snapshot (ServerStats).
+type ViewStats struct {
+	Views           uint64
+	Refreshes       uint64
+	PrunedRefreshes uint64
+	RowsPushed      uint64
+	Subscribers     uint64
+}
+
+// Stats sums the per-view counters.
+func (m *ViewManager) Stats() ViewStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s ViewStats
+	s.Views = uint64(len(m.views))
+	for _, v := range m.views {
+		s.Refreshes += v.refreshes.Load()
+		s.PrunedRefreshes += v.prunedRefreshes.Load()
+		s.RowsPushed += v.rowsPushed.Load()
+		s.Subscribers += uint64(len(v.subs))
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Refresh-state persistence
+// ---------------------------------------------------------------------------
+
+// viewStateChunk bounds each persisted state row's blob cell so that
+// name + seq + cursor + chunk stay well under the btree's
+// MaxCellPayload. The state blob grows with the prune memo (read-set
+// page ids plus the cached rows of one iteration), so a wide view can
+// exceed one page; persistState splits it across sequenced rows.
+const viewStateChunk = 1024
+
+// persistState writes v's cursor and encoded mechanism state, chunked
+// into as many sequenced rows as the blob needs. Runs inside the same
+// side-store transaction as the result-table extension, so cursor,
+// state, and rows move together.
+func (m *ViewManager) persistState(conn *sql.Conn, v *viewState, cursor uint64) error {
+	blob := encodeViewState(v.st)
+	key := strings.ToLower(v.def.Name)
+	if err := conn.Exec("DELETE FROM "+viewStateTable+" WHERE name = ?", nil, record.Text(key)); err != nil {
+		return err
+	}
+	for seq := 0; ; seq++ {
+		end := min((seq+1)*viewStateChunk, len(blob))
+		chunk := blob[seq*viewStateChunk : end]
+		if err := conn.Exec("INSERT INTO "+viewStateTable+" VALUES (?, ?, ?, ?)", nil,
+			record.Text(key), record.Int(int64(seq)), record.Int(int64(cursor)),
+			record.Blob(chunk)); err != nil {
+			return err
+		}
+		if end == len(blob) {
+			return nil
+		}
+	}
+}
+
+// loadState restores v's cursor and mechanism state from the side
+// store, if rows exist (a fresh view has none). Chunks are reassembled
+// in seq order; every chunk carries the same cursor.
+func (m *ViewManager) loadState(conn *sql.Conn, v *viewState) error {
+	rows, err := conn.Query("SELECT seq, cursor, state FROM "+viewStateTable+" WHERE name = ?",
+		record.Text(strings.ToLower(v.def.Name)))
+	if err != nil {
+		return err
+	}
+	if len(rows.Rows) == 0 {
+		return nil
+	}
+	sort.Slice(rows.Rows, func(i, j int) bool {
+		return rows.Rows[i][0].AsInt() < rows.Rows[j][0].AsInt()
+	})
+	cursor := uint64(rows.Rows[0][1].AsInt())
+	var blob []byte
+	for i, row := range rows.Rows {
+		if row[0].AsInt() != int64(i) || row[2].Type() != record.TypeBlob {
+			return fmt.Errorf("rql: corrupt view state row")
+		}
+		blob = append(blob, row[2].Blob()...)
+	}
+	if err := decodeViewState(v.st, blob); err != nil {
+		return err
+	}
+	v.cursor.Store(cursor)
+	return nil
+}
+
+const viewStateVersion = 1
+
+// encodeViewState serializes the parts of a mechState that must survive
+// a restart: the cursor-adjacent loop state (prevSnap, iterations), the
+// resolved result shape, the aggregate accumulators, and the prune memo
+// (read-set + cached rows) so the first refresh after a restart can
+// still be pruned.
+func encodeViewState(st *mechState) []byte {
+	buf := []byte{viewStateVersion}
+	var flags byte
+	if st.created {
+		flags |= 1
+	}
+	if st.indexCreated {
+		flags |= 2
+	}
+	if st.cache.valid {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, st.prevSnap)
+	buf = binary.AppendUvarint(buf, uint64(st.iterations))
+
+	buf = binary.AppendUvarint(buf, uint64(len(st.qqCols)))
+	for _, c := range st.qqCols {
+		buf = appendBytes(buf, []byte(c))
+	}
+
+	// Accumulators: curVal rides in a one-value row; avg state raw.
+	buf = appendBytes(buf, record.EncodeRow(nil, []record.Value{st.curVal}))
+	buf = binary.AppendUvarint(buf, uint64(st.avgAcc.n))
+	buf = binary.AppendUvarint(buf, floatBits(st.avgAcc.sum))
+	buf = binary.AppendUvarint(buf, uint64(len(st.avgCounts)))
+	// Deterministic order is not required (a map restores a map), but
+	// keeps encodings comparable in tests.
+	rowids := make([]int64, 0, len(st.avgCounts))
+	for id := range st.avgCounts {
+		rowids = append(rowids, id)
+	}
+	sort.Slice(rowids, func(i, j int) bool { return rowids[i] < rowids[j] })
+	for _, id := range rowids {
+		buf = binary.AppendVarint(buf, id)
+		buf = binary.AppendVarint(buf, st.avgCounts[id])
+	}
+
+	if st.cache.valid {
+		buf = binary.AppendVarint(buf, int64(st.cache.prevIdx))
+		pages := make([]uint64, 0, len(st.cache.readSet))
+		for p := range st.cache.readSet {
+			pages = append(pages, uint64(p))
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		buf = binary.AppendUvarint(buf, uint64(len(pages)))
+		for _, p := range pages {
+			buf = binary.AppendUvarint(buf, p)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(st.cache.rows)))
+		for _, r := range st.cache.rows {
+			buf = appendBytes(buf, record.EncodeRow(nil, r))
+		}
+	}
+	return buf
+}
+
+func decodeViewState(st *mechState, blob []byte) error {
+	d := &stateDec{b: blob}
+	if d.byte() != viewStateVersion {
+		return fmt.Errorf("rql: view state version mismatch")
+	}
+	flags := d.byte()
+	st.prevSnap = d.uvarint()
+	st.iterations = int(d.uvarint())
+
+	n := int(d.uvarint())
+	if d.err != nil || n > 1<<16 {
+		return fmt.Errorf("rql: corrupt view state")
+	}
+	cols := make([]string, n)
+	for i := range cols {
+		cols[i] = string(d.bytes())
+	}
+	if n > 0 {
+		if err := st.resolveShape(cols); err != nil {
+			return err
+		}
+	}
+	st.created = flags&1 != 0
+	if st.indexCreated = flags&2 != 0; st.indexCreated {
+		st.indexName = "rql_idx_" + st.table
+	}
+
+	cv, err := record.DecodeRow(d.bytes())
+	if err != nil || len(cv) != 1 {
+		return fmt.Errorf("rql: corrupt view state accumulator")
+	}
+	st.curVal = cv[0]
+	st.avgAcc.n = int64(d.uvarint())
+	st.avgAcc.sum = floatFromBits(d.uvarint())
+	cn := int(d.uvarint())
+	if d.err != nil || cn > 1<<24 {
+		return fmt.Errorf("rql: corrupt view state")
+	}
+	if cn > 0 && st.avgCounts == nil {
+		st.avgCounts = make(map[int64]int64, cn)
+	}
+	for i := 0; i < cn; i++ {
+		id := d.varint()
+		st.avgCounts[id] = d.varint()
+	}
+
+	if flags&4 != 0 {
+		st.cache.valid = true
+		st.cache.prevIdx = int(d.varint())
+		pn := int(d.uvarint())
+		if d.err != nil || pn > 1<<24 {
+			return fmt.Errorf("rql: corrupt view state read-set")
+		}
+		st.cache.readSet = make(sql.PageSet, pn)
+		for i := 0; i < pn; i++ {
+			st.cache.readSet[storage.PageID(d.uvarint())] = struct{}{}
+		}
+		rn := int(d.uvarint())
+		if d.err != nil || rn > 1<<24 {
+			return fmt.Errorf("rql: corrupt view state rows")
+		}
+		st.cache.rows = make([][]record.Value, 0, rn)
+		for i := 0; i < rn; i++ {
+			r, err := record.DecodeRow(d.bytes())
+			if err != nil {
+				return err
+			}
+			st.cache.rows = append(st.cache.rows, r)
+		}
+	}
+	if d.err != nil {
+		return fmt.Errorf("rql: truncated view state")
+	}
+	return nil
+}
+
+// stateDec is a tiny cursor over the encoded state blob.
+type stateDec struct {
+	b   []byte
+	err error
+}
+
+func (d *stateDec) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.err = fmt.Errorf("short")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *stateDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("short")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *stateDec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("short")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *stateDec) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil || uint64(len(d.b)) < n {
+		d.err = fmt.Errorf("short")
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func appendBytes(buf, v []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	return append(buf, v...)
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

@@ -13,18 +13,22 @@ import (
 	"rql/internal/obs"
 	"rql/internal/record"
 	"rql/internal/retro"
+	"rql/internal/sql"
 	"rql/internal/storage"
 	"rql/internal/wire"
 )
 
 // event is one entry in the primary's replication log: a replicated
-// commit or a logical SnapIds annotation. Page pointers inside commit
-// deltas are the committed versions themselves (immutable under the
-// store's copy-on-write discipline), so the log holds no page copies.
+// commit, a logical SnapIds annotation, or a logical retro-view DDL
+// (view definitions live in the side store, which page deltas do not
+// cover). Page pointers inside commit deltas are the committed versions
+// themselves (immutable under the store's copy-on-write discipline), so
+// the log holds no page copies.
 type event struct {
-	seq    uint64
-	commit *retro.CommitDelta // nil for annotation events
-	annot  wire.ReplAnnot
+	seq     uint64
+	commit  *retro.CommitDelta // nil for logical events
+	annot   wire.ReplAnnot
+	viewDDL *wire.ViewDDL // nil unless a view DDL event
 }
 
 // PrimaryConfig configures NewPrimary.
@@ -65,6 +69,7 @@ type stream struct {
 	id   string
 	addr string
 	nc   net.Conn
+	ver  int // negotiated protocol version of the carrying session
 
 	dead      atomic.Bool // set when the connection is gone; wakes the feeder
 	connected atomic.Bool
@@ -91,6 +96,7 @@ func NewPrimary(db *rql.DB, cfg PrimaryConfig) *Primary {
 	p.cond = sync.NewCond(&p.mu)
 	db.Engine().Retro().SetCommitObserver(p.onCommit)
 	db.Engine().SetAnnotationHook(p.onAnnot)
+	db.Engine().SetViewDDLHook(p.onViewDDL)
 	return p
 }
 
@@ -109,6 +115,7 @@ func (p *Primary) SetAddr(addr string) {
 func (p *Primary) Close() {
 	p.db.Engine().Retro().SetCommitObserver(nil)
 	p.db.Engine().SetAnnotationHook(nil)
+	p.db.Engine().SetViewDDLHook(nil)
 	p.mu.Lock()
 	p.closed = true
 	for st := range p.streams {
@@ -164,6 +171,25 @@ func (p *Primary) onAnnot(snapID uint64, ts, label string) {
 	p.cond.Broadcast()
 }
 
+// onViewDDL runs on the connection that committed retro-view DDL.
+// Replicated logically: view definitions live in the non-snapshotable
+// side store, outside the page-delta stream.
+func (p *Primary) onViewDDL(create bool, def sql.RetroViewDef) {
+	p.mu.Lock()
+	ev := &event{seq: p.nextSeq, viewDDL: &wire.ViewDDL{
+		Create:    create,
+		Name:      def.Name,
+		Mechanism: def.Mechanism,
+		Qq:        def.Qq,
+		Extra:     def.Extra,
+		HasExtra:  def.HasExtra,
+	}}
+	p.nextSeq++
+	p.events = append(p.events, ev)
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
 // trimLocked drops history older than the last RetainSnapshots
 // snapshot groups. Callers hold p.mu.
 func (p *Primary) trimLocked() {
@@ -208,7 +234,7 @@ func (p *Primary) resolveStart(lastApplied uint64) (startSeq uint64, needBoot bo
 // sealed Pagelog segments shipped verbatim during bootstrap, older
 // ones get every archived page raw.
 func (p *Primary) ServeStream(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, sub wire.ReplSubscribe, ver int) error {
-	st := &stream{id: sub.ID, nc: nc}
+	st := &stream{id: sub.ID, nc: nc, ver: ver}
 	if ra := nc.RemoteAddr(); ra != nil {
 		st.addr = ra.String()
 	}
@@ -307,6 +333,16 @@ func (p *Primary) feed(st *stream, bw *bufio.Writer, startSeq uint64) error {
 
 // sendEvent writes one log event, chunking large commits.
 func (p *Primary) sendEvent(st *stream, bw *bufio.Writer, ev *event) error {
+	if ev.viewDDL != nil {
+		// Pre-v7 subscribers have no view layer; they skip the event and
+		// stay consistent for everything page-shaped.
+		if st.ver < wire.ViewProtocolVersion {
+			return nil
+		}
+		e := &wire.Enc{}
+		wire.EncodeViewDDL(e, *ev.viewDDL)
+		return p.writeFrame(st, bw, wire.RespReplViewDDL, e.B)
+	}
 	if ev.commit == nil {
 		e := &wire.Enc{}
 		wire.EncodeReplAnnots(e, []wire.ReplAnnot{ev.annot})
@@ -537,6 +573,35 @@ func (p *Primary) sendBootstrap(st *stream, bw *bufio.Writer, ver int) (startSeq
 		wire.EncodeReplAnnots(e, anns[i:j])
 		if err := p.writeFrame(st, bw, wire.RespReplBoot, e.B); err != nil {
 			return 0, err
+		}
+	}
+
+	// Retro-view definitions (v7+ subscribers), shipped as create-form
+	// DDL events. Like annotations, definitions committed since the cut
+	// also arrive as stream events; the replica's apply is idempotent.
+	if ver >= wire.ViewProtocolVersion {
+		defs, err := eng.ListViews()
+		if err != nil {
+			return 0, err
+		}
+		if len(defs) > 0 {
+			views := make([]wire.ViewDDL, len(defs))
+			for i, def := range defs {
+				views[i] = wire.ViewDDL{
+					Create:    true,
+					Name:      def.Name,
+					Mechanism: def.Mechanism,
+					Qq:        def.Qq,
+					Extra:     def.Extra,
+					HasExtra:  def.HasExtra,
+				}
+			}
+			e := &wire.Enc{}
+			e.Byte(wire.BootViews)
+			wire.EncodeBootViews(e, views)
+			if err := p.writeFrame(st, bw, wire.RespReplBoot, e.B); err != nil {
+				return 0, err
+			}
 		}
 	}
 

@@ -567,3 +567,113 @@ func TestReplicaBootstrapWithSealedSegments(t *testing.T) {
 		}
 	}
 }
+
+// waitView polls until the view exists on db with its refresh cursor at
+// or past snap, failing fast on a wedged view.
+func waitView(t *testing.T, db *rql.DB, name string, snap uint64) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, v := range db.Views() {
+			if v.Name != name {
+				continue
+			}
+			if v.LastError != "" {
+				t.Fatalf("view %s: %s", name, v.LastError)
+			}
+			if v.LastSnap >= snap {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("view %s never reached snapshot %d: %+v", name, snap, db.Views())
+}
+
+// TestReplicatedRetroViews covers the view leg of the protocol: a view
+// created before the replica connects ships in the bootstrap, one
+// created after ships as a logical DDL event, both are maintained
+// replica-side from shipped deltas to the same rows as the primary,
+// drops propagate, and a replica restart resumes view maintenance from
+// the persisted cursor without re-bootstrapping.
+func TestReplicatedRetroViews(t *testing.T) {
+	pdb, _, addr := startPrimary(t)
+	pc := pdb.Conn()
+	mustExec(t, pc, `CREATE TABLE m (k INTEGER, grp TEXT, v INTEGER)`)
+	if err := pc.EnsureSnapIds(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, pc, `CREATE RETRO VIEW boot AS CollateData('SELECT k, grp, current_snapshot() AS sid FROM m')`)
+	rng := rand.New(rand.NewSource(11))
+	present := map[int]bool{}
+	last := history(t, pc, rng, present, 8)
+
+	rdb, r := startReplica(t, addr, "viewer", nil)
+	rc := rdb.Conn()
+	waitHorizon(t, r, last)
+	// The pre-existing view arrived in the bootstrap and the replica
+	// backfilled it locally from the shipped history.
+	waitView(t, pdb, "boot", last)
+	waitView(t, rdb, "boot", last)
+	q := `SELECT k, grp, sid FROM boot`
+	if want, got := sortedRows(t, pc, q), sortedRows(t, rc, q); strings.Join(want, ";") != strings.Join(got, ";") {
+		t.Fatalf("bootstrapped view differs:\nprimary: %v\nreplica: %v", want, got)
+	}
+
+	// DDL while the stream is live ships as a logical event, in order
+	// with the surrounding snapshot groups.
+	mustExec(t, pc, `CREATE RETRO VIEW live AS AggregateDataInTable('SELECT grp, COUNT(*) AS c, AVG(v) AS av FROM m GROUP BY grp', '(c,max):(av,avg)')`)
+	last = history(t, pc, rng, present, 8)
+	waitHorizon(t, r, last)
+	for _, name := range []string{"boot", "live"} {
+		waitView(t, pdb, name, last)
+		waitView(t, rdb, name, last)
+	}
+	for _, q := range []string{
+		`SELECT k, grp, sid FROM boot`,
+		`SELECT grp, c, round(av, 6) FROM live`,
+	} {
+		if want, got := sortedRows(t, pc, q), sortedRows(t, rc, q); strings.Join(want, ";") != strings.Join(got, ";") {
+			t.Fatalf("%s differs:\nprimary: %v\nreplica: %v", q, want, got)
+		}
+	}
+
+	// Drops propagate: the view and its result table disappear on the
+	// replica too.
+	mustExec(t, pc, `DROP RETRO VIEW live`)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		gone := true
+		for _, v := range rdb.Views() {
+			if v.Name == "live" {
+				gone = false
+			}
+		}
+		if gone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dropped view still present on replica: %+v", rdb.Views())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := rc.Query(`SELECT * FROM live`); err == nil {
+		t.Fatal("dropped view's result table still queryable on replica")
+	}
+
+	// Restart the replica over the same database: the stream resumes
+	// from the applied horizon (no re-bootstrap) and view maintenance
+	// resumes from the persisted cursor — no duplicates, no gaps.
+	r.Close()
+	last = history(t, pc, rng, present, 6)
+	_, r2 := startReplica(t, addr, "viewer", rdb)
+	waitHorizon(t, r2, last)
+	if st := r2.Stats(); st.Bootstraps != 0 {
+		t.Fatalf("restarted replica bootstrapped %d times, want 0 (resume)", st.Bootstraps)
+	}
+	waitView(t, pdb, "boot", last)
+	waitView(t, rdb, "boot", last)
+	if want, got := sortedRows(t, pc, q), sortedRows(t, rc, q); strings.Join(want, ";") != strings.Join(got, ";") {
+		t.Fatalf("view after replica restart differs:\nprimary: %v\nreplica: %v", want, got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -355,6 +356,15 @@ func (r *Replica) stream() error {
 					return err
 				}
 			}
+		case wire.RespReplViewDDL:
+			d := &wire.Dec{B: payload}
+			ddl := wire.DecodeViewDDL(d)
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if err := r.applyViewDDL(ddl); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("repl: unexpected frame 0x%02x on replication stream", op)
 		}
@@ -442,6 +452,9 @@ func (r *Replica) applyGroup(bw *bufio.Writer, nc net.Conn) error {
 	r.booted = true
 	r.mu.Unlock()
 	r.cond.Broadcast()
+	// Local retro views extend from the applied snapshot, exactly as the
+	// primary's do from its commit path.
+	r.db.AnnounceSnapshot(uint64(last.SnapID))
 	sp.SetInt("snapshot", int64(last.SnapID)).
 		SetInt("commits", int64(len(group))).
 		SetInt("lsn", int64(last.LSN))
@@ -481,6 +494,36 @@ func (r *Replica) applyAnnot(a wire.ReplAnnot) error {
 		record.Int(int64(a.Snap)), record.Text(a.TS), record.Text(a.Label))
 }
 
+// applyViewDDL replays one retro-view DDL statement, idempotently: the
+// definition may already exist from a bootstrap or a resumed stream, so
+// creates drop first. The DDL targets the side store, which stays
+// locally writable on replicas — the view's maintenance then runs
+// locally from the shipped snapshot deltas.
+func (r *Replica) applyViewDDL(ddl wire.ViewDDL) error {
+	r.annConn.mu.Lock()
+	defer r.annConn.mu.Unlock()
+	conn := r.annConn.conn
+	drop := fmt.Sprintf(`DROP RETRO VIEW IF EXISTS %s`, ddl.Name)
+	if err := conn.Exec(drop, nil); err != nil {
+		return err
+	}
+	if !ddl.Create {
+		return nil
+	}
+	stmt := fmt.Sprintf(`CREATE RETRO VIEW %s AS %s(%s`,
+		ddl.Name, ddl.Mechanism, sqlString(ddl.Qq))
+	if ddl.HasExtra {
+		stmt += ", " + sqlString(ddl.Extra)
+	}
+	stmt += ")"
+	return conn.Exec(stmt, nil)
+}
+
+// sqlString renders s as a SQL string literal (” escaping).
+func sqlString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
 // bootCollector accumulates bootstrap chunks until BootDone.
 type bootCollector struct {
 	meta    wire.ReplBootMeta
@@ -491,6 +534,7 @@ type bootCollector struct {
 	plPages []*storage.PageData
 	entries []retro.BootstrapEntry
 	annots  []wire.ReplAnnot
+	views   []wire.ViewDDL // create-form view definitions (v7 primaries)
 }
 
 // add consumes one chunk; done reports BootDone.
@@ -542,6 +586,8 @@ func (b *bootCollector) add(kind byte, d *wire.Dec) (done bool, err error) {
 		}
 	case wire.BootAnnots:
 		b.annots = append(b.annots, wire.DecodeReplAnnots(d)...)
+	case wire.BootViews:
+		b.views = append(b.views, wire.DecodeBootViews(d)...)
 	case wire.BootDone:
 		return true, nil
 	default:
@@ -587,6 +633,11 @@ func (r *Replica) applyBootstrap(b *bootCollector) error {
 			return err
 		}
 	}
+	for _, v := range b.views {
+		if err := r.applyViewDDL(v); err != nil {
+			return err
+		}
+	}
 	r.bootstraps.Add(1)
 	r.mu.Lock()
 	r.horizon = b.meta.LastSnap
@@ -594,6 +645,9 @@ func (r *Replica) applyBootstrap(b *bootCollector) error {
 	r.booted = true
 	r.mu.Unlock()
 	r.cond.Broadcast()
+	// Wake the local view maintenance layer: the bootstrapped history is
+	// new material for any views the DDL above (re)created.
+	r.db.AnnounceSnapshot(b.meta.LastSnap)
 	sp.SetInt("pages", int64(len(b.pages))).
 		SetInt("pagelog_pages", b.meta.PagelogPages).
 		SetInt("last_snap", int64(b.meta.LastSnap))

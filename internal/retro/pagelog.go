@@ -291,14 +291,18 @@ func (pl *pagelog) beginStage() {
 }
 
 // flushStaged writes every staged page with one backing WriteAt (one
-// copy per page for the memory backing) and leaves staging mode.
-func (pl *pagelog) flushStaged() error {
+// copy per page for the memory backing) and leaves staging mode. It
+// reports how many pages the flush appended to the hot tail — zero
+// means the group touched only already-archived ranges, so its device
+// flush can be skipped (see System.GroupDurable).
+func (pl *pagelog) flushStaged() (int, error) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.staging = false
 	if len(pl.staged) == 0 {
-		return nil
+		return 0, nil
 	}
+	n := len(pl.staged)
 	if pl.file != nil {
 		buf := make([]byte, len(pl.staged)*storage.PageSize)
 		for i, d := range pl.staged {
@@ -306,7 +310,7 @@ func (pl *pagelog) flushStaged() error {
 		}
 		if _, err := pl.file.WriteAt(buf, (pl.n-pl.tailBase)*storage.PageSize); err != nil {
 			pl.staged = pl.staged[:0]
-			return fmt.Errorf("retro: pagelog group write: %w", err)
+			return 0, fmt.Errorf("retro: pagelog group write: %w", err)
 		}
 	} else {
 		for _, d := range pl.staged {
@@ -317,7 +321,7 @@ func (pl *pagelog) flushStaged() error {
 	}
 	pl.n += int64(len(pl.staged))
 	pl.staged = pl.staged[:0]
-	return nil
+	return n, nil
 }
 
 // size returns the log length in pages, staged appends included.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rql/internal/obs"
@@ -107,6 +108,17 @@ type System struct {
 	// calls Committing, so the flag needs no extra synchronization.
 	staging     bool
 	groupDeltas []CommitDelta
+
+	// unflushedTail counts hot-tail pages appended by group flushes
+	// whose fsync-equivalent device round-trip has not happened yet.
+	// GroupDurable runs after the store mutex is released — the next
+	// group can be staging concurrently — so the count is atomic: each
+	// EndGroup adds its appended-page count, each GroupDurable swaps the
+	// total to zero. A zero swap means every page this group archived
+	// was deduplicated into already-flushed ranges (captured since the
+	// last declaration), so the hot tail's backing is byte-identical to
+	// its last flushed state and the device flush is skipped.
+	unflushedTail atomic.Int64
 
 	stats Stats
 }
@@ -265,13 +277,15 @@ func (s *System) BeginGroup() {
 // write, delivers the group's commit deltas to the observer as one
 // batch, and releases the system mutex taken by BeginGroup.
 func (s *System) EndGroup() {
-	if err := s.pl.flushStaged(); err != nil {
+	appended, err := s.pl.flushStaged()
+	if err != nil {
 		// The group's page versions are already installed in the
 		// store; with the archive write lost the snapshot log has
 		// diverged, so fail the system rather than serve wrong
 		// pre-states later.
 		s.closed = true
 	}
+	s.unflushedTail.Add(int64(appended))
 	s.staging = false
 	if s.observer != nil && len(s.groupDeltas) > 0 {
 		s.observer(s.groupDeltas)
@@ -286,7 +300,20 @@ func (s *System) EndGroup() {
 // regardless of how many commits the group carried. Called after the
 // store mutex is released, so the next group stages while this one
 // flushes.
+//
+// Archived-only groups skip the flush: when the group (and any group
+// completed since the previous flush) appended nothing to the Pagelog's
+// hot tail — every page it touched was already captured since the last
+// snapshot declaration, i.e. its pre-states live in already-durable
+// archived ranges — the tail backing is unchanged since its last flush,
+// so an fsync of it would make nothing new durable. Crash-recovery
+// invariants hold because a skipped flush implies byte-identical tail
+// content to the last flushed state. Counted as GroupFlushesSkipped.
 func (s *System) GroupDurable(commits int) {
+	if s.unflushedTail.Swap(0) == 0 {
+		s.stats.GroupFlushesSkipped.Add(1)
+		return
+	}
 	s.stats.DeviceFlushes.Add(1)
 	if s.sleepOnRd && s.simLatency > 0 {
 		time.Sleep(s.simLatency)
@@ -302,6 +329,41 @@ func (s *System) LastSnapshot() SnapshotID {
 
 // PagelogPages returns the number of page pre-states archived.
 func (s *System) PagelogPages() int64 { return s.pl.size() }
+
+// OldestSnapshot returns the oldest snapshot id still openable, i.e.
+// not dropped by retention (0 when no snapshot has been declared).
+func (s *System) OldestSnapshot() SnapshotID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ml.lastSnap() == 0 {
+		return 0
+	}
+	return s.ml.minSnap
+}
+
+// DirtyBetween returns the set of distinct pages whose pre-state was
+// captured after snapshot a was declared and up to snapshot b's
+// declaration — exactly the pages that can differ between the two
+// snapshots' images. Maplog entries are appended with nondecreasing
+// snapshot tags and segStart[s] indexes the first entry tagged >= s, so
+// the answer is one contiguous scan of entries[segStart[a]:segStart[b]]
+// with no extra commit-path bookkeeping; replicas reproduce the same
+// entries via ApplyCommitDelta, so it works identically there. ok is
+// false when either end is outside the retained Maplog range (a below
+// the retention floor, b not yet declared, or a >= b).
+func (s *System) DirtyBetween(a, b SnapshotID) (map[storage.PageID]struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a < 1 || a < s.ml.minSnap || b <= a || b > s.ml.lastSnap() {
+		return nil, false
+	}
+	lo, hi := s.ml.segStart[a], s.ml.segStart[b]
+	dirty := make(map[storage.PageID]struct{})
+	for _, e := range s.ml.entries[lo:hi] {
+		dirty[e.page] = struct{}{}
+	}
+	return dirty, true
+}
 
 // MaplogEntries returns the raw (level 0) Maplog length.
 func (s *System) MaplogEntries() int {

@@ -37,6 +37,14 @@ type Stats struct {
 	// Commits it proves the batching the group-commit bench claims.
 	DeviceFlushes atomic.Uint64
 
+	// GroupFlushesSkipped counts commit groups whose device flush was
+	// elided because the group appended nothing new to the Pagelog's
+	// hot tail — every page it touched was already captured since the
+	// last snapshot declaration, so its pre-states live in already-
+	// durable archived ranges and the tail backing is byte-identical
+	// to its last flushed state.
+	GroupFlushesSkipped atomic.Uint64
+
 	// DeviceBytesRead accumulates the bytes device commands physically
 	// transferred: PageSize per flat/tail page, the compressed block
 	// length per cold block inflated, zero on a block-cache hit. The
@@ -74,12 +82,13 @@ type StatsSnapshot struct {
 	DeltaBuilds uint64
 	DeltaPages  uint64
 
-	DeviceReads      uint64
-	OverlappedReads  uint64
-	DeviceBusyNS     uint64
-	DeviceFlushes    uint64
-	DeviceQueueDepth uint64
-	DeviceBytesRead  uint64
+	DeviceReads         uint64
+	OverlappedReads     uint64
+	DeviceBusyNS        uint64
+	DeviceFlushes       uint64
+	GroupFlushesSkipped uint64
+	DeviceQueueDepth    uint64
+	DeviceBytesRead     uint64
 
 	// Tiered Pagelog: compactor counters …
 	SegmentSeals          uint64
@@ -119,6 +128,7 @@ func (s *Stats) Reset() {
 	s.OverlappedReads.Store(0)
 	s.DeviceBusyNS.Store(0)
 	s.DeviceFlushes.Store(0)
+	s.GroupFlushesSkipped.Store(0)
 	s.DeviceBytesRead.Store(0)
 	s.SegmentSeals.Store(0)
 	s.SealedPages.Store(0)
@@ -129,23 +139,24 @@ func (s *Stats) Reset() {
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Snapshots:       s.Snapshots.Load(),
-		PagelogWrites:   s.PagelogWrites.Load(),
-		PagelogReads:    s.PagelogReads.Load(),
-		CacheHits:       s.CacheHits.Load(),
-		SPTBuilds:       s.SPTBuilds.Load(),
-		SPTBatchBuilds:  s.SPTBatchBuilds.Load(),
-		BatchSnapshots:  s.BatchSnapshots.Load(),
-		BatchMapScanned: s.BatchMapScanned.Load(),
-		ClusteredReads:  s.ClusteredReads.Load(),
-		ClusteredPages:  s.ClusteredPages.Load(),
-		DeltaBuilds:     s.DeltaBuilds.Load(),
-		DeltaPages:      s.DeltaPages.Load(),
-		DeviceReads:     s.DeviceReads.Load(),
-		OverlappedReads: s.OverlappedReads.Load(),
-		DeviceBusyNS:    s.DeviceBusyNS.Load(),
-		DeviceFlushes:   s.DeviceFlushes.Load(),
-		DeviceBytesRead: s.DeviceBytesRead.Load(),
+		Snapshots:           s.Snapshots.Load(),
+		PagelogWrites:       s.PagelogWrites.Load(),
+		PagelogReads:        s.PagelogReads.Load(),
+		CacheHits:           s.CacheHits.Load(),
+		SPTBuilds:           s.SPTBuilds.Load(),
+		SPTBatchBuilds:      s.SPTBatchBuilds.Load(),
+		BatchSnapshots:      s.BatchSnapshots.Load(),
+		BatchMapScanned:     s.BatchMapScanned.Load(),
+		ClusteredReads:      s.ClusteredReads.Load(),
+		ClusteredPages:      s.ClusteredPages.Load(),
+		DeltaBuilds:         s.DeltaBuilds.Load(),
+		DeltaPages:          s.DeltaPages.Load(),
+		DeviceReads:         s.DeviceReads.Load(),
+		OverlappedReads:     s.OverlappedReads.Load(),
+		DeviceBusyNS:        s.DeviceBusyNS.Load(),
+		DeviceFlushes:       s.DeviceFlushes.Load(),
+		GroupFlushesSkipped: s.GroupFlushesSkipped.Load(),
+		DeviceBytesRead:     s.DeviceBytesRead.Load(),
 
 		SegmentSeals:          s.SegmentSeals.Load(),
 		SealedPages:           s.SealedPages.Load(),

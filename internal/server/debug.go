@@ -105,6 +105,12 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		{"retro_retention_drops", st.RetentionDrops},
 		{"retro_retention_dropped_pages", st.RetentionDroppedPages},
 		{"retro_seg_block_hits", st.SegBlockHits},
+		{"group_flushes_skipped", st.GroupFlushesSkipped},
+		{"views", st.Views},
+		{"view_refreshes", st.ViewRefreshes},
+		{"view_pruned_refreshes", st.ViewPrunedRefreshes},
+		{"view_rows_pushed", st.ViewRowsPushed},
+		{"view_subscribers", st.ViewSubscribers},
 		{"tracing_enabled", boolMetric(obs.Enabled())},
 		{"slow_threshold_ns", uint64(obs.SlowThreshold())},
 	}
@@ -152,6 +158,16 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "repl_replica_acked_snapshot{%s} %d\n", rep.ID, rep.AckedSnap)
 		fmt.Fprintf(w, "repl_replica_lag_snapshots{%s} %d\n", rep.ID, lag)
 		fmt.Fprintf(w, "repl_replica_sent_bytes{%s} %d\n", rep.ID, rep.SentBytes)
+	}
+
+	// Per-view maintenance counters, one block per materialized view.
+	for _, v := range s.db.Views() {
+		fmt.Fprintf(w, "view_last_snapshot{%s} %d\n", v.Name, v.LastSnap)
+		fmt.Fprintf(w, "view_rows{%s} %d\n", v.Name, uint64(v.Rows))
+		fmt.Fprintf(w, "view_refreshes{%s} %d\n", v.Name, v.Refreshes)
+		fmt.Fprintf(w, "view_pruned_refreshes{%s} %d\n", v.Name, v.PrunedRefreshes)
+		fmt.Fprintf(w, "view_rows_pushed{%s} %d\n", v.Name, v.RowsPushed)
+		fmt.Fprintf(w, "view_subscribers{%s} %d\n", v.Name, uint64(v.Subscribers))
 	}
 }
 

@@ -269,6 +269,13 @@ func (s *Server) Stats() wire.ServerStats {
 	out.RetentionDroppedPages = rs.RetentionDroppedPages
 	out.SegBlockHits = rs.SegBlockHits
 	out.DeviceBytesRead = rs.DeviceBytesRead
+	out.GroupFlushesSkipped = rs.GroupFlushesSkipped
+	vs := s.db.ViewStats()
+	out.Views = vs.Views
+	out.ViewRefreshes = vs.Refreshes
+	out.ViewPrunedRefreshes = vs.PrunedRefreshes
+	out.ViewRowsPushed = vs.RowsPushed
+	out.ViewSubscribers = vs.Subscribers
 	return out
 }
 

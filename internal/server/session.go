@@ -38,8 +38,9 @@ type session struct {
 	cancel context.CancelFunc
 
 	mu            sync.Mutex
-	busy          bool // a request is executing
-	closeWhenIdle bool // drain: exit after the in-flight request
+	busy          bool         // a request is executing
+	closeWhenIdle bool         // drain: exit after the in-flight request
+	viewSub       *rql.ViewSub // active view subscription, if streaming
 }
 
 func newSession(s *Server, nc net.Conn) *session {
@@ -64,6 +65,9 @@ func (ss *session) beginShutdown() {
 	ss.closeWhenIdle = true
 	busy := ss.busy
 	ss.mu.Unlock()
+	// A view-subscription session is "busy" indefinitely; cancelling the
+	// subscription closes its channel, so the stream loop exits.
+	ss.cancelViewSub()
 	if !busy {
 		ss.nc.Close()
 	}
@@ -74,6 +78,7 @@ func (ss *session) beginShutdown() {
 // writer lock or the commit queue.
 func (ss *session) forceClose() {
 	ss.cancel()
+	ss.cancelViewSub()
 	ss.nc.Close()
 }
 
@@ -216,6 +221,10 @@ func (ss *session) dispatch(op byte, payload []byte) error {
 		return ss.handleReplStats()
 	case wire.ReqReplSub:
 		return ss.handleReplSub(payload)
+	case wire.ReqViews:
+		return ss.handleViews()
+	case wire.ReqViewSub:
+		return ss.handleViewSub(payload)
 	default:
 		// Unknown opcode: the stream cannot be trusted any further.
 		ss.writeError(fmt.Errorf("server: unknown opcode %#x", op))
@@ -424,6 +433,10 @@ func opName(op byte) string {
 		return "repl_stats"
 	case wire.ReqReplSub:
 		return "repl_subscribe"
+	case wire.ReqViews:
+		return "views"
+	case wire.ReqViewSub:
+		return "view_subscribe"
 	default:
 		return "unknown"
 	}

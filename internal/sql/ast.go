@@ -118,16 +118,41 @@ type CommitStmt struct{ WithSnapshot bool }
 // RollbackStmt is ROLLBACK.
 type RollbackStmt struct{}
 
-func (*SelectStmt) stmt()      {}
-func (*InsertStmt) stmt()      {}
-func (*UpdateStmt) stmt()      {}
-func (*DeleteStmt) stmt()      {}
-func (*CreateTableStmt) stmt() {}
-func (*CreateIndexStmt) stmt() {}
-func (*DropStmt) stmt()        {}
-func (*BeginStmt) stmt()       {}
-func (*CommitStmt) stmt()      {}
-func (*RollbackStmt) stmt()    {}
+// CreateRetroViewStmt is CREATE RETRO VIEW v AS Mechanism('qq'[,'extra']):
+// a materialized, incrementally-maintained retrospective view whose
+// definition (mechanism + query arguments) persists in the side store's
+// catalog.
+type CreateRetroViewStmt struct {
+	Name      string
+	Mechanism string // CollateData / AggregateDataInVariable / ...
+	Qq        string // the retrospective query argument
+	Extra     string // second string argument (pairs / column), if any
+	HasExtra  bool
+}
+
+// DropRetroViewStmt is DROP RETRO VIEW [IF EXISTS] v.
+type DropRetroViewStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// RefreshRetroViewStmt is REFRESH RETRO VIEW v: synchronously catch the
+// view up to the latest declared snapshot.
+type RefreshRetroViewStmt struct{ Name string }
+
+func (*SelectStmt) stmt()           {}
+func (*InsertStmt) stmt()           {}
+func (*UpdateStmt) stmt()           {}
+func (*DeleteStmt) stmt()           {}
+func (*CreateTableStmt) stmt()      {}
+func (*CreateIndexStmt) stmt()      {}
+func (*DropStmt) stmt()             {}
+func (*BeginStmt) stmt()            {}
+func (*CommitStmt) stmt()           {}
+func (*RollbackStmt) stmt()         {}
+func (*CreateRetroViewStmt) stmt()  {}
+func (*DropRetroViewStmt) stmt()    {}
+func (*RefreshRetroViewStmt) stmt() {}
 
 // ---------------------------------------------------------------------------
 // Expressions

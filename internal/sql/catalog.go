@@ -64,18 +64,37 @@ type Index struct {
 	Temp   bool
 }
 
+// RetroViewDef is the immutable definition of a materialized retro
+// view as stored in the side store's catalog: which mechanism to run
+// and its string arguments. Mutable refresh state (cursor, cached
+// read-set, accumulators) lives in the rql_view_state side table, not
+// the catalog.
+type RetroViewDef struct {
+	Name      string
+	Mechanism string
+	Qq        string
+	Extra     string
+	HasExtra  bool
+}
+
 // schema is one store's catalog contents.
 type schema struct {
 	tables  map[string]*Table // lower-cased name
 	indexes map[string]*Index
+	views   map[string]*RetroViewDef
 }
 
 func newSchema() *schema {
-	return &schema{tables: make(map[string]*Table), indexes: make(map[string]*Index)}
+	return &schema{
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+		views:   make(map[string]*RetroViewDef),
+	}
 }
 
-func (s *schema) table(name string) *Table { return s.tables[strings.ToLower(name)] }
-func (s *schema) index(name string) *Index { return s.indexes[strings.ToLower(name)] }
+func (s *schema) table(name string) *Table       { return s.tables[strings.ToLower(name)] }
+func (s *schema) index(name string) *Index       { return s.indexes[strings.ToLower(name)] }
+func (s *schema) view(name string) *RetroViewDef { return s.views[strings.ToLower(name)] }
 
 // tableIndexes returns the indexes on a table, in name order.
 func (s *schema) tableIndexes(table string) []*Index {
@@ -192,6 +211,18 @@ func loadSchema(p storage.Pager, temp bool) (*schema, error) {
 				Temp:   temp,
 			}
 			s.indexes[strings.ToLower(ix.Name)] = ix
+		case "view":
+			if len(row) < 6 {
+				return nil, fmt.Errorf("sql: corrupt view catalog row")
+			}
+			v := &RetroViewDef{
+				Name:      row[1].Text(),
+				Mechanism: row[2].Text(),
+				HasExtra:  row[3].Int() != 0,
+				Qq:        row[4].Text(),
+				Extra:     row[5].Text(),
+			}
+			s.views[strings.ToLower(v.Name)] = v
 		default:
 			return nil, fmt.Errorf("sql: unknown catalog object kind %q", kind)
 		}
@@ -228,6 +259,26 @@ func putIndex(p storage.Pager, ix *Index) error {
 		record.Int(unique),
 	})
 	return tr.Insert(catalogKey("index", ix.Name), val)
+}
+
+// putView writes a retro view's catalog entry. The third field carries
+// HasExtra (views have no root page; their result rows live in an
+// ordinary side-store table created at first materialization).
+func putView(p storage.Pager, v *RetroViewDef) error {
+	tr := btree.Open(p, catalogRoot)
+	hasExtra := int64(0)
+	if v.HasExtra {
+		hasExtra = 1
+	}
+	val := record.EncodeRow(nil, []record.Value{
+		record.Text("view"),
+		record.Text(v.Name),
+		record.Text(v.Mechanism),
+		record.Int(hasExtra),
+		record.Text(v.Qq),
+		record.Text(v.Extra),
+	})
+	return tr.Insert(catalogKey("view", v.Name), val)
 }
 
 // deleteCatalogEntry removes an object's catalog entry.

@@ -52,6 +52,10 @@ func (c *Conn) targetStore(stmt Statement) (toSide bool, err error) {
 		name = s.Table
 	case *DropStmt:
 		name = s.Name
+	case *CreateRetroViewStmt:
+		return true, nil // view definitions live in the side store
+	case *DropRetroViewStmt:
+		return true, nil
 	default:
 		return false, fmt.Errorf("sql: unsupported write statement %T", stmt)
 	}
@@ -197,6 +201,10 @@ func (c *Conn) execWriteOnce(stmt Statement, params []record.Value, stats *ExecS
 		err = w.execCreateIndex(s)
 	case *DropStmt:
 		err = w.execDrop(s)
+	case *CreateRetroViewStmt:
+		err = w.execCreateRetroView(s)
+	case *DropRetroViewStmt:
+		err = w.execDropRetroView(s)
 	default:
 		err = fmt.Errorf("sql: unsupported write statement %T", stmt)
 	}

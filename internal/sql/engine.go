@@ -45,6 +45,13 @@ type DB struct {
 	// page-level deltas do not cover.
 	annotHook func(snapID uint64, ts, label string)
 
+	// Retro-view hooks (view.go): the maintenance layer, the logical
+	// DDL shipping hook for replication, and the post-commit snapshot
+	// announcement that triggers incremental refreshes.
+	viewHook    RetroViewHook
+	viewDDLHook func(create bool, def RetroViewDef)
+	snapHook    func(snapID uint64)
+
 	// Current-state schema caches, valid while the store LSN matches.
 	mainSchemaLSN uint64
 	mainSchema    *schema
@@ -289,6 +296,12 @@ func stmtName(stmt Statement) string {
 		return "create_index"
 	case *DropStmt:
 		return "drop"
+	case *CreateRetroViewStmt:
+		return "create_retro_view"
+	case *DropRetroViewStmt:
+		return "drop_retro_view"
+	case *RefreshRetroViewStmt:
+		return "refresh_retro_view"
 	default:
 		return "stmt"
 	}
@@ -507,6 +520,10 @@ func (c *Conn) CommitWithSnapshot() (uint64, error) {
 		return 0, err
 	}
 	c.lastSnapshot = id
+	// Announce after the commit returned: commit groups drain in LSN
+	// order, so every page of this snapshot (and of all earlier ones)
+	// is installed and readable by now.
+	c.db.notifySnapshot(id)
 	return id, nil
 }
 
@@ -694,6 +711,41 @@ func (c *Conn) execStmt(stmt Statement, set *ReaderSet, asOf retro.SnapshotID, c
 		}
 	case *RollbackStmt:
 		err = c.Rollback()
+	case *CreateRetroViewStmt:
+		if asOf != 0 {
+			return ErrReadOnly
+		}
+		if err = c.execWrite(s, params, &stats); err == nil {
+			def := RetroViewDef{Name: s.Name, Mechanism: s.Mechanism, Qq: s.Qq, Extra: s.Extra, HasExtra: s.HasExtra}
+			if h := c.db.retroViewHook(); h != nil {
+				h.ViewCreated(def)
+			}
+			c.db.notifyViewDDL(true, def)
+		}
+	case *DropRetroViewStmt:
+		if asOf != 0 {
+			return ErrReadOnly
+		}
+		existed := false
+		if _, gerr := c.db.GetView(s.Name); gerr == nil {
+			existed = true
+		}
+		if err = c.execWrite(s, params, &stats); err == nil && existed {
+			if h := c.db.retroViewHook(); h != nil {
+				h.ViewDropped(s.Name)
+			}
+			c.db.notifyViewDDL(false, RetroViewDef{Name: s.Name})
+		}
+	case *RefreshRetroViewStmt:
+		if asOf != 0 {
+			return ErrReadOnly
+		}
+		h := c.db.retroViewHook()
+		if h == nil {
+			err = errors.New("sql: retro views are not supported on this database")
+		} else {
+			err = h.ViewRefresh(s.Name)
+		}
 	default:
 		if asOf != 0 {
 			return ErrReadOnly

@@ -153,6 +153,19 @@ func (p *parser) statement() (Statement, error) {
 	case "ROLLBACK":
 		p.next()
 		return &RollbackStmt{}, nil
+	case "REFRESH":
+		p.next()
+		if err := p.expectKw("RETRO"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("VIEW"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &RefreshRetroViewStmt{Name: name}, nil
 	}
 	return nil, p.errf("unsupported statement %s", t.text)
 }
@@ -559,8 +572,51 @@ func (p *parser) createStmt() (Statement, error) {
 			return nil, p.errf("TEMP indexes are not supported")
 		}
 		return p.createIndex(unique)
+	case p.acceptKw("RETRO"):
+		if temp || unique {
+			return nil, p.errf("TEMP/UNIQUE do not apply to retro views")
+		}
+		return p.createRetroView()
 	}
-	return nil, p.errf("expected TABLE or INDEX")
+	return nil, p.errf("expected TABLE, INDEX or RETRO VIEW")
+}
+
+// createRetroView parses the tail of
+// CREATE RETRO VIEW name AS Mechanism('qq'[, 'extra']).
+func (p *parser) createRetroView() (Statement, error) {
+	if err := p.expectKw("VIEW"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("AS"); err != nil {
+		return nil, err
+	}
+	mech, err := p.ident()
+	if err != nil {
+		return nil, p.errf("expected mechanism name")
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	s := &CreateRetroViewStmt{Name: name, Mechanism: mech}
+	if p.peek().kind != tkString {
+		return nil, p.errf("expected string literal (the retrospective query)")
+	}
+	s.Qq = p.next().text
+	if p.acceptSym(",") {
+		if p.peek().kind != tkString {
+			return nil, p.errf("expected string literal")
+		}
+		s.Extra = p.next().text
+		s.HasExtra = true
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (p *parser) ifNotExists() (bool, error) {
@@ -700,13 +756,18 @@ func (p *parser) createIndex(unique bool) (Statement, error) {
 
 func (p *parser) dropStmt() (Statement, error) {
 	p.next() // DROP
-	var index bool
+	var index, view bool
 	switch {
 	case p.acceptKw("TABLE"):
 	case p.acceptKw("INDEX"):
 		index = true
+	case p.acceptKw("RETRO"):
+		if err := p.expectKw("VIEW"); err != nil {
+			return nil, err
+		}
+		view = true
 	default:
-		return nil, p.errf("expected TABLE or INDEX")
+		return nil, p.errf("expected TABLE, INDEX or RETRO VIEW")
 	}
 	ife := false
 	if p.acceptKw("IF") {
@@ -718,6 +779,9 @@ func (p *parser) dropStmt() (Statement, error) {
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
+	}
+	if view {
+		return &DropRetroViewStmt{Name: name, IfExists: ife}, nil
 	}
 	return &DropStmt{Index: index, Name: name, IfExists: ife}, nil
 }

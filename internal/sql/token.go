@@ -49,7 +49,7 @@ var keywords = map[string]bool{
 	"TEMPORARY": true, "PRIMARY": true, "KEY": true, "BEGIN": true,
 	"COMMIT": true, "ROLLBACK": true, "TRANSACTION": true, "WITH": true,
 	"SNAPSHOT": true, "TRUE": true, "FALSE": true, "DEFAULT": true,
-	"EXPLAIN": true,
+	"EXPLAIN": true, "RETRO": true, "VIEW": true, "REFRESH": true,
 }
 
 // lexer splits SQL text into tokens.

@@ -24,7 +24,51 @@ const (
 	BootDone    byte = iota // bootstrap complete
 	BootResume  byte = iota // no bootstrap; stream resumes past last applied
 	BootSegment byte = iota // one sealed Pagelog segment blob, verbatim (v6)
+	BootViews   byte = iota // batch of retro-view definitions (v7)
 )
+
+// EncodeBootViews appends a BootViews chunk body: the primary's current
+// retro-view definitions, shipped as create-form ViewDDL events so a
+// bootstrapping replica installs them before the delta stream starts.
+func EncodeBootViews(e *Enc, views []ViewDDL) {
+	e.Uvarint(uint64(len(views)))
+	for _, v := range views {
+		EncodeViewDDL(e, v)
+	}
+}
+
+// DecodeBootViews reads a BootViews chunk body.
+func DecodeBootViews(d *Dec) []ViewDDL {
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		d.fail()
+		return nil
+	}
+	out := make([]ViewDDL, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		out = append(out, DecodeViewDDL(d))
+	}
+	return out
+}
+
+// ViewSubscribe is the ReqViewSub body. The server replies with the
+// view's column header as a first RespViewBatch (possibly empty), then
+// pushes one RespViewBatch per materialized refresh until the client
+// closes the connection; like the replication stream, a subscription
+// takes the connection over.
+type ViewSubscribe struct {
+	View string
+}
+
+// EncodeViewSubscribe appends a ViewSubscribe body.
+func EncodeViewSubscribe(e *Enc, s ViewSubscribe) {
+	e.String(s.View)
+}
+
+// DecodeViewSubscribe reads a ViewSubscribe body.
+func DecodeViewSubscribe(d *Dec) ViewSubscribe {
+	return ViewSubscribe{View: d.String()}
+}
 
 // Replication roles reported by HorizonInfo / ReplStats.
 const (

@@ -38,12 +38,19 @@ import (
 // histogram, conflicts, queue wait, device flushes) to ServerStats;
 // v6 added the tiered-Pagelog counters (segment tiers, footprint,
 // compactor and retention activity, device bytes) to ServerStats and
-// the BootSegment bootstrap chunk that ships sealed segments verbatim.
-const ProtocolVersion = 6
+// the BootSegment bootstrap chunk that ships sealed segments verbatim;
+// v7 added materialized retro views (VIEWS listing, SUBSCRIBE streams,
+// the replicated view-DDL event and BootViews bootstrap chunk) and the
+// view + fsync-skip counters in ServerStats.
+const ProtocolVersion = 7
 
 // ReplProtocolVersion is the lowest negotiated version that carries the
 // replication and horizon frames.
 const ReplProtocolVersion = 4
+
+// ViewProtocolVersion is the lowest negotiated version that carries the
+// retro-view frames (VIEWS, SUBSCRIBE, replicated view DDL).
+const ViewProtocolVersion = 7
 
 // Magic opens the client hello.
 const Magic = "RQL1"
@@ -71,6 +78,10 @@ const (
 	ReqReplSub   byte = 0x0E // replica id, last applied snapshot — open stream
 	ReqReplStats byte = 0x0F // — replication stats (role-dependent)
 	ReqReplAck   byte = 0x10 // applied snapshot, LSN, bytes — sent on the stream
+
+	// v7 retro-view requests.
+	ReqViews   byte = 0x11 // — list materialized retro views
+	ReqViewSub byte = 0x12 // view name, last seen snapshot — open subscription
 )
 
 // ReqTrace command bytes.
@@ -102,6 +113,11 @@ const (
 	RespReplDelta byte = 0x90 // one replicated commit (possibly chunked)
 	RespReplAnnot byte = 0x91 // one SnapIds annotation event
 	RespReplStats byte = 0x92 // ReplStats
+
+	// v7 retro-view responses.
+	RespViews       byte = 0x93 // ViewInfo list
+	RespViewBatch   byte = 0x94 // one materialized refresh pushed on a subscription
+	RespReplViewDDL byte = 0x95 // one replicated view CREATE/DROP event
 )
 
 // Mechanism kinds carried by ReqMech.
@@ -519,6 +535,150 @@ func DecodeObjects(d *Dec) []ObjectInfo {
 	return out
 }
 
+// ViewInfo mirrors core.ViewInfo on the wire: one materialized retro
+// view's definition plus its maintenance counters.
+type ViewInfo struct {
+	Name            string
+	Mechanism       string
+	Qq              string
+	LastSnap        uint64
+	Rows            uint64
+	Refreshes       uint64
+	PrunedRefreshes uint64
+	RowsPushed      uint64
+	Subscribers     uint64
+	LastError       string
+}
+
+// EncodeViews appends a ViewInfo list body.
+func EncodeViews(e *Enc, views []ViewInfo) {
+	e.Uvarint(uint64(len(views)))
+	for _, v := range views {
+		e.String(v.Name)
+		e.String(v.Mechanism)
+		e.String(v.Qq)
+		e.Uvarint(v.LastSnap)
+		e.Uvarint(v.Rows)
+		e.Uvarint(v.Refreshes)
+		e.Uvarint(v.PrunedRefreshes)
+		e.Uvarint(v.RowsPushed)
+		e.Uvarint(v.Subscribers)
+		e.String(v.LastError)
+	}
+}
+
+// DecodeViews reads a ViewInfo list body.
+func DecodeViews(d *Dec) []ViewInfo {
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return nil
+	}
+	out := make([]ViewInfo, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		out = append(out, ViewInfo{
+			Name:            d.String(),
+			Mechanism:       d.String(),
+			Qq:              d.String(),
+			LastSnap:        d.Uvarint(),
+			Rows:            d.Uvarint(),
+			Refreshes:       d.Uvarint(),
+			PrunedRefreshes: d.Uvarint(),
+			RowsPushed:      d.Uvarint(),
+			Subscribers:     d.Uvarint(),
+			LastError:       d.String(),
+		})
+	}
+	return out
+}
+
+// ViewBatch is one pushed refresh on a view subscription: the rows the
+// view materialized for one new snapshot. Column names ride on every
+// frame (they are stable per view, but the first pushed batch may come
+// from any point of the view's life).
+type ViewBatch struct {
+	View   string
+	Snap   uint64
+	Pruned bool
+	Cols   []string
+	Rows   [][]record.Value
+}
+
+// EncodeViewBatch appends a ViewBatch body.
+func EncodeViewBatch(e *Enc, b ViewBatch) {
+	e.String(b.View)
+	e.Uvarint(b.Snap)
+	e.Bool(b.Pruned)
+	e.Uvarint(uint64(len(b.Cols)))
+	for _, c := range b.Cols {
+		e.String(c)
+	}
+	e.Uvarint(uint64(len(b.Rows)))
+	for _, r := range b.Rows {
+		e.Row(r)
+	}
+}
+
+// DecodeViewBatch reads a ViewBatch body.
+func DecodeViewBatch(d *Dec) ViewBatch {
+	b := ViewBatch{
+		View:   d.String(),
+		Snap:   d.Uvarint(),
+		Pruned: d.Bool(),
+	}
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return b
+	}
+	b.Cols = make([]string, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		b.Cols = append(b.Cols, d.String())
+	}
+	n = d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return b
+	}
+	b.Rows = make([][]record.Value, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		b.Rows = append(b.Rows, d.Row())
+	}
+	return b
+}
+
+// ViewDDL is one replicated retro-view DDL event: a CREATE carrying
+// the full definition, or a DROP carrying only the name. View
+// definitions live in the non-snapshotable side store, which page-level
+// replication deltas do not cover, so the primary ships them logically.
+type ViewDDL struct {
+	Create    bool
+	Name      string
+	Mechanism string
+	Qq        string
+	Extra     string
+	HasExtra  bool
+}
+
+// EncodeViewDDL appends a ViewDDL body.
+func EncodeViewDDL(e *Enc, v ViewDDL) {
+	e.Bool(v.Create)
+	e.String(v.Name)
+	e.String(v.Mechanism)
+	e.String(v.Qq)
+	e.String(v.Extra)
+	e.Bool(v.HasExtra)
+}
+
+// DecodeViewDDL reads a ViewDDL body.
+func DecodeViewDDL(d *Dec) ViewDDL {
+	return ViewDDL{
+		Create:    d.Bool(),
+		Name:      d.String(),
+		Mechanism: d.String(),
+		Qq:        d.String(),
+		Extra:     d.String(),
+		HasExtra:  d.Bool(),
+	}
+}
+
 // NumHistogramBuckets includes the implicit +Inf bucket.
 const NumHistogramBuckets = 7
 
@@ -616,6 +776,19 @@ type ServerStats struct {
 	RetentionDroppedPages uint64
 	SegBlockHits          uint64
 	DeviceBytesRead       uint64
+
+	// Retro-view and fsync-skip counters (v7; zero when the peer
+	// negotiated v6 or lower). GroupFlushesSkipped counts commit groups
+	// whose writes left the Pagelog hot tail untouched (archived-only
+	// ranges), so the group's device flush was skipped. Views is the
+	// point-in-time view count; the others aggregate maintenance work
+	// across all views.
+	GroupFlushesSkipped uint64
+	Views               uint64
+	ViewRefreshes       uint64
+	ViewPrunedRefreshes uint64
+	ViewRowsPushed      uint64
+	ViewSubscribers     uint64
 }
 
 // NumGroupSizeBuckets includes the implicit +Inf bucket. It mirrors
@@ -689,6 +862,14 @@ func EncodeServerStats(e *Enc, s ServerStats, ver int) {
 		e.Uvarint(s.SegBlockHits)
 		e.Uvarint(s.DeviceBytesRead)
 	}
+	if ver >= 7 {
+		e.Uvarint(s.GroupFlushesSkipped)
+		e.Uvarint(s.Views)
+		e.Uvarint(s.ViewRefreshes)
+		e.Uvarint(s.ViewPrunedRefreshes)
+		e.Uvarint(s.ViewRowsPushed)
+		e.Uvarint(s.ViewSubscribers)
+	}
 }
 
 // DecodeServerStats reads a ServerStats body encoded at negotiated
@@ -757,6 +938,14 @@ func DecodeServerStats(d *Dec, ver int) ServerStats {
 		s.RetentionDroppedPages = d.Uvarint()
 		s.SegBlockHits = d.Uvarint()
 		s.DeviceBytesRead = d.Uvarint()
+	}
+	if ver >= 7 {
+		s.GroupFlushesSkipped = d.Uvarint()
+		s.Views = d.Uvarint()
+		s.ViewRefreshes = d.Uvarint()
+		s.ViewPrunedRefreshes = d.Uvarint()
+		s.ViewRowsPushed = d.Uvarint()
+		s.ViewSubscribers = d.Uvarint()
 	}
 	return s
 }

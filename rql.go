@@ -116,6 +116,12 @@ type (
 	// CompactionOptions configures the tiered-Pagelog background
 	// compactor (sealed compressed cold segments behind a hot tail).
 	CompactionOptions = retro.CompactionOptions
+	// ViewInfo is one materialized retro view's status line.
+	ViewInfo = core.ViewInfo
+	// ViewBatch is one view extension delivered to subscribers.
+	ViewBatch = core.ViewBatch
+	// ViewSub is a subscription to a view's extension stream.
+	ViewSub = core.ViewSub
 )
 
 // Options configures Open.
@@ -154,6 +160,7 @@ type Options struct {
 type DB struct {
 	inner *sql.DB
 	rql   *core.RQL
+	views *core.ViewManager
 }
 
 // Open creates a new database.
@@ -171,11 +178,43 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner, rql: core.Attach(inner)}, nil
+	r := core.Attach(inner)
+	views, err := core.NewViewManager(inner, r)
+	if err != nil {
+		_ = inner.Close()
+		return nil, err
+	}
+	inner.SetRetroViewHook(views)
+	inner.SetSnapshotHook(views.AnnounceSnapshot)
+	views.Start()
+	return &DB{inner: inner, rql: r, views: views}, nil
 }
 
 // Close releases the database.
-func (db *DB) Close() error { return db.inner.Close() }
+func (db *DB) Close() error {
+	db.views.Close()
+	return db.inner.Close()
+}
+
+// Views reports every materialized retro view's status in name order.
+func (db *DB) Views() []ViewInfo { return db.views.Infos() }
+
+// ViewStats sums the per-view maintenance counters.
+func (db *DB) ViewStats() core.ViewStats { return db.views.Stats() }
+
+// SubscribeView opens a subscription to a view's extension stream:
+// every snapshot the view materializes is delivered as one ViewBatch.
+// buf is the subscriber's batch buffer; a subscriber that falls more
+// than buf batches behind is disconnected (its channel closes).
+func (db *DB) SubscribeView(view string, buf int) (*ViewSub, error) {
+	return db.views.Subscribe(view, buf)
+}
+
+// AnnounceSnapshot tells the view maintenance engine that snapshot id
+// is installed and readable. The engine hears local COMMIT WITH
+// SNAPSHOT by itself; this entry point exists for replication, which
+// installs snapshots below the SQL layer.
+func (db *DB) AnnounceSnapshot(id uint64) { db.views.AnnounceSnapshot(id) }
 
 // ErrWriteConflict is returned by COMMIT when a concurrent transaction
 // already committed a write to a page this transaction also wrote
