@@ -17,10 +17,13 @@ package client
 
 import (
 	"bufio"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rql"
@@ -62,7 +65,35 @@ type Conn struct {
 	lastTrace    uint64
 	inTx         bool
 	version      int // negotiated protocol version (min of ours and the server's)
+
+	// trace, when non-zero, pins the trace context sent with every
+	// request (SetTraceContext); zero means a fresh trace id is minted
+	// per request. traceSampled only applies to a pinned trace.
+	trace        uint64
+	traceSampled bool
 }
+
+// traceSeq mints client-side trace ids. The high bit is set so a
+// client-minted id can never collide with a server-local span id, which
+// counts up from zero. The counter starts at a random offset so ids
+// from different client processes don't collide on a shared server's
+// span ring (a zero start would make every process mint the same
+// sequence).
+var traceSeq atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		traceSeq.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		traceSeq.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// NewTraceID mints a process-unique trace id suitable for
+// SetTraceContext. Ids have the high bit set so they are disjoint from
+// the server's locally rooted trace ids.
+func NewTraceID() uint64 { return traceSeq.Add(1) | 1<<63 }
 
 // errStreaming rejects requests on a connection consumed by a view
 // subscription.
@@ -153,6 +184,40 @@ func (c *Conn) fail(err error) error {
 	return err
 }
 
+// SetTraceContext pins the distributed trace context sent with every
+// subsequent request on this connection: the server roots its spans in
+// trace instead of minting a local trace id, so legs issued on several
+// connections stitch into one tree. sampled=false tells the server to
+// record no spans for these requests at all. A zero trace restores the
+// default (a fresh NewTraceID per request, sampled). No-op below
+// protocol v8 — older servers never see a trace context either way.
+func (c *Conn) SetTraceContext(trace uint64, sampled bool) {
+	c.mu.Lock()
+	c.trace, c.traceSampled = trace, sampled
+	c.mu.Unlock()
+}
+
+// tracePrefix prepends the v8 trace context to a request payload.
+// Pre-v8 sessions get the payload untouched. Callers hold c.mu.
+func (c *Conn) tracePrefix(payload []byte) []byte {
+	if c.version < wire.TraceContextVersion {
+		return payload
+	}
+	tc := wire.TraceContext{Trace: c.trace, Sampled: c.traceSampled}
+	if tc.Trace == 0 {
+		tc = wire.TraceContext{Trace: NewTraceID(), Sampled: true}
+	}
+	if tc.Sampled {
+		// Remember the context we sent so LastTrace works for every
+		// request kind — mechanism runs answer with RespRun, which has
+		// no trace echo.
+		c.lastTrace = tc.Trace
+	}
+	e := &wire.Enc{}
+	wire.EncodeTraceContext(e, tc)
+	return append(e.B, payload...)
+}
+
 // request sends one frame and hands response frames to handle until it
 // returns done. The connection lock is held for the whole round-trip:
 // one request at a time.
@@ -169,7 +234,7 @@ func (c *Conn) request(op byte, payload []byte, handle func(op byte, payload []b
 		c.nc.SetDeadline(time.Now().Add(c.RequestTimeout))
 		defer c.nc.SetDeadline(time.Time{})
 	}
-	if err := wire.WriteFrame(c.bw, op, payload); err != nil {
+	if err := wire.WriteFrame(c.bw, op, c.tracePrefix(payload)); err != nil {
 		return c.fail(err)
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -412,7 +477,7 @@ func (c *Conn) mech(kind byte, qs, qq, table, extra string) (*rql.RunStats, erro
 		case wire.RespRun:
 			d := &wire.Dec{B: payload}
 			if d.Bool() {
-				r := runFromWire(wire.DecodeRunStats(d))
+				r := runFromWire(wire.DecodeRunStats(d, c.version))
 				run = &r
 			}
 			if d.Err() != nil {
@@ -437,7 +502,7 @@ func (c *Conn) LastRun() (*rql.RunStats, error) {
 		case wire.RespRun:
 			d := &wire.Dec{B: payload}
 			if d.Bool() {
-				r := runFromWire(wire.DecodeRunStats(d))
+				r := runFromWire(wire.DecodeRunStats(d, c.version))
 				run = &r
 			}
 			if d.Err() != nil {
@@ -583,6 +648,41 @@ func (c *Conn) ReplStats() (wire.ReplStats, error) {
 	return out, err
 }
 
+// TimelinePoint is one telemetry sample as reported by the server: the
+// per-second rates and instantaneous gauges of one sampling tick.
+type TimelinePoint = wire.TimelinePoint
+
+// Timeline fetches the server's telemetry timeline: the sampling period
+// and the ring of rate/gauge points, oldest first. A zero period means
+// the timeline is disabled server-side. Needs a v8 server.
+func (c *Conn) Timeline() (time.Duration, []TimelinePoint, error) {
+	if c.version < wire.TraceContextVersion {
+		return 0, nil, fmt.Errorf(
+			"client: TIMELINE requires protocol v%d (server speaks v%d)",
+			wire.TraceContextVersion, c.version)
+	}
+	var (
+		period time.Duration
+		points []TimelinePoint
+	)
+	err := c.request(wire.ReqTimeline, nil, func(op byte, payload []byte) (bool, error) {
+		switch op {
+		case wire.RespTimeline:
+			d := &wire.Dec{B: payload}
+			period, points = wire.DecodeTimeline(d)
+			if d.Err() != nil {
+				return true, c.fail(d.Err())
+			}
+			return true, nil
+		case wire.RespError:
+			return true, wire.DecodeError(payload)
+		default:
+			return true, c.unexpected(op)
+		}
+	})
+	return period, points, err
+}
+
 // Ping round-trips an empty request.
 func (c *Conn) Ping() error {
 	return c.request(wire.ReqPing, nil, func(op byte, payload []byte) (bool, error) {
@@ -664,7 +764,7 @@ func (c *Conn) SlowQueries() (time.Duration, []SlowEntry, error) {
 		switch op {
 		case wire.RespSlow:
 			d := &wire.Dec{B: payload}
-			threshold, entries = wire.DecodeSlowEntries(d)
+			threshold, entries = wire.DecodeSlowEntries(d, c.version)
 			if d.Err() != nil {
 				return true, c.fail(d.Err())
 			}
@@ -728,6 +828,7 @@ func runFromWire(r wire.RunStats) rql.RunStats {
 			ClusteredPages: it.ClusteredPages,
 			PrefetchHits:   it.PrefetchHits,
 			OverlapTime:    it.OverlapTime,
+			QueueWait:      it.QueueWait,
 		}
 	}
 	return out

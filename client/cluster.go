@@ -47,6 +47,16 @@ type Cluster struct {
 	reps    []*member
 	rr      int    // round-robin cursor over reps
 	horizon uint64 // latest snapshot id this client knows about
+
+	// trace is the id pinned across every leg of the in-flight logical
+	// call (0 outside a call); lastTrace remembers the most recent one
+	// so .trace-style tooling can fetch the stitched tree afterwards.
+	trace     uint64
+	lastTrace uint64
+
+	// lastConn is the member that served the most recent statement, so
+	// LastStats reports the statistics of the node that actually ran it.
+	lastConn *Conn
 }
 
 // member is one replica slot. conn is nil while the replica is down;
@@ -112,10 +122,110 @@ func (cl *Cluster) Close() error {
 // Primary returns the primary connection for direct use.
 func (cl *Cluster) Primary() *Conn { return cl.primary }
 
+// LastStats returns the execution statistics of the most recent
+// statement, from whichever member served it.
+func (cl *Cluster) LastStats() rql.ExecStats {
+	if cl.lastConn == nil {
+		return rql.ExecStats{}
+	}
+	return cl.lastConn.LastStats()
+}
+
+// Objects lists tables and indexes; schema is identical cluster-wide,
+// so the primary answers.
+func (cl *Cluster) Objects() ([]rql.ObjectInfo, error) { return cl.primary.Objects() }
+
+// SetTracing toggles the span recorder on every live member, so a
+// routed query's legs are recorded wherever they land. Replicas that
+// are down are skipped (they come back with their own setting); the
+// first error wins but every member is still attempted.
+func (cl *Cluster) SetTracing(on bool) error {
+	err := cl.primary.SetTracing(on)
+	for _, m := range cl.reps {
+		if c := cl.replicaConn(m); c != nil {
+			if e := c.SetTracing(on); e != nil && err == nil {
+				err = e
+			}
+		}
+	}
+	return err
+}
+
 // Horizon returns the latest snapshot id this client has seen declared
 // (via DeclareSnapshot or COMMIT WITH SNAPSHOT through this Cluster).
 // Routed reads wait for a replica to cover it.
 func (cl *Cluster) Horizon() uint64 { return cl.horizon }
+
+// beginTrace mints one trace id for a logical call so every leg it
+// issues — horizon probes, the replica read, a primary fallback — is
+// tagged with the same distributed trace and the per-node server spans
+// stitch into one tree. The returned func restores per-request minting
+// on every member the call may have touched.
+func (cl *Cluster) beginTrace() func() {
+	cl.trace = NewTraceID()
+	cl.lastTrace = cl.trace
+	return func() {
+		cl.trace = 0
+		cl.primary.SetTraceContext(0, false)
+		for _, m := range cl.reps {
+			if m.conn != nil {
+				m.conn.SetTraceContext(0, false)
+			}
+		}
+	}
+}
+
+// pin tags c with the in-flight logical call's trace id.
+func (cl *Cluster) pin(c *Conn) *Conn {
+	if cl.trace != 0 {
+		c.SetTraceContext(cl.trace, true)
+	}
+	return c
+}
+
+// LastTrace returns the trace id minted for the most recent routed
+// logical call (0 if none ran yet). Pass it to TraceSpans to collect
+// the call's spans from every member.
+func (cl *Cluster) LastTrace() uint64 { return cl.lastTrace }
+
+// NodeSpans groups one member's recorded spans for cross-node trace
+// stitching (rendered as one Perfetto file with a lane per node).
+type NodeSpans struct {
+	Node  string
+	Spans []Span
+}
+
+// TraceSpans fetches one trace's spans from every live member (the
+// whole ring for id 0). Members that are down are skipped; an error is
+// returned only when no member contributed any spans.
+func (cl *Cluster) TraceSpans(id uint64) ([]NodeSpans, error) {
+	var (
+		out      []NodeSpans
+		firstErr error
+	)
+	collect := func(node string, c *Conn) {
+		spans, err := c.TraceSpans(id)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if len(spans) > 0 {
+			out = append(out, NodeSpans{Node: node, Spans: spans})
+		}
+	}
+	collect("primary "+cl.cfg.Primary, cl.primary)
+	for _, m := range cl.reps {
+		if c := cl.replicaConn(m); c != nil {
+			collect("replica "+m.addr, c)
+		}
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
 
 // readOnlySQL reports whether every statement in src is a SELECT or an
 // EXPLAIN — safe to serve from a read-only replica. Parse errors and
@@ -140,8 +250,10 @@ func readOnlySQL(src string) bool {
 // primary. Inside an explicit transaction all statements stay on the
 // primary so reads observe the transaction's own writes.
 func (cl *Cluster) Exec(sqlText string, cb rql.RowCallback, params ...rql.Value) error {
+	defer cl.beginTrace()()
 	if cl.primary.InTx() || !readOnlySQL(sqlText) {
-		err := cl.primary.Exec(sqlText, cb, params...)
+		cl.lastConn = cl.primary
+		err := cl.pin(cl.primary).Exec(sqlText, cb, params...)
 		cl.noteSnapshot(cl.primary.LastSnapshot())
 		return err
 	}
@@ -153,8 +265,10 @@ func (cl *Cluster) Exec(sqlText string, cb rql.RowCallback, params ...rql.Value)
 // ExecAsOf routes an AS OF batch to a replica whose horizon covers
 // snap, falling back to the primary.
 func (cl *Cluster) ExecAsOf(sqlText string, snap uint64, cb rql.RowCallback, params ...rql.Value) error {
+	defer cl.beginTrace()()
 	if cl.primary.InTx() || !readOnlySQL(sqlText) {
-		return cl.primary.ExecAsOf(sqlText, snap, cb, params...)
+		cl.lastConn = cl.primary
+		return cl.pin(cl.primary).ExecAsOf(sqlText, snap, cb, params...)
 	}
 	return cl.routedRead(snap, func(c *Conn, rcb rql.RowCallback) error {
 		return c.ExecAsOf(sqlText, snap, rcb, params...)
@@ -275,6 +389,7 @@ func (cl *Cluster) CollateDataIntoIntervals(qs, qq, table string) (*rql.RunStats
 }
 
 func (cl *Cluster) mech(run func(*Conn) (*rql.RunStats, error)) (*rql.RunStats, error) {
+	defer cl.beginTrace()()
 	var stats *rql.RunStats
 	err := cl.read(cl.horizon, func(c *Conn) error {
 		var err error
@@ -307,6 +422,7 @@ func (cl *Cluster) read(snap uint64, fn func(*Conn) error) error {
 			if c == nil {
 				continue
 			}
+			cl.pin(c)
 			tried++
 			if !m.probed || m.horizon < snap {
 				h, err := c.Horizon()
@@ -329,16 +445,19 @@ func (cl *Cluster) read(snap uint64, fn func(*Conn) error) error {
 			if m.horizon < snap {
 				continue // lagging; maybe another replica covers it
 			}
+			cl.lastConn = c
 			if err := fn(c); err == nil || isStatementError(err) {
 				return err
 			}
 			cl.dropReplica(m)
 		}
 		if len(cl.reps) == 0 || time.Now().After(deadline) {
-			return fn(cl.primary)
+			cl.lastConn = cl.primary
+			return fn(cl.pin(cl.primary))
 		}
 		if tried == 0 && !cl.anyDialable() {
-			return fn(cl.primary)
+			cl.lastConn = cl.primary
+			return fn(cl.pin(cl.primary))
 		}
 		time.Sleep(10 * time.Millisecond) // lagging replicas: poll horizons
 	}

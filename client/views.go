@@ -75,7 +75,7 @@ func (c *Conn) SubscribeView(view string) (*ViewStream, error) {
 	}
 	e := &wire.Enc{}
 	wire.EncodeViewSubscribe(e, wire.ViewSubscribe{View: view})
-	if err := wire.WriteFrame(c.bw, wire.ReqViewSub, e.B); err != nil {
+	if err := wire.WriteFrame(c.bw, wire.ReqViewSub, c.tracePrefix(e.B)); err != nil {
 		return nil, c.fail(err)
 	}
 	if err := c.bw.Flush(); err != nil {

@@ -12,6 +12,9 @@
 //	rqlbench -exp fig6 -trace-out=run.json   # record spans for Perfetto
 //	rqlbench -quick -trace-check   # fail if enabled tracing costs > 5%
 //
+//	# capture one stitched cross-node trace from a live cluster
+//	rqlbench -cluster "primary:4048,replica:4049" -trace-out=cluster.json
+//
 // Absolute numbers are not comparable to the paper's testbed (see
 // EXPERIMENTS.md); the shapes are.
 package main
@@ -20,8 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"rql/client"
 	"rql/internal/bench"
 	"rql/internal/obs"
 )
@@ -39,8 +44,21 @@ func main() {
 		compare    = flag.String("compare", "", "diff the two newest runs in the runs file at this path and exit")
 		traceOut   = flag.String("trace-out", "", "record spans during the run and write them as Chrome trace-event JSON to this file")
 		traceCheck = flag.Bool("trace-check", false, "measure enabled-tracing overhead on the smoke workload and fail above the budget")
+		clusterStr = flag.String("cluster", "", "comma-separated rqld addresses (primary,replica,...): run a small retrospective workload against the cluster and write the stitched cross-node trace to -trace-out")
 	)
 	flag.Parse()
+
+	if *clusterStr != "" {
+		if *traceOut == "" {
+			fmt.Fprintln(os.Stderr, "rqlbench: -cluster needs -trace-out for the stitched trace file")
+			os.Exit(2)
+		}
+		if err := clusterTrace(*clusterStr, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "rqlbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *compare != "" {
 		if err := bench.Compare(*compare, os.Stdout); err != nil {
@@ -112,6 +130,119 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\n[%s total]\n", time.Since(start).Round(time.Millisecond))
+}
+
+// clusterTrace runs one small retrospective workload against a live
+// cluster with tracing on — writes on the primary, a mechanism routed
+// through the cluster so every leg shares one logical trace — then
+// fetches that trace's spans from every member and writes them as one
+// stitched Perfetto file with a process lane per node.
+func clusterTrace(spec, path string) error {
+	addrs := strings.Split(spec, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	cl, err := client.OpenCluster(client.ClusterConfig{
+		Primary:  addrs[0],
+		Replicas: addrs[1:],
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	if err := cl.SetTracing(true); err != nil {
+		return err
+	}
+	defer cl.SetTracing(false)
+
+	exec := func(sqlText string) error { return cl.Exec(sqlText, nil) }
+	if err := cl.EnsureSnapIds(); err != nil {
+		return err
+	}
+	for _, q := range []string{
+		`DROP TABLE IF EXISTS rqlbench_trace`,
+		`CREATE TABLE rqlbench_trace (k INTEGER, v INTEGER)`,
+		`INSERT INTO rqlbench_trace VALUES (1, 10), (2, 20), (3, 30), (4, 40)`,
+	} {
+		if err := exec(q); err != nil {
+			return fmt.Errorf("%s: %w", q, err)
+		}
+	}
+	s1, err := cl.DeclareSnapshot("rqlbench-trace-1")
+	if err != nil {
+		return err
+	}
+	if err := exec(`UPDATE rqlbench_trace SET v = v + 1 WHERE k < 3`); err != nil {
+		return err
+	}
+	s2, err := cl.DeclareSnapshot("rqlbench-trace-2")
+	if err != nil {
+		return err
+	}
+
+	// The mechanism leg routes to a replica when one covers the
+	// horizon; the cluster pins the same trace id on every member it
+	// touches, so the spans below stitch into one tree. The result
+	// table lives in the serving node's side store, which a primary-
+	// routed DROP can't reach — a unique name keeps reruns against a
+	// long-lived cluster from colliding with an earlier run's table.
+	qs := fmt.Sprintf(`SELECT snap_id FROM SnapIds WHERE snap_id >= %d AND snap_id <= %d`, s1, s2)
+	run, err := cl.CollateData(qs,
+		`SELECT k, current_snapshot() AS sid FROM rqlbench_trace`,
+		fmt.Sprintf("rqlbench_trace_result_%d", time.Now().UnixNano()))
+	if err != nil {
+		return err
+	}
+
+	id := cl.LastTrace()
+	nodes, err := cl.TraceSpans(id)
+	if err != nil {
+		return err
+	}
+	stitched := make([]obs.NodeSpans, 0, len(nodes))
+	total := 0
+	for _, n := range nodes {
+		if len(n.Spans) == 0 {
+			continue
+		}
+		stitched = append(stitched, obs.NodeSpans{Node: n.Node, Spans: spansFromWire(n.Spans)})
+		total += len(n.Spans)
+	}
+	if total == 0 {
+		return fmt.Errorf("trace %#x left no spans on any member (is tracing enabled server-side?)", id)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := obs.WriteStitchedTraceEvents(f, stitched); err != nil {
+		return err
+	}
+
+	fmt.Printf("mechanism %s over %d snapshots, trace %#x:\n", run.Mechanism, len(run.Iterations), id)
+	for _, n := range stitched {
+		fmt.Printf("  %-24s %d spans\n", n.Node, len(n.Spans))
+	}
+	fmt.Printf("wrote stitched trace to %s\n", path)
+	return nil
+}
+
+// spansFromWire converts wire spans to recorder spans for export.
+func spansFromWire(ws []client.Span) []obs.Span {
+	out := make([]obs.Span, len(ws))
+	for i, w := range ws {
+		s := obs.Span{
+			Trace: w.Trace, ID: w.ID, Parent: w.Parent,
+			Name: w.Name, Start: w.Start, Duration: w.Duration,
+		}
+		for _, a := range w.Attrs {
+			s.Attrs = append(s.Attrs, obs.Attr{Key: a.Key, Str: a.Str, Int: a.Int, IsStr: a.IsStr})
+		}
+		out[i] = s
+	}
+	return out
 }
 
 // writeTrace dumps the recorder ring as Chrome trace-event JSON

@@ -6,11 +6,13 @@
 //
 //	rqld -addr localhost:7427 -pagelog /tmp/pagelog.bin
 //
-// With -debug-addr an HTTP listener exposes /metrics (plain-text
-// counters and the request-latency histogram), /traces (the span
-// recorder's ring as Chrome trace-event JSON, Perfetto-loadable),
-// /slow (the slow-query log) and net/http/pprof; -trace starts with
-// the span recorder on, and -slow-threshold arms the slow-query log.
+// With -debug-addr an HTTP listener exposes /metrics (Prometheus
+// text exposition), /vars (the same counters in plain name/value
+// form), /timeline (the telemetry sampler's ring as JSON), /traces
+// (the span recorder's ring as Chrome trace-event JSON,
+// Perfetto-loadable), /slow (the slow-query log) and net/http/pprof;
+// -trace starts with the span recorder on, -slow-threshold arms the
+// slow-query log, and -timeline-period tunes the telemetry sampler.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops
 // accepting, drains in-flight queries, then closes the database.
@@ -46,6 +48,7 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "HTTP debug listener (/metrics, /traces, /slow, pprof); empty disables")
 		trace       = flag.Bool("trace", false, "start with the span recorder enabled")
 		slowThresh  = flag.Duration("slow-threshold", 0, "log queries slower than this (0 disables the slow-query log)")
+		tlPeriod    = flag.Duration("timeline-period", 0, "telemetry timeline sampling period (0 = default 1s, negative disables)")
 		replicaOf   = flag.String("replica-of", "", "run as a read replica of the primary rqld at this address")
 		replicaID   = flag.String("replica-id", "", "replica identity reported to the primary (default host:pid)")
 		replRetain  = flag.Int("repl-retain", 0, "snapshots of replication history the primary keeps for resume (0 = default)")
@@ -85,6 +88,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		IdleTimeout:    *idleTimeout,
 		DrainTimeout:   *drain,
+		TimelinePeriod: *tlPeriod,
 	})
 
 	// Replication role. A replica tails the primary's snapshot stream

@@ -3,10 +3,14 @@
 // SNAPSHOT, SELECT AS OF) and the four RQL mechanism UDFs. By default
 // it opens a private in-memory database; with -connect it speaks the
 // rqld wire protocol to a remote server instead, with the same SQL
-// surface and dot commands.
+// surface and dot commands. A comma-separated -connect list opens a
+// routing cluster client (first address is the primary, the rest are
+// replicas): reads spread over the replicas, and every statement's legs
+// share one distributed trace.
 //
 //	rqlshell                       # in-process, in-memory database
 //	rqlshell -connect localhost:7427
+//	rqlshell -connect primary:7427,replica1:7428,replica2:7429
 //
 // Dot commands:
 //
@@ -18,8 +22,12 @@
 //	.stats reset          zero the cumulative counters
 //	.views                list materialized retro views and their counters
 //	.mech                 show the last RQL mechanism run's breakdown
-//	.trace on|off         toggle the span recorder
-//	.trace last           render the last statement's span tree
+//	.top                  live server telemetry (rates from /timeline)
+//	.trace on|off         toggle the span recorder (cluster-wide)
+//	.trace last           render the last statement's span tree; in
+//	                      cluster mode, one tree per node that took part
+//	.trace save <file>    write the last trace as Perfetto JSON (cluster
+//	                      mode stitches all nodes into per-node lanes)
 //	.slow [dur|off]       show the slow-query log (set threshold locally)
 //	.quit                 exit
 package main
@@ -51,19 +59,35 @@ type backend interface {
 }
 
 // shellEnv is the shell's connection plus whichever stats sources the
-// mode provides (db for in-process, remote for -connect).
+// mode provides (db for in-process, remote for -connect). In cluster
+// mode remote points at the primary, so every server-side dot command
+// (.stats, .top, .slow) reads the writer's counters.
 type shellEnv struct {
-	conn   backend
-	db     *rql.DB      // nil in remote mode
-	remote *client.Conn // nil in local mode
+	conn    backend
+	db      *rql.DB         // nil in remote mode
+	remote  *client.Conn    // nil in local mode
+	cluster *client.Cluster // non-nil with a comma-separated -connect
 }
 
 func main() {
-	connect := flag.String("connect", "", "connect to an rqld server at host:port instead of opening an in-process database")
+	connect := flag.String("connect", "", "connect to rqld at host:port instead of opening an in-process database; a comma-separated list (primary,replica,...) opens a routing cluster client")
 	flag.Parse()
 
 	env := &shellEnv{}
-	if *connect != "" {
+	if addrs := strings.Split(*connect, ","); *connect != "" && len(addrs) > 1 {
+		cl, err := client.OpenCluster(client.ClusterConfig{
+			Primary:  strings.TrimSpace(addrs[0]),
+			Replicas: trimAll(addrs[1:]),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rqlshell:", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		env.conn, env.remote, env.cluster = cl, cl.Primary(), cl
+		fmt.Printf("RQL shell — cluster client: primary %s, %d replica(s).\n",
+			addrs[0], len(addrs)-1)
+	} else if *connect != "" {
 		rc, err := client.Dial(*connect)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rqlshell:", err)
@@ -187,8 +211,10 @@ func dotCommand(env *shellEnv, cmd string) bool {
   SELECT CollateDataIntoIntervals(snap_id, 'Qq', 'T') FROM SnapIds;
   CREATE RETRO VIEW v AS CollateData('Qq');    incremental materialized view
   DROP RETRO VIEW v;
+  EXPLAIN ANALYZE SELECT ... ;                 run + profile (per-iteration costs)
 Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .views
-              .mech .replicas  .trace on|off|last  .slow [dur|off]  .quit`)
+              .mech .replicas .top  .trace on|off|last|save <file>
+              .slow [dur|off]  .quit`)
 	case ".tables":
 		objs, err := conn.Objects()
 		if err != nil {
@@ -393,18 +419,26 @@ Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .views
 		}
 	case ".trace":
 		if len(fields) < 2 {
-			fmt.Println("usage: .trace on|off|last")
+			fmt.Println("usage: .trace on|off|last|save <file>")
 			break
 		}
 		switch fields[1] {
 		case "on", "off":
 			on := fields[1] == "on"
-			if env.remote != nil {
+			switch {
+			case env.cluster != nil:
+				// Cluster-wide: a routed query's legs land on whichever
+				// member covers the snapshot, so every recorder must be on.
+				if err := env.cluster.SetTracing(on); err != nil {
+					fmt.Println("error:", err)
+					break
+				}
+			case env.remote != nil:
 				if err := env.remote.SetTracing(on); err != nil {
 					fmt.Println("error:", err)
 					break
 				}
-			} else {
+			default:
 				rql.SetTracing(on)
 			}
 			fmt.Printf("tracing %s\n", fields[1])
@@ -414,25 +448,60 @@ Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .views
 				fmt.Println("no traced statement yet (.trace on, then run SQL)")
 				break
 			}
-			var spans []obs.Span
-			if env.remote != nil {
-				ws, err := env.remote.TraceSpans(id)
-				if err != nil {
-					fmt.Println("error:", err)
-					break
-				}
-				spans = spansFromWire(ws)
-			} else {
-				spans = obs.TraceSpans(id)
+			nodes, err := lastTraceSpans(env, id)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
 			}
-			if len(spans) == 0 {
+			if len(nodes) == 0 {
 				fmt.Printf("trace %d has no recorded spans (ring wrapped?)\n", id)
 				break
 			}
-			fmt.Printf("trace %d:\n%s", id, obs.FormatTree(spans))
+			fmt.Printf("trace %d:\n", id)
+			for _, n := range nodes {
+				if n.Node != "" {
+					fmt.Printf("── %s ──\n", n.Node)
+				}
+				fmt.Print(obs.FormatTree(n.Spans))
+			}
+		case "save":
+			if len(fields) < 3 {
+				fmt.Println("usage: .trace save <file>")
+				break
+			}
+			id := conn.LastTrace()
+			if id == 0 {
+				fmt.Println("no traced statement yet (.trace on, then run SQL)")
+				break
+			}
+			nodes, err := lastTraceSpans(env, id)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if len(nodes) == 0 {
+				fmt.Printf("trace %d has no recorded spans (ring wrapped?)\n", id)
+				break
+			}
+			if err := saveTrace(fields[2], nodes); err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("wrote trace %d to %s (open in https://ui.perfetto.dev)\n", id, fields[2])
 		default:
-			fmt.Println("usage: .trace on|off|last")
+			fmt.Println("usage: .trace on|off|last|save <file>")
 		}
+	case ".top":
+		if env.remote == nil {
+			fmt.Println("the telemetry timeline lives on rqld; connect with -connect")
+			break
+		}
+		period, pts, err := env.remote.Timeline()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		printTop(period, pts)
 	case ".slow":
 		if len(fields) > 1 {
 			if env.remote != nil {
@@ -490,6 +559,123 @@ Dot commands: .tables .snapshots .snapshot [label] .stats [reset] .views
 		fmt.Println("unknown command; try .help")
 	}
 	return true
+}
+
+// trimAll trims whitespace around each address of a -connect list.
+func trimAll(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = strings.TrimSpace(s)
+	}
+	return out
+}
+
+// lastTraceSpans collects one trace's spans from wherever the shell's
+// mode records them: every cluster member (one named node each), the
+// single remote server, or the in-process recorder (one unnamed node).
+func lastTraceSpans(env *shellEnv, id uint64) ([]obs.NodeSpans, error) {
+	switch {
+	case env.cluster != nil:
+		nodes, err := env.cluster.TraceSpans(id)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]obs.NodeSpans, 0, len(nodes))
+		for _, n := range nodes {
+			out = append(out, obs.NodeSpans{Node: n.Node, Spans: spansFromWire(n.Spans)})
+		}
+		return out, nil
+	case env.remote != nil:
+		ws, err := env.remote.TraceSpans(id)
+		if err != nil {
+			return nil, err
+		}
+		if len(ws) == 0 {
+			return nil, nil
+		}
+		return []obs.NodeSpans{{Spans: spansFromWire(ws)}}, nil
+	default:
+		spans := obs.TraceSpans(id)
+		if len(spans) == 0 {
+			return nil, nil
+		}
+		return []obs.NodeSpans{{Spans: spans}}, nil
+	}
+}
+
+// saveTrace writes nodes as Chrome trace-event JSON for Perfetto: one
+// process lane per node when stitching a cluster trace, a flat file for
+// a single source.
+func saveTrace(path string, nodes []obs.NodeSpans) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if len(nodes) == 1 && nodes[0].Node == "" {
+		return obs.WriteTraceEvents(f, nodes[0].Spans)
+	}
+	return obs.WriteStitchedTraceEvents(f, nodes)
+}
+
+// printTop renders the server's telemetry timeline (.top): the most
+// recent sampling points as headline per-second rates, then the latest
+// point's per-replica lag and per-view refresh rates.
+func printTop(period time.Duration, pts []client.TimelinePoint) {
+	if len(pts) == 0 {
+		fmt.Printf("no telemetry yet (the server samples every %v; see rqld -timeline-period)\n", period)
+		return
+	}
+	lookup := func(vals []wire.NamedValue, name string) float64 {
+		for _, nv := range vals {
+			if nv.Name == name {
+				return nv.Value
+			}
+		}
+		return 0
+	}
+	const show = 12
+	start := 0
+	if len(pts) > show {
+		start = len(pts) - show
+	}
+	cols := []string{"time", "queries/s", "commits/s", "rows/s", "device busy %", "cache hit %"}
+	var rows [][]string
+	for _, p := range pts[start:] {
+		reads, hits := lookup(p.Rates, "pagelog_reads"), lookup(p.Rates, "cache_hits")
+		hitPct := 0.0
+		if reads+hits > 0 {
+			hitPct = hits / (reads + hits) * 100
+		}
+		rows = append(rows, []string{
+			time.Unix(0, p.WhenUnixNano).Format("15:04:05"),
+			fmt.Sprintf("%.1f", lookup(p.Rates, "queries_served")),
+			fmt.Sprintf("%.1f", lookup(p.Rates, "commits")),
+			fmt.Sprintf("%.1f", lookup(p.Rates, "rows_streamed")),
+			// Busy time is summed across concurrent device commands, so
+			// a deep queue can exceed 100% of one wall-second.
+			fmt.Sprintf("%.1f", lookup(p.Rates, "device_busy_ns")/1e9*100),
+			fmt.Sprintf("%.1f", hitPct),
+		})
+	}
+	fmt.Printf("telemetry: %d point(s), sampled every %v (newest %d shown)\n",
+		len(pts), period, len(rows))
+	printTable(cols, rows)
+	last := pts[len(pts)-1]
+	fmt.Printf("now: %d conn(s), %d view(s), snapshot horizon %d\n",
+		int64(lookup(last.Gauges, "conns_active")),
+		int64(lookup(last.Gauges, "views")),
+		int64(lookup(last.Gauges, "repl_horizon")))
+	for _, nv := range last.Gauges {
+		if id, ok := strings.CutPrefix(nv.Name, "repl_lag."); ok {
+			fmt.Printf("  replica %s: lag %d snapshot(s)\n", id, int64(nv.Value))
+		}
+	}
+	for _, nv := range last.Rates {
+		if name, ok := strings.CutPrefix(nv.Name, "view_refreshes."); ok {
+			fmt.Printf("  view %s: %.2f refresh/s\n", name, nv.Value)
+		}
+	}
 }
 
 // spansFromWire converts server-reported spans for the local renderer.

@@ -148,9 +148,10 @@ func (r *Runner) tracingOverhead(reps int) (*TracingResult, error) {
 // the sleep-dominated smoke workload.
 const traceOverheadLimitPct = 5.0
 
-// TracingCheck runs the tracing-overhead smoke measurement and fails
-// when the enabled side exceeds the budget (rqlbench -trace-check, run
-// from `make check`).
+// TracingCheck runs the tracing-overhead smoke measurements — the
+// in-process recorder cost and the wire-propagated path — and fails
+// when either enabled side exceeds the budget (rqlbench -trace-check,
+// run from `make check`).
 func (r *Runner) TracingCheck() error {
 	reps := 3
 	res, err := r.tracingOverhead(reps)
@@ -164,6 +165,19 @@ func (r *Runner) TracingCheck() error {
 	if res.OverheadPct > traceOverheadLimitPct {
 		return fmt.Errorf("enabled tracing costs %.2f%% wall time on the smoke workload, budget is %.0f%%",
 			res.OverheadPct, traceOverheadLimitPct)
+	}
+
+	pres, err := r.propagatedOverhead(reps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(r.Out,
+		"propagated tracing overhead: disabled %s, enabled %s (%d spans) → %+.2f%% (budget %.0f%%)\n",
+		pres.Disabled.Wall, pres.Enabled.Wall, pres.Enabled.Spans,
+		pres.OverheadPct, traceOverheadLimitPct)
+	if pres.OverheadPct > traceOverheadLimitPct {
+		return fmt.Errorf("propagated tracing costs %.2f%% wall time on the wire smoke workload, budget is %.0f%%",
+			pres.OverheadPct, traceOverheadLimitPct)
 	}
 	return nil
 }

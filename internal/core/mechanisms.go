@@ -282,6 +282,7 @@ func (st *mechState) iterate(conn *sql.Conn, snap uint64) error {
 	cost.ClusteredReads = qs.ClusteredReads
 	cost.ClusteredPages = qs.ClusteredPages
 	cost.PrefetchHits = qs.PrefetchHits
+	cost.QueueWait = qs.QueueWait
 
 	st.run.Iterations = append(st.run.Iterations, cost)
 	st.prevSnap = snap
@@ -584,6 +585,7 @@ func (st *mechState) FinalizeStmt(commit bool) error {
 	}
 	if !commit {
 		st.rql.setLastRun(st.run)
+		st.noteRun(conn)
 		return nil
 	}
 	if st.kind == mechAggVar && st.created && conn != nil {
@@ -606,5 +608,49 @@ func (st *mechState) FinalizeStmt(commit bool) error {
 		st.run.ResultIndexBytes = ts.IndexBytes
 	}
 	st.rql.setLastRun(st.run)
+	st.noteRun(conn)
 	return nil
+}
+
+// noteRun pushes the finished run's profile down to the SQL connection
+// (sql cannot import this package, so the conversion into the neutral
+// sql.MechProfile shape happens here). The connection feeds it to the
+// slow-query log's mechanism columns and to EXPLAIN ANALYZE.
+func (st *mechState) noteRun(conn *sql.Conn) {
+	if conn == nil || st.run == nil {
+		return
+	}
+	conn.NoteMechRun(mechProfile(st.run))
+}
+
+// mechProfile converts run statistics into the SQL layer's shape.
+func mechProfile(run *RunStats) *sql.MechProfile {
+	p := &sql.MechProfile{
+		Mechanism:      run.Mechanism,
+		PrunedIters:    run.PrunedIterations,
+		ReplayedRows:   run.PrunedRowsReplayed,
+		PruneReason:    run.PruneReason,
+		PrefetchHits:   run.PrefetchHits,
+		PrefetchWasted: run.PrefetchWasted,
+	}
+	p.Iterations = make([]sql.MechIterProfile, 0, len(run.Iterations))
+	for _, it := range run.Iterations {
+		p.Iterations = append(p.Iterations, sql.MechIterProfile{
+			Snapshot:     it.Snapshot,
+			Wall:         it.Total(),
+			SPTBuild:     it.SPTBuild,
+			IndexCreate:  it.IndexCreation,
+			QueryEval:    it.QueryEval,
+			UDF:          it.UDF,
+			IOTime:       it.IOTime,
+			QueueWait:    it.QueueWait,
+			PagelogReads: it.PagelogReads,
+			CacheHits:    it.CacheHits,
+			PrefetchHits: it.PrefetchHits,
+			Rows:         it.QqRows,
+			Pruned:       it.Pruned,
+			DeltaPages:   it.DeltaPages,
+		})
+	}
+	return p
 }

@@ -30,6 +30,11 @@ type IterationCost struct {
 	// was hidden behind the previous iteration's evaluation by the
 	// cross-iteration read-ahead pipeline (zero when pipelining is off).
 	OverlapTime time.Duration
+	// QueueWait is wall time this iteration's demand misses spent queued
+	// behind other device commands before service began — contention,
+	// not billed I/O, so it is excluded from Total() and from the
+	// byte-identical counter comparisons the property tests pin.
+	QueueWait time.Duration
 
 	// Raw counters, device-independent.
 	PagelogReads   int
@@ -106,6 +111,7 @@ func (r *RunStats) Total() IterationCost {
 		t.UDF += c.UDF
 		t.IOTime += c.IOTime
 		t.OverlapTime += c.OverlapTime
+		t.QueueWait += c.QueueWait
 		t.PagelogReads += c.PagelogReads
 		t.CacheHits += c.CacheHits
 		t.DBReads += c.DBReads
@@ -145,6 +151,7 @@ func (r *RunStats) Hot() IterationCost {
 		t.UDF += c.UDF
 		t.IOTime += c.IOTime
 		t.OverlapTime += c.OverlapTime
+		t.QueueWait += c.QueueWait
 		t.PagelogReads += c.PagelogReads
 		t.CacheHits += c.CacheHits
 		t.DBReads += c.DBReads
@@ -165,6 +172,7 @@ func (r *RunStats) Hot() IterationCost {
 	t.UDF /= d
 	t.IOTime /= d
 	t.OverlapTime /= d
+	t.QueueWait /= d
 	t.PagelogReads /= n
 	t.CacheHits /= n
 	t.DBReads /= n

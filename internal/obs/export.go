@@ -62,6 +62,67 @@ func WriteTraceEvents(w io.Writer, spans []Span) error {
 	return enc.Encode(map[string]any{"traceEvents": events})
 }
 
+// NodeSpans groups one node's spans for stitched cluster export.
+type NodeSpans struct {
+	Node  string // display name: "primary", "replica 127.0.0.1:4091", ...
+	Spans []Span
+}
+
+// WriteStitchedTraceEvents writes spans gathered from several nodes as
+// ONE Chrome trace-event file: each node becomes its own process lane
+// (pid + process_name metadata), each trace its own thread within the
+// lane, so a propagated trace that spans primary and replicas renders
+// as aligned rows in Perfetto. Span IDs may collide across nodes (each
+// node mints its own); that is harmless here because lanes are keyed
+// by pid/tid, and the real trace ID rides in args.
+func WriteStitchedTraceEvents(w io.Writer, nodes []NodeSpans) error {
+	var epoch time.Time
+	for _, n := range nodes {
+		for _, s := range n.Spans {
+			if epoch.IsZero() || s.Start.Before(epoch) {
+				epoch = s.Start
+			}
+		}
+	}
+	events := make([]traceEvent, 0, 64)
+	for ni, n := range nodes {
+		pid := uint64(ni + 1)
+		events = append(events, traceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pid,
+			Args: map[string]any{"name": n.Node},
+		})
+		for _, s := range n.Spans {
+			args := map[string]any{
+				"span_id":   s.ID,
+				"parent_id": s.Parent,
+				"trace_id":  s.Trace,
+				"node":      n.Node,
+			}
+			for _, a := range s.Attrs {
+				if a.IsStr {
+					args[a.Key] = a.Str
+				} else {
+					args[a.Key] = a.Int
+				}
+			}
+			events = append(events, traceEvent{
+				Name: s.Name,
+				Cat:  "rql",
+				Ph:   "X",
+				Ts:   float64(s.Start.Sub(epoch).Nanoseconds()) / 1e3,
+				Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+				Pid:  pid,
+				Tid:  s.Trace,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
 // FormatTree renders spans as an indented tree, one line per span:
 //
 //	server.exec 12.3ms

@@ -127,6 +127,27 @@ func StartSpan(parent *Span, name string) *Span {
 	}
 }
 
+// StartSpanInTrace begins a root span that joins an existing trace —
+// the wire v8 propagation path, where the trace ID was minted by a
+// remote client and arrived on the request frame. The caller already
+// made the sampling decision (the frame carries a sampled flag), so
+// remote roots are not subject to the local SetSampleRate gate; they
+// are still dropped entirely while tracing is disabled. Client-minted
+// IDs live in the upper half of the ID space (high bit set, see
+// NewTraceID in the client), so they never collide with the local
+// idSeq roots.
+func StartSpanInTrace(trace uint64, name string) *Span {
+	if !enabled.Load() || trace == 0 {
+		return nil
+	}
+	return &Span{
+		Trace: trace,
+		ID:    idSeq.Add(1),
+		Start: time.Now(),
+		Name:  name,
+	}
+}
+
 // Child begins a sub-span of s. Nil-safe: a nil parent yields a nil
 // child, so an untraced operation never sprouts orphan spans.
 func (s *Span) Child(name string) *Span {

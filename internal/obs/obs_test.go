@@ -187,13 +187,14 @@ func TestFormatTree(t *testing.T) {
 
 func TestSlowLog(t *testing.T) {
 	reset(t)
-	ObserveQuery("SELECT slow", time.Second, 0, 1)
+	ObserveQuery("SELECT slow", time.Second, 0, 1, SlowCost{})
 	if n := len(SlowEntries()); n != 0 {
 		t.Fatalf("disabled slow log recorded %d entries", n)
 	}
 	SetSlowThreshold(10 * time.Millisecond)
-	ObserveQuery("SELECT fast", time.Millisecond, 0, 1)
-	ObserveQuery("SELECT slow", 20*time.Millisecond, 42, 9)
+	ObserveQuery("SELECT fast", time.Millisecond, 0, 1, SlowCost{})
+	ObserveQuery("SELECT slow", 20*time.Millisecond, 42, 9,
+		SlowCost{Mechanism: "CollateData", PagelogReads: 40, PrunedIters: 3})
 	entries := SlowEntries()
 	if len(entries) != 1 {
 		t.Fatalf("slow log has %d entries, want 1", len(entries))
@@ -201,6 +202,9 @@ func TestSlowLog(t *testing.T) {
 	e := entries[0]
 	if e.SQL != "SELECT slow" || e.Trace != 42 || e.Rows != 9 {
 		t.Fatalf("bad entry: %+v", e)
+	}
+	if e.Mechanism != "CollateData" || e.PagelogReads != 40 || e.PrunedIters != 3 {
+		t.Fatalf("cost fields not recorded: %+v", e)
 	}
 }
 

@@ -13,6 +13,21 @@ type SlowEntry struct {
 	Trace    uint64 // trace ID if the statement was traced, else 0
 	When     time.Time
 	Rows     int64
+
+	// Retrospective cost, threaded from RunStats/ExecStats when the
+	// statement ran a mechanism or touched the Pagelog. Zero values
+	// mean "plain SQL" — nothing retrospective happened.
+	Mechanism    string // mechanism name (CollateData, ...) or ""
+	PagelogReads int64  // billed Pagelog reads
+	PrunedIters  int64  // iterations skipped by delta pruning
+}
+
+// SlowCost carries the retrospective-cost fields of a SlowEntry into
+// ObserveQuery without growing its positional signature every PR.
+type SlowCost struct {
+	Mechanism    string
+	PagelogReads int64
+	PrunedIters  int64
 }
 
 // slowLogSize bounds the retained slow-query entries.
@@ -41,18 +56,21 @@ func SlowThreshold() time.Duration { return time.Duration(slowThreshold.Load()) 
 
 // ObserveQuery records the statement in the slow log if its duration
 // meets the threshold. Cheap when the log is disabled: one atomic load.
-func ObserveQuery(sql string, d time.Duration, trace uint64, rows int64) {
+func ObserveQuery(sql string, d time.Duration, trace uint64, rows int64, cost SlowCost) {
 	t := slowThreshold.Load()
 	if t == 0 || int64(d) < t {
 		return
 	}
 	slowMu.Lock()
 	slowRing[slowNext%slowLogSize] = SlowEntry{
-		SQL:      sql,
-		Duration: d,
-		Trace:    trace,
-		When:     time.Now(),
-		Rows:     rows,
+		SQL:          sql,
+		Duration:     d,
+		Trace:        trace,
+		When:         time.Now(),
+		Rows:         rows,
+		Mechanism:    cost.Mechanism,
+		PagelogReads: cost.PagelogReads,
+		PrunedIters:  cost.PrunedIters,
 	}
 	slowNext++
 	slowMu.Unlock()

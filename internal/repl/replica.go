@@ -289,11 +289,21 @@ func (r *Replica) stream() error {
 	if serverVer < wire.ReplProtocolVersion {
 		return fmt.Errorf("repl: primary speaks protocol v%d, replication needs v%d", serverVer, wire.ReplProtocolVersion)
 	}
+	ver := int(serverVer)
+	if ver > wire.ProtocolVersion {
+		ver = wire.ProtocolVersion
+	}
 
 	r.mu.Lock()
 	lastApplied := r.horizon
 	r.mu.Unlock()
 	e = &wire.Enc{}
+	if ver >= wire.TraceContextVersion {
+		// v8 sessions expect a trace context on every request frame; a
+		// zero context keeps the primary's local tracing behavior. Acks
+		// ride inside the handed-off stream and carry no prefix.
+		wire.EncodeTraceContext(e, wire.TraceContext{})
+	}
 	wire.EncodeReplSubscribe(e, wire.ReplSubscribe{ID: r.cfg.ID, LastApplied: lastApplied})
 	if err := wire.WriteFrame(bw, wire.ReqReplSub, e.B); err != nil {
 		return err

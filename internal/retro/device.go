@@ -40,18 +40,21 @@ type devReq struct {
 	done   chan devResult  // buffered (cap 1); always receives exactly once
 
 	// span, when non-nil, parents a "device.read" span covering the
-	// command's full queue-wait plus service interval; submitted is the
-	// enqueue time the queue-wait attribute is measured from. Untraced
-	// commands (span == nil) pay no clock reads.
+	// command's full queue-wait plus service interval. submitted is the
+	// enqueue time; it is always stamped so the completion can report
+	// how long the command sat queued behind other commands.
 	span      *obs.Span
 	submitted time.Time
 }
 
-// devResult is the completion of one device command.
+// devResult is the completion of one device command. queueWait is the
+// enqueue-to-service interval: contention behind other commands, which
+// the issuer accounts separately from billed I/O.
 type devResult struct {
-	pages    []*storage.PageData
-	err      error
-	canceled bool
+	pages     []*storage.PageData
+	err       error
+	canceled  bool
+	queueWait time.Duration
 }
 
 // devicePool services Pagelog read commands with depth worker
@@ -117,26 +120,25 @@ func (p *devicePool) submit(req *devReq) error {
 	}
 	p.pending.Add(1)
 	p.mu.Unlock()
-	if req.span != nil {
-		req.submitted = time.Now()
-	}
+	req.submitted = time.Now()
 	p.reqs <- req
 	return nil
 }
 
 // read is the synchronous demand path: one page through the device,
 // waiting in queue order behind any outstanding commands. sp, when
-// non-nil, parents the command's device span.
-func (p *devicePool) read(off int64, sp *obs.Span) (*storage.PageData, error) {
+// non-nil, parents the command's device span. The returned queue wait
+// is how long the command sat behind other commands before service.
+func (p *devicePool) read(off int64, sp *obs.Span) (*storage.PageData, time.Duration, error) {
 	done := make(chan devResult, 1)
 	if err := p.submit(&devReq{off: off, n: 1, done: done, span: sp}); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	res := <-done
 	if res.err != nil {
-		return nil, res.err
+		return nil, res.queueWait, res.err
 	}
-	return res.pages[0], nil
+	return res.pages[0], res.queueWait, nil
 }
 
 func (p *devicePool) worker() {
@@ -160,6 +162,7 @@ func (p *devicePool) serve(req *devReq) {
 		p.stats.OverlappedReads.Add(1)
 	}
 	start := time.Now()
+	queueWait := start.Sub(req.submitted)
 	pl := p.pl.Load()
 	var res devResult
 	var physBytes int64
@@ -205,8 +208,9 @@ func (p *devicePool) serve(req *devReq) {
 		obs.Record(req.span, "device.read", req.submitted, time.Since(req.submitted),
 			obs.Attr{Key: "off", Int: req.off},
 			obs.Attr{Key: "pages", Int: int64(req.n)},
-			obs.Attr{Key: "queue_wait_us", Int: start.Sub(req.submitted).Microseconds()})
+			obs.Attr{Key: "queue_wait_us", Int: queueWait.Microseconds()})
 	}
+	res.queueWait = queueWait
 	req.done <- res
 }
 

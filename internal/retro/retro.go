@@ -703,6 +703,11 @@ type Counters struct {
 	ClusteredPages int           // pages loaded by those runs (≥ ClusteredReads)
 	PrefetchHits   int           // demand reads satisfied early by a warmed page
 	SPTBuildTime   time.Duration // wall time of the SPT build
+	// QueueWait is wall time this reader's demand misses spent queued
+	// behind other device commands before service began. Contention, not
+	// billed I/O: it is excluded from ModeledIOTime, and only the issuer
+	// of a coalesced demand miss accounts it.
+	QueueWait time.Duration
 }
 
 // ModeledIOTime converts Pagelog misses into modeled I/O time at the
@@ -798,7 +803,8 @@ func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
 			r.sys.stats.CacheHits.Add(1)
 			return data, nil
 		}
-		data, hit, err := r.sys.demandRead(off, r.span)
+		data, hit, qw, err := r.sys.demandRead(off, r.span)
+		r.Counters.QueueWait += qw
 		if err != nil {
 			return nil, err
 		}
@@ -834,9 +840,11 @@ func (r *SnapshotReader) Get(id storage.PageID) (*storage.PageData, error) {
 // page's one cold read (a PagelogRead); true — the cold read was billed
 // by someone else (an in-service miss we joined, or a concurrent warm
 // whose first touch already happened), so it counts as a CacheHit. A
-// (nil, false, nil) return means the page was installed between the
-// caller's cache miss and now — re-check the cache.
-func (s *System) demandRead(off int64, span *obs.Span) (data *storage.PageData, hit bool, err error) {
+// (nil, false, 0, nil) return means the page was installed between the
+// caller's cache miss and now — re-check the cache. qw is the device
+// queue wait of the command this caller issued (zero for joiners: the
+// wait belongs to the issuer, so it is billed exactly once).
+func (s *System) demandRead(off int64, span *obs.Span) (data *storage.PageData, hit bool, qw time.Duration, err error) {
 	s.missMu.Lock()
 	if c, ok := s.missing[off]; ok {
 		s.missMu.Unlock()
@@ -845,11 +853,11 @@ func (s *System) demandRead(off int64, span *obs.Span) (data *storage.PageData, 
 		wsp := span.Child("pagelog.wait").SetInt("off", off)
 		<-c.done
 		wsp.End()
-		return c.data, true, c.err
+		return c.data, true, 0, c.err
 	}
 	if s.cache.contains(off) {
 		s.missMu.Unlock()
-		return nil, false, nil
+		return nil, false, 0, nil
 	}
 	c := &missCall{done: make(chan struct{})}
 	s.missing[off] = c
@@ -857,7 +865,7 @@ func (s *System) demandRead(off int64, span *obs.Span) (data *storage.PageData, 
 
 	fsp := span.Child("pagelog.fetch").SetInt("off", off)
 	billed := false
-	c.data, c.err = s.dev.read(off, fsp)
+	c.data, qw, c.err = s.dev.read(off, fsp)
 	fsp.End()
 	if c.err == nil {
 		// Install before unregistering so no window exists in which the
@@ -872,7 +880,7 @@ func (s *System) demandRead(off int64, span *obs.Span) (data *storage.PageData, 
 	delete(s.missing, off)
 	s.missMu.Unlock()
 	close(c.done)
-	return c.data, billed, c.err
+	return c.data, billed, qw, c.err
 }
 
 // GetMut always fails: snapshots are immutable.

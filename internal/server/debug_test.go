@@ -2,11 +2,15 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"rql"
+	"rql/client"
 	"rql/internal/obs"
 	"rql/internal/wire"
 )
@@ -173,13 +177,49 @@ func TestDebugEndpoint(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/metrics returned %d", code)
 	}
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics is not valid Prometheus exposition: %v\n%s", err, body)
+	}
 	for _, want := range []string{
-		"queries_served", "storage_commits", "retro_pagelog_writes",
-		"tracing_enabled 1", "request_latency_le{+Inf}",
+		"# TYPE rql_queries_served counter",
+		"# TYPE rql_conns_active gauge",
+		"rql_storage_commits", "rql_retro_pagelog_writes",
+		"rql_tracing_enabled 1",
+		`rql_request_latency_seconds_bucket{le="+Inf"}`,
+		"rql_request_latency_seconds_sum", "rql_request_latency_seconds_count",
+		`rql_commit_group_size_bucket{le="+Inf"}`,
+		`rql_repl_role{role="primary"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics misses %q:\n%s", want, body)
 		}
+	}
+
+	// The pre-v8 plain dump lives on /vars, including the role line in
+	// valid `name value` form (no pseudo-label syntax).
+	code, body = get("/vars")
+	if code != 200 {
+		t.Fatalf("/vars returned %d", code)
+	}
+	for _, want := range []string{
+		"queries_served", "storage_commits", "retro_pagelog_writes",
+		"tracing_enabled 1", "request_latency_le.inf", "repl_role primary",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/vars misses %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/timeline")
+	if code != 200 {
+		t.Fatalf("/timeline returned %d", code)
+	}
+	var tl struct {
+		PeriodNS int64       `json:"period_ns"`
+		Points   []obs.Point `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/timeline is not valid JSON: %v\n%s", err, body)
 	}
 
 	code, body = get("/traces")
@@ -297,5 +337,94 @@ func TestResetStats(t *testing.T) {
 	}
 	if ss.QueriesServed == 0 || ss.Commits == 0 {
 		t.Fatalf("counters should resume after reset: %+v", ss)
+	}
+}
+
+// TestConcurrentScrapes hammers every debug endpoint from several
+// goroutines while sessions execute statements, the timeline sampler
+// ticks, and the recorder and slow log fill — the shape a production
+// Prometheus scraper plus a dashboard poll produces. Run under -race
+// this pins the lock discipline of the whole observability surface.
+func TestConcurrentScrapes(t *testing.T) {
+	resetObs(t)
+	srv, addr := startServer(t, Config{TimelinePeriod: 2 * time.Millisecond})
+
+	obs.SetTracing(true)
+	obs.SetSlowThreshold(time.Nanosecond) // everything is slow
+
+	seed := dial(t, addr)
+	if err := seed.Exec(`CREATE TABLE cs (a INTEGER)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seed.DeclareSnapshot("cs-seed"); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		scrapers   = 4
+		writers    = 2
+		iterations = 50
+	)
+	paths := []string{"/metrics", "/timeline", "/vars", "/traces", "/slow"}
+	errs := make(chan error, scrapers+writers)
+	var wg sync.WaitGroup
+
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				path := paths[(g+i)%len(paths)]
+				req := httptest.NewRequest("GET", path, nil)
+				rec := httptest.NewRecorder()
+				srv.DebugHandler().ServeHTTP(rec, req)
+				if rec.Code != 200 {
+					errs <- fmt.Errorf("%s returned %d", path, rec.Code)
+					return
+				}
+				if path == "/metrics" {
+					if err := obs.ValidateExposition(rec.Body.String()); err != nil {
+						errs <- fmt.Errorf("concurrent /metrics invalid: %w", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < iterations; i++ {
+				if err := c.Exec(`INSERT INTO cs VALUES (?)`, nil, rql.Int(int64(g*iterations+i))); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", g, err)
+					return
+				}
+				if err := c.Exec(`SELECT COUNT(*) FROM cs`, nil); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The timeline accumulated samples while all that ran.
+	period, points, err := seed.Timeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if period <= 0 || len(points) == 0 {
+		t.Fatalf("timeline should have sampled: period=%v points=%d", period, len(points))
 	}
 }

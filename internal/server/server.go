@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"rql"
+	"rql/internal/obs"
 	"rql/internal/repl"
 	"rql/internal/storage"
 	"rql/internal/wire"
@@ -43,6 +44,11 @@ type Config struct {
 	// DrainTimeout bounds Shutdown's wait for in-flight requests
 	// (default 5s); connections still busy afterwards are force-closed.
 	DrainTimeout time.Duration
+	// TimelinePeriod is the telemetry sampler's interval: every period
+	// the server snapshots its counters into a fixed ring served at
+	// /timeline and over the TIMELINE request (rqlshell .top). Zero
+	// selects the 1s default; negative disables the sampler.
+	TimelinePeriod time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
+	}
+	if c.TimelinePeriod == 0 {
+		c.TimelinePeriod = time.Second
 	}
 	return c
 }
@@ -84,16 +93,73 @@ type Server struct {
 
 	wg    sync.WaitGroup
 	stats serverStats
+
+	// timeline samples the counters into a fixed ring for /timeline
+	// and the TIMELINE request; nil when cfg.TimelinePeriod < 0.
+	timeline *obs.Timeline
 }
 
 // New creates a server over db. The caller keeps ownership of db and
 // closes it after the server has shut down.
 func New(db *rql.DB, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		db:       db,
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[*session]struct{}),
 	}
+	if s.cfg.TimelinePeriod > 0 {
+		s.timeline = obs.NewTimeline(s.cfg.TimelinePeriod, obs.DefaultTimelinePoints, s.sampleTelemetry)
+		s.timeline.Start()
+	}
+	return s
+}
+
+// Timeline exposes the telemetry sampler (nil when disabled).
+func (s *Server) Timeline() *obs.Timeline { return s.timeline }
+
+// sampleTelemetry is the timeline sampler's probe: cumulative counters
+// (turned into per-second rates by the ring) and point-in-time gauges.
+// Per-replica lag and per-view refresh counters get dotted suffixes so
+// the flat name space stays self-describing.
+func (s *Server) sampleTelemetry() (map[string]uint64, map[string]float64) {
+	st := s.Stats()
+	counters := map[string]uint64{
+		"queries_served":     st.QueriesServed,
+		"rows_streamed":      st.RowsStreamed,
+		"errors":             st.Errors,
+		"commits":            st.Commits,
+		"commit_groups":      st.CommitGroups,
+		"pagelog_reads":      st.PagelogReads,
+		"cache_hits":         st.CacheHits,
+		"device_busy_ns":     st.DeviceBusyNS,
+		"device_reads":       st.DeviceReads,
+		"device_bytes_read":  st.DeviceBytesRead,
+		"snapshots":          st.Snapshots,
+		"view_refreshes":     st.ViewRefreshes,
+		"view_rows_pushed":   st.ViewRowsPushed,
+		"commit_conflicts":   st.CommitConflicts,
+		"spt_builds":         st.SPTBuilds,
+		"retro_delta_builds": st.DeltaBuilds,
+	}
+	gauges := map[string]float64{
+		"conns_active":       float64(st.ConnsActive),
+		"device_queue_depth": float64(st.DeviceQueueDepth),
+		"views":              float64(st.Views),
+		"view_subscribers":   float64(st.ViewSubscribers),
+	}
+	rs := s.ReplStats()
+	gauges["repl_horizon"] = float64(rs.Horizon)
+	for _, rep := range rs.Replicas {
+		lag := uint64(0)
+		if rs.Horizon > rep.AckedSnap {
+			lag = rs.Horizon - rep.AckedSnap
+		}
+		gauges["repl_lag."+rep.ID] = float64(lag)
+	}
+	for _, v := range s.db.Views() {
+		counters["view_refreshes."+v.Name] = v.Refreshes
+	}
+	return counters, gauges
 }
 
 // DB returns the served database.
@@ -181,6 +247,9 @@ func (s *Server) dropSession(sess *session) {
 // requests finish for up to cfg.DrainTimeout, then force-close whatever
 // is left and wait for every session to exit.
 func (s *Server) Shutdown() {
+	if s.timeline != nil {
+		s.timeline.Stop()
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -118,12 +119,34 @@ func (ss *session) run() {
 			ss.flush()
 			return
 		}
+		// v8: every request payload opens with the caller's trace
+		// context. Strip it here, once, so the handlers below see the
+		// same payload layout on every version.
+		var tc wire.TraceContext
+		if ss.ver >= wire.TraceContextVersion {
+			d := &wire.Dec{B: payload}
+			tc = wire.DecodeTraceContext(d)
+			if d.Err() != nil {
+				return
+			}
+			payload = d.B
+		}
 		// One root span per request: the session's Conn carries it as
 		// the ambient parent, so the statement, mechanism-iteration,
 		// snapshot-fetch and device spans underneath all join this
-		// request's trace.
+		// request's trace. A propagated context roots the span inside
+		// the caller's trace — the primary and replica legs of one
+		// cluster query share a trace ID — and its sampling flag is the
+		// caller's decision: unsampled requests record no server span.
 		start := time.Now()
-		sp := obs.StartSpan(nil, "server."+opName(op))
+		var sp *obs.Span
+		if tc.Trace != 0 {
+			if tc.Sampled {
+				sp = obs.StartSpanInTrace(tc.Trace, "server."+opName(op))
+			}
+		} else {
+			sp = obs.StartSpan(nil, "server."+opName(op))
+		}
 		if sp != nil {
 			ss.conn.SetTraceSpan(sp)
 		}
@@ -201,7 +224,7 @@ func (ss *session) dispatch(op byte, payload []byte) error {
 		run := ss.srv.db.LastRun()
 		e.Bool(run != nil)
 		if run != nil {
-			wire.EncodeRunStats(e, runToWire(run))
+			wire.EncodeRunStats(e, runToWire(run), ss.ver)
 		}
 		return ss.writeFrame(wire.RespRun, e.B)
 	case wire.ReqTblSt:
@@ -225,6 +248,8 @@ func (ss *session) dispatch(op byte, payload []byte) error {
 		return ss.handleViews()
 	case wire.ReqViewSub:
 		return ss.handleViewSub(payload)
+	case wire.ReqTimeline:
+		return ss.handleTimeline()
 	default:
 		// Unknown opcode: the stream cannot be trusted any further.
 		ss.writeError(fmt.Errorf("server: unknown opcode %#x", op))
@@ -376,11 +401,46 @@ func (ss *session) handleSlow() error {
 		out[i] = wire.SlowEntry{
 			SQL: s.SQL, Duration: s.Duration, Trace: s.Trace,
 			When: s.When, Rows: s.Rows,
+			Mechanism: s.Mechanism, PagelogReads: s.PagelogReads,
+			PrunedIters: s.PrunedIters,
 		}
 	}
 	e := &wire.Enc{}
-	wire.EncodeSlowEntries(e, obs.SlowThreshold(), out)
+	wire.EncodeSlowEntries(e, obs.SlowThreshold(), out, ss.ver)
 	return ss.writeFrame(wire.RespSlow, e.B)
+}
+
+// handleTimeline serves the telemetry timeline ring (v8). A server
+// without a running sampler answers with an empty ring, period 0.
+func (ss *session) handleTimeline() error {
+	e := &wire.Enc{}
+	tl := ss.srv.timeline
+	if tl == nil {
+		wire.EncodeTimeline(e, 0, nil)
+		return ss.writeFrame(wire.RespTimeline, e.B)
+	}
+	points := tl.Points()
+	out := make([]wire.TimelinePoint, len(points))
+	for i, p := range points {
+		out[i] = wire.TimelinePoint{
+			WhenUnixNano: p.When.UnixNano(),
+			Interval:     p.Interval,
+			Rates:        namedValues(p.Rates),
+			Gauges:       namedValues(p.Gauges),
+		}
+	}
+	wire.EncodeTimeline(e, tl.Period(), out)
+	return ss.writeFrame(wire.RespTimeline, e.B)
+}
+
+// namedValues flattens a metric map into name-sorted wire pairs.
+func namedValues(m map[string]float64) []wire.NamedValue {
+	out := make([]wire.NamedValue, 0, len(m))
+	for k, v := range m {
+		out = append(out, wire.NamedValue{Name: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // spansToWire converts recorded spans to the wire form.
@@ -437,6 +497,8 @@ func opName(op byte) string {
 		return "views"
 	case wire.ReqViewSub:
 		return "view_subscribe"
+	case wire.ReqTimeline:
+		return "timeline"
 	default:
 		return "unknown"
 	}
@@ -492,7 +554,7 @@ func (ss *session) handleMech(payload []byte) error {
 	}
 	e := &wire.Enc{}
 	e.Bool(true)
-	wire.EncodeRunStats(e, runToWire(run))
+	wire.EncodeRunStats(e, runToWire(run), ss.ver)
 	return ss.writeFrame(wire.RespRun, e.B)
 }
 
@@ -572,6 +634,7 @@ func runToWire(r *rql.RunStats) wire.RunStats {
 			ClusteredPages: it.ClusteredPages,
 			PrefetchHits:   it.PrefetchHits,
 			OverlapTime:    it.OverlapTime,
+			QueueWait:      it.QueueWait,
 		}
 	}
 	return out

@@ -19,11 +19,15 @@ type serverStats struct {
 
 	// Per-request latency histogram; buckets[i] counts requests with
 	// latency <= wire.HistogramBuckets[i], the last bucket is +Inf.
-	buckets [wire.NumHistogramBuckets]atomic.Uint64
+	// latencySumNS accumulates total request latency for the Prometheus
+	// histogram's _sum series.
+	buckets      [wire.NumHistogramBuckets]atomic.Uint64
+	latencySumNS atomic.Uint64
 }
 
 // observe records one request's latency in the histogram.
 func (st *serverStats) observe(d time.Duration) {
+	st.latencySumNS.Add(uint64(d))
 	for i, bound := range wire.HistogramBuckets {
 		if d <= bound {
 			st.buckets[i].Add(1)
@@ -31,6 +35,11 @@ func (st *serverStats) observe(d time.Duration) {
 		}
 	}
 	st.buckets[wire.NumHistogramBuckets-1].Add(1)
+}
+
+// latencySum returns the accumulated request latency.
+func (st *serverStats) latencySum() time.Duration {
+	return time.Duration(st.latencySumNS.Load())
 }
 
 // snapshot copies the server counters into a wire.ServerStats (the
@@ -58,6 +67,7 @@ func (st *serverStats) reset() {
 	st.queriesServed.Store(0)
 	st.rowsStreamed.Store(0)
 	st.errors.Store(0)
+	st.latencySumNS.Store(0)
 	for i := range st.buckets {
 		st.buckets[i].Store(0)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"rql/internal/obs"
 	"rql/internal/wire"
 )
 
@@ -110,6 +111,153 @@ func TestCrossVersionHandshake(t *testing.T) {
 		if got := rawHello(t, br, bw, wire.ProtocolVersion+1); got != wire.ProtocolVersion {
 			t.Fatalf("server negotiated v%d with a v%d client, want v%d",
 				got, wire.ProtocolVersion+1, wire.ProtocolVersion)
+		}
+	})
+
+	t.Run("v7-requests-carry-no-trace-prefix", func(t *testing.T) {
+		// A v7 session's request payloads open directly with the
+		// operands — the server must not strip a trace context from
+		// them. A bare exec at TraceContextVersion-1 working end to end
+		// pins that.
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		v7 := uint64(wire.TraceContextVersion - 1)
+		if got := rawHello(t, br, bw, v7); got != v7 {
+			t.Fatalf("server negotiated v%d with a v%d client, want v%d", got, v7, v7)
+		}
+		e := &wire.Enc{}
+		e.Uvarint(0) // asOf — no trace context before it
+		e.String(`SELECT 1`)
+		e.Row(nil)
+		if err := wire.WriteFrame(bw, wire.ReqExec, e.B); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		for {
+			op, payload, err := wire.ReadFrame(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op == wire.RespError {
+				t.Fatalf("v7 exec failed: %v", wire.DecodeError(payload))
+			}
+			if op == wire.RespDone {
+				break
+			}
+		}
+	})
+
+	t.Run("v8-prefix-roots-the-callers-trace", func(t *testing.T) {
+		wasOn := obs.Enabled()
+		obs.SetTracing(true)
+		defer func() {
+			obs.SetTracing(wasOn)
+			obs.ResetSpans()
+		}()
+
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		if got := rawHello(t, br, bw, wire.ProtocolVersion); got != wire.ProtocolVersion {
+			t.Fatalf("server negotiated v%d, want v%d", got, wire.ProtocolVersion)
+		}
+
+		// Mint a caller trace ID by hand and send it as the v8 prefix.
+		const caller = uint64(1<<63 | 0x5eed)
+		e := &wire.Enc{}
+		wire.EncodeTraceContext(e, wire.TraceContext{Trace: caller, Sampled: true})
+		e.Uvarint(0) // asOf
+		e.String(`SELECT 1`)
+		e.Row(nil)
+		if err := wire.WriteFrame(bw, wire.ReqExec, e.B); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		for {
+			op, payload, err := wire.ReadFrame(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op == wire.RespError {
+				t.Fatalf("v8 exec failed: %v", wire.DecodeError(payload))
+			}
+			if op == wire.RespDone {
+				// RespDone echoes the trace the request ran under.
+				d := &wire.Dec{B: payload}
+				wire.DecodeExecStats(d)
+				d.Uvarint() // last snapshot
+				d.Bool()    // in tx
+				if echo := d.Uvarint(); d.Err() != nil || echo != caller {
+					t.Fatalf("RespDone echoed trace %#x (err %v), want %#x", echo, d.Err(), caller)
+				}
+				break
+			}
+		}
+		spans := obs.TraceSpans(caller)
+		if len(spans) == 0 {
+			t.Fatalf("no server spans joined caller trace %#x", caller)
+		}
+		for _, sp := range spans {
+			if sp.Trace != caller {
+				t.Fatalf("span %s in trace %#x, want %#x", sp.Name, sp.Trace, caller)
+			}
+		}
+	})
+
+	t.Run("v8-unsampled-records-nothing", func(t *testing.T) {
+		wasOn := obs.Enabled()
+		obs.SetTracing(true)
+		defer func() {
+			obs.SetTracing(wasOn)
+			obs.ResetSpans()
+		}()
+
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		br := bufio.NewReader(nc)
+		bw := bufio.NewWriter(nc)
+		if got := rawHello(t, br, bw, wire.ProtocolVersion); got != wire.ProtocolVersion {
+			t.Fatalf("server negotiated v%d, want v%d", got, wire.ProtocolVersion)
+		}
+
+		const caller = uint64(1<<63 | 0xdead)
+		e := &wire.Enc{}
+		wire.EncodeTraceContext(e, wire.TraceContext{Trace: caller, Sampled: false})
+		e.Uvarint(0)
+		e.String(`SELECT 1`)
+		e.Row(nil)
+		if err := wire.WriteFrame(bw, wire.ReqExec, e.B); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		for {
+			op, payload, err := wire.ReadFrame(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if op == wire.RespError {
+				t.Fatalf("unsampled exec failed: %v", wire.DecodeError(payload))
+			}
+			if op == wire.RespDone {
+				break
+			}
+		}
+		// The caller said don't sample: even with the recorder on, the
+		// server recorded nothing for this trace.
+		if spans := obs.TraceSpans(caller); len(spans) != 0 {
+			t.Fatalf("unsampled request left %d spans in trace %#x", len(spans), caller)
 		}
 	})
 

@@ -190,6 +190,7 @@ type ExecStats struct {
 	ClusteredPages int           // pages loaded by those runs
 	PrefetchHits   int           // logical reads satisfied early by a warmed page
 	RowsReturned   int
+	QueueWait      time.Duration // device queue wait behind the statement's demand misses
 }
 
 // ModeledIO converts Pagelog misses into modeled I/O time.
@@ -230,6 +231,17 @@ type Conn struct {
 	span      *obs.Span
 	curStmt   *obs.Span
 	lastTrace uint64
+
+	// slowCost carries the retrospective cost of the executing batch
+	// into the slow-query log: billed Pagelog reads accumulate from
+	// per-statement stats, mechanism name and pruned-iteration count
+	// are filled by statements that run a mechanism (NoteMechRun).
+	slowCost obs.SlowCost
+
+	// lastMech is the profile of the mechanism run the executing
+	// statement completed, pushed down by the mechanism layer's
+	// finalizer (NoteMechRun); EXPLAIN ANALYZE renders it.
+	lastMech *MechProfile
 
 	// Ambient context (SetContext): writer-transaction Begin honors
 	// its cancellation/deadline while waiting for the legacy writer
@@ -424,7 +436,12 @@ func (c *Conn) execAsOf(sqlText string, set *ReaderSet, asOf retro.SnapshotID, c
 	if err == nil {
 		// Save/restore curStmt: execAsOf re-enters through UDFs (a
 		// mechanism iteration executes Qq inside the outer SELECT).
+		// slowCost likewise: a nested Qq batch must not clobber the
+		// outer batch's accumulated retrospective cost.
 		saved := c.curStmt
+		savedCost := c.slowCost
+		c.slowCost = obs.SlowCost{}
+		defer func() { c.slowCost = savedCost }()
 		for _, stmt := range stmts {
 			ssp := sp.Child("sql." + stmtName(stmt))
 			c.curStmt = ssp
@@ -445,13 +462,14 @@ func (c *Conn) execAsOf(sqlText string, set *ReaderSet, asOf retro.SnapshotID, c
 				ssp.End()
 			}
 			rows += c.lastStats.RowsReturned
+			c.slowCost.PagelogReads += int64(c.lastStats.PagelogReads)
 			if err != nil {
 				break
 			}
 		}
 	}
 	if timed {
-		obs.ObserveQuery(truncSQL(sqlText), time.Since(start), sp.TraceID(), int64(rows))
+		obs.ObserveQuery(truncSQL(sqlText), time.Since(start), sp.TraceID(), int64(rows), c.slowCost)
 	}
 	sp.End()
 	return err
@@ -595,6 +613,7 @@ func (ec *execCtx) close() {
 		ec.stats.ClusteredReads += ec.snapReader.Counters.ClusteredReads
 		ec.stats.ClusteredPages += ec.snapReader.Counters.ClusteredPages
 		ec.stats.PrefetchHits += ec.snapReader.Counters.PrefetchHits
+		ec.stats.QueueWait += ec.snapReader.Counters.QueueWait
 	}
 	if ec.readSet != nil {
 		ec.conn.lastReadSet = ec.readSet
@@ -700,7 +719,11 @@ func (c *Conn) execStmt(stmt Statement, set *ReaderSet, asOf retro.SnapshotID, c
 	case *SelectStmt:
 		err = c.execSelect(s, set, asOf, cb, params, &stats)
 	case *ExplainStmt:
-		err = c.execExplain(s, cb, params, &stats)
+		if s.Analyze {
+			err = c.execExplainAnalyze(s, set, asOf, cb, params, &stats)
+		} else {
+			err = c.execExplain(s, cb, params, &stats)
+		}
 	case *BeginStmt:
 		err = c.Begin()
 	case *CommitStmt:

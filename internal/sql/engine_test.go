@@ -776,3 +776,35 @@ func TestExplain(t *testing.T) {
 		t.Errorf("constant plan:\n%s", plan)
 	}
 }
+
+func TestExplainAnalyze(t *testing.T) {
+	c := testConn(t)
+	mustExec(t, c, `CREATE TABLE big (k INTEGER, v TEXT)`)
+	mustExec(t, c, `INSERT INTO big VALUES (1, 'x'), (2, 'y'), (3, 'z')`)
+
+	report := q(t, c, `EXPLAIN ANALYZE SELECT v FROM big WHERE k > 1`)
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "SCAN TABLE") {
+		t.Errorf("report misses the plan:\n%s", joined)
+	}
+	if !strings.Contains(joined, "EXECUTED rows=2") {
+		t.Errorf("report misses the execution summary:\n%s", joined)
+	}
+	// LastStats reports the executed statement's own rows — identical to
+	// a plain run — not the report lines streamed to the client.
+	if got := c.LastStats().RowsReturned; got != 2 {
+		t.Errorf("LastStats().RowsReturned = %d, want 2", got)
+	}
+	if strings.Contains(joined, "MECHANISM") {
+		t.Errorf("no mechanism ran, but the report says one did:\n%s", joined)
+	}
+
+	// Lower-case and mixed-case forms parse; ANALYZE stays usable as an
+	// ordinary identifier since it is not reserved.
+	if _, err := c.Query(`explain analyze select 1`); err != nil {
+		t.Fatalf("lower-case explain analyze: %v", err)
+	}
+	mustExec(t, c, `CREATE TABLE analyze (analyze INTEGER)`)
+	mustExec(t, c, `INSERT INTO analyze VALUES (7)`)
+	expectRows(t, q(t, c, `SELECT analyze FROM analyze`), "7")
+}

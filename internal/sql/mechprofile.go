@@ -1,0 +1,64 @@
+package sql
+
+import "time"
+
+// Mechanism run profiles. The RQL mechanism layer sits above this
+// package (it imports sql, so sql cannot import it back); at the end of
+// a statement that drove a mechanism, its finalizer pushes the run's
+// per-iteration cost breakdown down to the connection in this neutral
+// shape. Two consumers: EXPLAIN ANALYZE renders the profile as report
+// rows, and the slow-query log picks up the mechanism name, billed
+// Pagelog reads, and pruned-iteration count.
+
+// MechIterProfile is one mechanism iteration — one snapshot of the Qs
+// set — mirroring the paper's Figures 8–13 cost breakdown.
+type MechIterProfile struct {
+	Snapshot uint64
+
+	Wall        time.Duration // modeled iteration total (SPT+index+eval+UDF+IO)
+	SPTBuild    time.Duration
+	IndexCreate time.Duration
+	QueryEval   time.Duration
+	UDF         time.Duration
+	IOTime      time.Duration
+	QueueWait   time.Duration // device-queue contention; excluded from Wall
+
+	PagelogReads int
+	CacheHits    int
+	PrefetchHits int
+	Rows         int // Qq rows processed (or replayed, when pruned)
+
+	Pruned     bool
+	DeltaPages int
+}
+
+// MechProfile is a completed mechanism run.
+type MechProfile struct {
+	Mechanism      string
+	PrunedIters    int
+	ReplayedRows   int
+	PruneReason    string // why pruning was off ("" = active)
+	PrefetchHits   int
+	PrefetchWasted int
+	Iterations     []MechIterProfile
+}
+
+// NoteMechRun records that the current statement completed a
+// retrospective mechanism run. Called by the mechanism layer's
+// end-of-statement finalizer, while the statement is still executing:
+// the profile feeds the slow-query log's mechanism columns and EXPLAIN
+// ANALYZE's per-iteration report. The iteration Pagelog reads are
+// billed to the batch's slow-query cost here because they happen in
+// nested Qq sub-batches whose own cost accounting is scoped out by the
+// save/restore in execAsOf.
+func (c *Conn) NoteMechRun(p *MechProfile) {
+	c.lastMech = p
+	if p == nil {
+		return
+	}
+	c.slowCost.Mechanism = p.Mechanism
+	c.slowCost.PrunedIters = int64(p.PrunedIters)
+	for _, it := range p.Iterations {
+		c.slowCost.PagelogReads += int64(it.PagelogReads)
+	}
+}

@@ -119,11 +119,18 @@ func (p *parser) statement() (Statement, error) {
 	switch t.text {
 	case "EXPLAIN":
 		p.next()
+		// ANALYZE is deliberately not a reserved word — it lexes as an
+		// identifier, so tables and columns named "analyze" keep working.
+		analyze := false
+		if t := p.peek(); t.kind == tkIdent && strings.EqualFold(t.text, "ANALYZE") {
+			p.next()
+			analyze = true
+		}
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Select: sel}, nil
+		return &ExplainStmt{Select: sel, Analyze: analyze}, nil
 	case "SELECT":
 		return p.selectStmt()
 	case "INSERT":

@@ -89,11 +89,18 @@ type SlowEntry struct {
 	Trace    uint64
 	When     time.Time
 	Rows     int64
+
+	// Retrospective cost (v8; zero when the peer negotiated v7 or
+	// lower, or when the statement was plain SQL).
+	Mechanism    string
+	PagelogReads int64
+	PrunedIters  int64
 }
 
 // EncodeSlowEntries appends a slow-query log body (RespSlow payload),
-// prefixed with the server's active threshold (0 = disabled).
-func EncodeSlowEntries(e *Enc, threshold time.Duration, entries []SlowEntry) {
+// prefixed with the server's active threshold (0 = disabled). The
+// retrospective-cost fields are appended only for ver >= 8.
+func EncodeSlowEntries(e *Enc, threshold time.Duration, entries []SlowEntry, ver int) {
 	e.Duration(threshold)
 	e.Uvarint(uint64(len(entries)))
 	for _, s := range entries {
@@ -102,11 +109,17 @@ func EncodeSlowEntries(e *Enc, threshold time.Duration, entries []SlowEntry) {
 		e.Uvarint(s.Trace)
 		e.Varint(s.When.UnixNano())
 		e.Varint(s.Rows)
+		if ver >= TraceContextVersion {
+			e.String(s.Mechanism)
+			e.Varint(s.PagelogReads)
+			e.Varint(s.PrunedIters)
+		}
 	}
 }
 
-// DecodeSlowEntries reads a slow-query log body.
-func DecodeSlowEntries(d *Dec) (threshold time.Duration, entries []SlowEntry) {
+// DecodeSlowEntries reads a slow-query log body encoded at negotiated
+// protocol version ver; for ver < 8 the cost fields stay zero.
+func DecodeSlowEntries(d *Dec, ver int) (threshold time.Duration, entries []SlowEntry) {
 	threshold = d.Duration()
 	n := d.Uvarint()
 	if d.Err() != nil || n > MaxFrame {
@@ -117,6 +130,11 @@ func DecodeSlowEntries(d *Dec) (threshold time.Duration, entries []SlowEntry) {
 		s := SlowEntry{SQL: d.String(), Duration: d.Duration(), Trace: d.Uvarint()}
 		s.When = time.Unix(0, d.Varint())
 		s.Rows = d.Varint()
+		if ver >= TraceContextVersion {
+			s.Mechanism = d.String()
+			s.PagelogReads = d.Varint()
+			s.PrunedIters = d.Varint()
+		}
 		entries = append(entries, s)
 	}
 	return threshold, entries

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"rql/internal/record"
@@ -41,8 +42,14 @@ import (
 // the BootSegment bootstrap chunk that ships sealed segments verbatim;
 // v7 added materialized retro views (VIEWS listing, SUBSCRIBE streams,
 // the replicated view-DDL event and BootViews bootstrap chunk) and the
-// view + fsync-skip counters in ServerStats.
-const ProtocolVersion = 7
+// view + fsync-skip counters in ServerStats;
+// v8 added distributed trace propagation (every post-handshake request
+// payload opens with a TraceContext prefix so the server roots its
+// span under the caller's trace), the TIMELINE request serving the
+// telemetry ring, the per-iteration device queue-wait in RunStats, and
+// the mechanism/Pagelog-reads/pruned-iteration fields on slow-query
+// entries.
+const ProtocolVersion = 8
 
 // ReplProtocolVersion is the lowest negotiated version that carries the
 // replication and horizon frames.
@@ -51,6 +58,10 @@ const ReplProtocolVersion = 4
 // ViewProtocolVersion is the lowest negotiated version that carries the
 // retro-view frames (VIEWS, SUBSCRIBE, replicated view DDL).
 const ViewProtocolVersion = 7
+
+// TraceContextVersion is the lowest negotiated version whose request
+// frames carry the TraceContext prefix (and the TIMELINE request).
+const TraceContextVersion = 8
 
 // Magic opens the client hello.
 const Magic = "RQL1"
@@ -82,6 +93,9 @@ const (
 	// v7 retro-view requests.
 	ReqViews   byte = 0x11 // — list materialized retro views
 	ReqViewSub byte = 0x12 // view name, last seen snapshot — open subscription
+
+	// v8 telemetry request.
+	ReqTimeline byte = 0x13 // — telemetry timeline ring
 )
 
 // ReqTrace command bytes.
@@ -118,6 +132,9 @@ const (
 	RespViews       byte = 0x93 // ViewInfo list
 	RespViewBatch   byte = 0x94 // one materialized refresh pushed on a subscription
 	RespReplViewDDL byte = 0x95 // one replicated view CREATE/DROP event
+
+	// v8 telemetry response.
+	RespTimeline byte = 0x96 // sampling period + TimelinePoint list
 )
 
 // Mechanism kinds carried by ReqMech.
@@ -207,6 +224,11 @@ func (e *Enc) Row(vals []record.Value) {
 
 // Duration appends a duration as varint nanoseconds.
 func (e *Enc) Duration(d time.Duration) { e.Varint(int64(d)) }
+
+// Float64 appends an IEEE 754 double as 8 fixed big-endian bytes.
+func (e *Enc) Float64(v float64) {
+	e.B = binary.BigEndian.AppendUint64(e.B, math.Float64bits(v))
+}
 
 // Dec consumes a frame payload. The first decode error sticks; check
 // Err once after the reads.
@@ -308,9 +330,116 @@ func (d *Dec) Row() []record.Value {
 // Duration reads a varint-nanosecond duration.
 func (d *Dec) Duration() time.Duration { return time.Duration(d.Varint()) }
 
+// Float64 reads an 8-byte big-endian IEEE 754 double.
+func (d *Dec) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.B) < 8 {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.B[:8]))
+	d.B = d.B[8:]
+	return v
+}
+
 // ---------------------------------------------------------------------------
 // Composite message bodies shared by client and server
 // ---------------------------------------------------------------------------
+
+// TraceContext is the caller's distributed-trace identity. From
+// protocol v8 on, every post-handshake request payload opens with this
+// prefix: the server roots its per-request span inside Trace (instead
+// of minting a fresh local trace), so the primary-write and
+// replica-read legs of one logical cluster query stitch into a single
+// trace. Trace == 0 or Sampled == false means "don't record a server
+// span for this request" — the zero value is exactly the pre-v8
+// behavior of an untraced client.
+type TraceContext struct {
+	Trace   uint64
+	Sampled bool
+}
+
+// EncodeTraceContext appends the v8 request prefix.
+func EncodeTraceContext(e *Enc, tc TraceContext) {
+	e.Uvarint(tc.Trace)
+	e.Bool(tc.Sampled)
+}
+
+// DecodeTraceContext reads the v8 request prefix.
+func DecodeTraceContext(d *Dec) TraceContext {
+	return TraceContext{Trace: d.Uvarint(), Sampled: d.Bool()}
+}
+
+// TimelinePoint mirrors obs.Point on the wire: one telemetry sample of
+// per-second counter rates and raw gauges. Names ride on every point —
+// the set is small and stable, but self-describing points keep old
+// clients rendering new servers' metrics without a schema bump.
+type TimelinePoint struct {
+	WhenUnixNano int64
+	Interval     time.Duration
+	Rates        []NamedValue
+	Gauges       []NamedValue
+}
+
+// NamedValue is one name → float64 metric sample.
+type NamedValue struct {
+	Name  string
+	Value float64
+}
+
+func encodeNamedValues(e *Enc, vals []NamedValue) {
+	e.Uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		e.String(v.Name)
+		e.Float64(v.Value)
+	}
+}
+
+func decodeNamedValues(d *Dec) []NamedValue {
+	n := d.Uvarint()
+	if d.Err() != nil || n == 0 || n > MaxFrame {
+		return nil
+	}
+	out := make([]NamedValue, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		out = append(out, NamedValue{Name: d.String(), Value: d.Float64()})
+	}
+	return out
+}
+
+// EncodeTimeline appends a RespTimeline body: the sampling period and
+// the retained points, oldest first.
+func EncodeTimeline(e *Enc, period time.Duration, points []TimelinePoint) {
+	e.Duration(period)
+	e.Uvarint(uint64(len(points)))
+	for _, p := range points {
+		e.Varint(p.WhenUnixNano)
+		e.Duration(p.Interval)
+		encodeNamedValues(e, p.Rates)
+		encodeNamedValues(e, p.Gauges)
+	}
+}
+
+// DecodeTimeline reads a RespTimeline body.
+func DecodeTimeline(d *Dec) (period time.Duration, points []TimelinePoint) {
+	period = d.Duration()
+	n := d.Uvarint()
+	if d.Err() != nil || n > MaxFrame {
+		return period, nil
+	}
+	points = make([]TimelinePoint, 0, n)
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		points = append(points, TimelinePoint{
+			WhenUnixNano: d.Varint(),
+			Interval:     d.Duration(),
+			Rates:        decodeNamedValues(d),
+			Gauges:       decodeNamedValues(d),
+		})
+	}
+	return period, points
+}
 
 // ExecStats mirrors sql.ExecStats field-for-field; wire keeps its own
 // copy so the protocol schema is explicit and self-contained.
@@ -382,6 +511,7 @@ type IterationCost struct {
 	ClusteredPages int
 	PrefetchHits   int
 	OverlapTime    time.Duration
+	QueueWait      time.Duration // v8: device queue wait billed to this iteration
 }
 
 // RunStats mirrors core.RunStats on the wire.
@@ -407,8 +537,10 @@ type RunStats struct {
 	PrefetchWasted      int
 }
 
-// EncodeRunStats appends a RunStats body.
-func EncodeRunStats(e *Enc, r RunStats) {
+// EncodeRunStats appends a RunStats body in the layout of negotiated
+// protocol version ver: the per-iteration device queue-wait is
+// appended only for ver >= 8, so older peers see exactly their frame.
+func EncodeRunStats(e *Enc, r RunStats, ver int) {
 	e.String(r.Mechanism)
 	e.Uvarint(uint64(r.ResultRows))
 	e.Varint(r.ResultDataBytes)
@@ -435,6 +567,9 @@ func EncodeRunStats(e *Enc, r RunStats) {
 		e.Uvarint(uint64(it.ClusteredPages))
 		e.Uvarint(uint64(it.PrefetchHits))
 		e.Duration(it.OverlapTime)
+		if ver >= TraceContextVersion {
+			e.Duration(it.QueueWait)
+		}
 	}
 	e.Uvarint(uint64(r.BatchBuilds))
 	e.Uvarint(uint64(r.BatchMapScanned))
@@ -448,8 +583,9 @@ func EncodeRunStats(e *Enc, r RunStats) {
 	e.Uvarint(uint64(r.PrefetchWasted))
 }
 
-// DecodeRunStats reads a RunStats body.
-func DecodeRunStats(d *Dec) RunStats {
+// DecodeRunStats reads a RunStats body encoded at negotiated protocol
+// version ver; for ver < 8 the queue-wait fields stay zero.
+func DecodeRunStats(d *Dec, ver int) RunStats {
 	r := RunStats{
 		Mechanism:        d.String(),
 		ResultRows:       int(d.Uvarint()),
@@ -462,7 +598,7 @@ func DecodeRunStats(d *Dec) RunStats {
 	}
 	r.Iterations = make([]IterationCost, 0, n)
 	for i := uint64(0); i < n && d.Err() == nil; i++ {
-		r.Iterations = append(r.Iterations, IterationCost{
+		it := IterationCost{
 			Snapshot:       d.Uvarint(),
 			SPTBuild:       d.Duration(),
 			IndexCreation:  d.Duration(),
@@ -483,7 +619,11 @@ func DecodeRunStats(d *Dec) RunStats {
 			ClusteredPages: int(d.Uvarint()),
 			PrefetchHits:   int(d.Uvarint()),
 			OverlapTime:    d.Duration(),
-		})
+		}
+		if ver >= TraceContextVersion {
+			it.QueueWait = d.Duration()
+		}
+		r.Iterations = append(r.Iterations, it)
 	}
 	r.BatchBuilds = int(d.Uvarint())
 	r.BatchMapScanned = int(d.Uvarint())

@@ -139,14 +139,29 @@ func TestCompositeRoundTrips(t *testing.T) {
 		PruneReason: "Qq not prune-safe: non-builtin function f()",
 		Iterations: []IterationCost{
 			{Snapshot: 1, SPTBuild: time.Millisecond, QqRows: 9, ResultInserts: 9},
-			{Snapshot: 2, IOTime: time.Second, PagelogReads: 3, CacheHits: 1, ClusteredReads: 2},
+			{Snapshot: 2, IOTime: time.Second, PagelogReads: 3, CacheHits: 1, ClusteredReads: 2, QueueWait: time.Microsecond},
 			{Snapshot: 3, QqRows: 9, Pruned: true, DeltaPages: 4},
 		},
 	}
 	e = &Enc{}
-	EncodeRunStats(e, rs)
-	if got := DecodeRunStats(&Dec{B: e.B}); !reflect.DeepEqual(got, rs) {
+	EncodeRunStats(e, rs, ProtocolVersion)
+	if got := DecodeRunStats(&Dec{B: e.B}, ProtocolVersion); !reflect.DeepEqual(got, rs) {
 		t.Fatalf("RunStats = %+v, want %+v", got, rs)
+	}
+
+	// A v7 peer's frame carries no QueueWait: it is neither encoded nor
+	// decoded, leaving the field zero on both sides.
+	e = &Enc{}
+	EncodeRunStats(e, rs, 7)
+	v7 := rs
+	v7.Iterations = append([]IterationCost(nil), rs.Iterations...)
+	v7.Iterations[1].QueueWait = 0
+	d7 := &Dec{B: e.B}
+	if got := DecodeRunStats(d7, 7); !reflect.DeepEqual(got, v7) {
+		t.Fatalf("v7 RunStats = %+v, want %+v", got, v7)
+	}
+	if len(d7.B) != 0 || d7.Err() != nil {
+		t.Fatalf("v7 frame not fully consumed: %d bytes left, err %v", len(d7.B), d7.Err())
 	}
 
 	objs := []ObjectInfo{
@@ -261,13 +276,14 @@ func TestSpanRoundTrip(t *testing.T) {
 func TestSlowEntryRoundTrip(t *testing.T) {
 	in := []SlowEntry{
 		{SQL: "SELECT * FROM big", Duration: 2 * time.Second, Trace: 7,
-			When: time.Unix(1000, 1), Rows: 1_000_000},
+			When: time.Unix(1000, 1), Rows: 1_000_000,
+			Mechanism: "CollateData", PagelogReads: 123, PrunedIters: 4},
 		{SQL: "", Duration: time.Millisecond, When: time.Unix(0, 0)},
 	}
 	e := &Enc{}
-	EncodeSlowEntries(e, 50*time.Millisecond, in)
+	EncodeSlowEntries(e, 50*time.Millisecond, in, ProtocolVersion)
 	d := &Dec{B: e.B}
-	threshold, got := DecodeSlowEntries(d)
+	threshold, got := DecodeSlowEntries(d, ProtocolVersion)
 	if d.Err() != nil {
 		t.Fatal(d.Err())
 	}
@@ -280,9 +296,61 @@ func TestSlowEntryRoundTrip(t *testing.T) {
 	for i := range in {
 		w, g := in[i], got[i]
 		if g.SQL != w.SQL || g.Duration != w.Duration || g.Trace != w.Trace ||
-			!g.When.Equal(w.When) || g.Rows != w.Rows {
+			!g.When.Equal(w.When) || g.Rows != w.Rows ||
+			g.Mechanism != w.Mechanism || g.PagelogReads != w.PagelogReads ||
+			g.PrunedIters != w.PrunedIters {
 			t.Fatalf("entry %d = %+v, want %+v", i, g, w)
 		}
+	}
+
+	// A v7 peer sees the v7 frame: no mechanism/cost columns.
+	e = &Enc{}
+	EncodeSlowEntries(e, 50*time.Millisecond, in, 7)
+	d = &Dec{B: e.B}
+	_, got = DecodeSlowEntries(d, 7)
+	if d.Err() != nil || len(d.B) != 0 {
+		t.Fatalf("v7 frame not fully consumed: %d bytes left, err %v", len(d.B), d.Err())
+	}
+	if got[0].Mechanism != "" || got[0].PagelogReads != 0 || got[0].PrunedIters != 0 {
+		t.Fatalf("v7 entry carries v8 fields: %+v", got[0])
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	for _, tc := range []TraceContext{
+		{},
+		{Trace: 1<<63 | 42, Sampled: true},
+		{Trace: 7, Sampled: false},
+	} {
+		e := &Enc{}
+		EncodeTraceContext(e, tc)
+		d := &Dec{B: e.B}
+		got := DecodeTraceContext(d)
+		if d.Err() != nil || got != tc || len(d.B) != 0 {
+			t.Fatalf("TraceContext = %+v (err %v, %d left), want %+v", got, d.Err(), len(d.B), tc)
+		}
+	}
+}
+
+func TestTimelineRoundTrip(t *testing.T) {
+	points := []TimelinePoint{
+		{WhenUnixNano: 1_000_000_000, Interval: time.Second,
+			Rates:  []NamedValue{{Name: "commits", Value: 12.5}, {Name: "queries_served", Value: 300}},
+			Gauges: []NamedValue{{Name: "conns_active", Value: 4}}},
+		{WhenUnixNano: 2_000_000_000, Interval: time.Second},
+	}
+	e := &Enc{}
+	EncodeTimeline(e, time.Second, points)
+	d := &Dec{B: e.B}
+	period, got := DecodeTimeline(d)
+	if d.Err() != nil || len(d.B) != 0 {
+		t.Fatalf("decode: err %v, %d bytes left", d.Err(), len(d.B))
+	}
+	if period != time.Second {
+		t.Fatalf("period = %v", period)
+	}
+	if !reflect.DeepEqual(got, points) {
+		t.Fatalf("points = %+v, want %+v", got, points)
 	}
 }
 
